@@ -1,0 +1,71 @@
+"""E1 — Corollary 1.2 / Theorem 4.23: asynchronous single-source BFS.
+
+Claim: Õ(D) time and Õ(m) messages.  We sweep n on a high-diameter family
+(cycle) and a low-diameter family (hypercube) and report time/D and
+messages/m; the shape check is that both normalized series grow
+polylogarithmically — their power-law exponent against n stays well below 1
+(a linear-overhead scheme would sit at 1).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import BENCH_DELAYS, power_exponent, record, run_once
+
+from repro.analysis import Series
+from repro.core import run_full_bfs
+from repro.net import topology
+
+
+def _sweep(make_graph, sizes):
+    series = Series(
+        "E1: async single-source BFS (Cor 1.2)",
+        ["n", "m", "D", "messages", "msgs/m", "time", "time/D"],
+    )
+    for n in sizes:
+        g = make_graph(n)
+        outcome = run_full_bfs(g, 0, BENCH_DELAYS)
+        d = g.diameter()
+        series.add(
+            g.num_nodes,
+            g.num_edges,
+            d,
+            outcome.messages,
+            outcome.messages / g.num_edges,
+            round(outcome.result.time_to_output, 1),
+            round(outcome.result.time_to_output / d, 2),
+        )
+    return series
+
+
+def test_e01_cycle_high_diameter(benchmark):
+    series = run_once(benchmark, lambda: _sweep(topology.cycle_graph, [16, 32, 64, 128]))
+    record(benchmark, series)
+    ns = series.column("n")
+    per_m = series.column("msgs/m")
+    per_d = series.column("time/D")
+    # Shape: normalized series sub-linear in n (polylog regime).
+    assert power_exponent(ns, per_m) < 0.75
+    assert power_exponent(ns, per_d) < 0.75
+    benchmark.extra_info["msgs_per_m_exponent"] = power_exponent(ns, per_m)
+    benchmark.extra_info["time_per_d_exponent"] = power_exponent(ns, per_d)
+
+
+def test_e01_hypercube_low_diameter(benchmark):
+    series = run_once(
+        benchmark,
+        lambda: _sweep(lambda n: topology.hypercube_graph(n.bit_length() - 1), [16, 32, 64, 128]),
+    )
+    record(benchmark, series)
+    assert all(ratio < 220 for ratio in series.column("msgs/m"))
+
+
+def test_e01_random_sparse(benchmark):
+    series = run_once(
+        benchmark,
+        lambda: _sweep(lambda n: topology.erdos_renyi_graph(n, 3.0 / n, seed=7), [16, 32, 64, 128]),
+    )
+    record(benchmark, series)
+    assert all(ratio < 220 for ratio in series.column("msgs/m"))

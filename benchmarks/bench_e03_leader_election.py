@@ -1,0 +1,63 @@
+"""E3 — Corollary 1.3: deterministic asynchronous leader election.
+
+Claim: Õ(D) time and Õ(m) messages.  The synchronous Section-6 election is
+fed through the deterministic synchronizer.  We report the election's own
+rounds/messages, the accounted cover-construction rounds (the substituted
+precomputation; DESIGN.md substitution 2), and the asynchronous totals.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import BENCH_DELAYS, power_exponent, record, run_once
+
+from repro.analysis import Series
+from repro.apps import ElectionStructure, leader_election_spec
+from repro.core import run_synchronized
+from repro.covers import build_rg_decomposition
+from repro.net import run_synchronous, topology
+
+
+def _sweep():
+    series = Series(
+        "E3: leader election (Cor 1.3)",
+        ["n", "m", "D", "T_sync", "M_sync", "cover_rounds", "M_async", "time_async", "time/D"],
+    )
+    for n in (16, 32, 64):
+        g = topology.erdos_renyi_graph(n, 3.0 / n, seed=11)
+        d = g.diameter()
+        structure = ElectionStructure.build(g)
+        spec = leader_election_spec(structure)
+        sync = run_synchronous(g, spec)
+        assert sync.outputs == {v: 0 for v in g.nodes}
+        cover_rounds = sum(
+            build_rg_decomposition(g, 1 << i).cost.rounds
+            for i in range(min(2, len(structure.covers)))
+        )
+        result = run_synchronized(g, spec, BENCH_DELAYS)
+        assert result.outputs == sync.outputs
+        series.add(
+            n,
+            g.num_edges,
+            d,
+            sync.rounds_total,
+            sync.messages,
+            cover_rounds,
+            result.messages,
+            round(result.time_to_output, 1),
+            round(result.time_to_output / d, 1),
+        )
+    return series
+
+
+def test_e03_leader_election(benchmark):
+    series = run_once(benchmark, _sweep)
+    record(benchmark, series)
+    ns = series.column("n")
+    msgs = series.column("M_async")
+    ms = series.column("m")
+    per_m = [a / b for a, b in zip(msgs, ms)]
+    # Õ(m) messages: normalized series stays sub-linear in n.
+    assert power_exponent(ns, per_m) < 1.0

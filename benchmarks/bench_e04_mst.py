@@ -1,0 +1,51 @@
+"""E4 — Corollary 1.4: deterministic asynchronous MST.
+
+Claim: Õ(m) messages (time Õ(D + sqrt(n)) with Elkin's inner algorithm; our
+substituted Borůvka runs O(log n) merge phases — DESIGN.md substitution 4 —
+so we report the measured synchronous rounds alongside).  Correctness: the
+asynchronous run outputs exactly the Kruskal MST.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import BENCH_DELAYS, power_exponent, record, run_once
+
+from repro.analysis import Series
+from repro.apps import mst_edges_from_outputs, mst_spec, reference_mst
+from repro.core import run_synchronized
+from repro.net import run_synchronous, topology
+
+
+def _sweep():
+    series = Series(
+        "E4: async MST (Cor 1.4)",
+        ["n", "m", "T_sync", "M_sync", "M_async", "M_async/m", "time_async"],
+    )
+    for n in (16, 32, 64):
+        g = topology.with_random_weights(
+            topology.erdos_renyi_graph(n, 4.0 / n, seed=5), seed=n
+        )
+        sync = run_synchronous(g, mst_spec())
+        result = run_synchronized(g, mst_spec(), BENCH_DELAYS)
+        assert mst_edges_from_outputs(result.outputs) == reference_mst(g)
+        series.add(
+            n,
+            g.num_edges,
+            sync.rounds_total,
+            sync.messages,
+            result.messages,
+            round(result.messages / g.num_edges, 1),
+            round(result.time_to_output, 1),
+        )
+    return series
+
+
+def test_e04_mst(benchmark):
+    series = run_once(benchmark, _sweep)
+    record(benchmark, series)
+    ns = series.column("n")
+    per_m = series.column("M_async/m")
+    assert power_exponent(ns, per_m) < 1.0

@@ -1,0 +1,72 @@
+"""E5 — Theorem 5.3: the synchronizer's overheads are polylog for any
+event-driven program.
+
+For each program in the suite we measure time-overhead(S) = T(A')/T(A) and
+message-overhead(S) = M(A')/(M(A)+m) across n, and check the overheads'
+growth in n is sub-linear (polylog regime), not linear.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import BENCH_DELAYS, power_exponent, record, run_once
+
+from repro.analysis import Series
+from repro.apps.programs import bfs_spec, broadcast_echo_spec, flood_max_spec
+from repro.core import run_synchronized
+from repro.net import run_synchronous, topology
+
+PROGRAMS = [
+    ("sync-bfs", lambda: bfs_spec(0)),
+    ("broadcast-echo", lambda: broadcast_echo_spec(0)),
+    ("flood-max", flood_max_spec),
+]
+
+
+def _sweep(spec_name, spec_factory):
+    series = Series(
+        f"E5: synchronizer overheads for {spec_name} (Thm 5.3)",
+        ["n", "T(A)", "M(A)", "T(A')", "M(A')", "time_overhead", "msg_overhead"],
+    )
+    for n in (16, 32, 64):
+        g = topology.cycle_graph(n)
+        spec = spec_factory()
+        sync = run_synchronous(g, spec)
+        result = run_synchronized(g, spec, BENCH_DELAYS)
+        assert result.outputs == sync.outputs
+        t_over = result.time_to_output / max(sync.rounds_to_output, 1)
+        m_over = result.messages / (sync.messages + g.num_edges)
+        series.add(
+            n,
+            sync.rounds_to_output,
+            sync.messages,
+            round(result.time_to_output, 1),
+            result.messages,
+            round(t_over, 2),
+            round(m_over, 2),
+        )
+    return series
+
+
+def test_e05_bfs_overheads(benchmark):
+    series = run_once(benchmark, lambda: _sweep(*PROGRAMS[0]))
+    record(benchmark, series)
+    ns = series.column("n")
+    assert power_exponent(ns, series.column("time_overhead")) < 0.8
+    assert power_exponent(ns, series.column("msg_overhead")) < 0.8
+
+
+def test_e05_echo_overheads(benchmark):
+    series = run_once(benchmark, lambda: _sweep(*PROGRAMS[1]))
+    record(benchmark, series)
+    ns = series.column("n")
+    assert power_exponent(ns, series.column("msg_overhead")) < 0.8
+
+
+def test_e05_floodmax_overheads(benchmark):
+    series = run_once(benchmark, lambda: _sweep(*PROGRAMS[2]))
+    record(benchmark, series)
+    ns = series.column("n")
+    assert power_exponent(ns, series.column("msg_overhead")) < 0.8

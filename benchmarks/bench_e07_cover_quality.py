@@ -1,0 +1,73 @@
+"""E7 — Theorems 4.20/4.21 and Section 2.1: sparse-cover quality.
+
+Claims measured: membership O(log n) per node; AP stretch O(log n) vs RG
+stretch O(log^3 n); RG edge load O(log^4 n); RG color count O(log n);
+construction round accounting O(d·polylog).
+"""
+
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import record, run_once
+
+from repro.analysis import Series
+from repro.covers import (
+    ap_membership_bound,
+    build_ap_cover,
+    build_rg_cover,
+    build_rg_decomposition,
+    validate_cover,
+)
+from repro.net import topology
+
+
+def _sweep():
+    series = Series(
+        "E7: cover quality, AP vs RG (Thm 4.21, Sec 2.1)",
+        ["n", "d", "builder", "clusters", "membership", "stretch", "edge_load", "rounds"],
+    )
+    for n in (32, 64, 128):
+        g = topology.cycle_graph(n)
+        for d in (2, 4):
+            ap = build_ap_cover(g, d)
+            validate_cover(g, ap)
+            series.add(n, d, "ap", len(ap.clusters), ap.max_membership,
+                       round(ap.stretch(), 2), ap.max_edge_load, 0)
+            rg, cost = build_rg_cover(g, d)
+            validate_cover(g, rg)
+            series.add(n, d, "rg", len(rg.clusters), rg.max_membership,
+                       round(rg.stretch(), 2), rg.max_edge_load, cost.rounds)
+    return series
+
+
+def _colors():
+    series = Series(
+        "E7b: RG decomposition colors (Thm 4.20)",
+        ["n", "k", "colors", "log2(n)", "rounds", "messages"],
+    )
+    for n in (32, 64, 128):
+        g = topology.cycle_graph(n)
+        decomposition = build_rg_decomposition(g, 2)
+        decomposition.validate(g)
+        series.add(
+            n, 2, decomposition.num_colors, round(math.log2(n), 1),
+            decomposition.cost.rounds, decomposition.cost.messages,
+        )
+    return series
+
+
+def test_e07_cover_quality(benchmark):
+    series = run_once(benchmark, _sweep)
+    record(benchmark, series)
+    for n, membership in zip(series.column("n"), series.column("membership")):
+        assert membership <= ap_membership_bound(n) + math.ceil(math.log2(n)) + 1
+
+
+def test_e07_decomposition_colors(benchmark):
+    series = run_once(benchmark, _colors)
+    record(benchmark, series)
+    for n, colors in zip(series.column("n"), series.column("colors")):
+        assert colors <= math.ceil(math.log2(n)) + 1

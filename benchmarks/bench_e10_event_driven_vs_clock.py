@@ -1,0 +1,150 @@
+"""E10 — Appendix B, issue (II): clock-based programs cost Θ(n·T) extra.
+
+A clock-based synchronous program ("wait r rounds, then send") must be
+transformed for the synchronizer by having each idle node tick itself with a
+self-clock chain — one virtual message per round per node — adding Θ(n·T)
+messages.  The event-driven paraphrase of the same task avoids the chain.
+
+Workload: a "delayed echo" — the endpoint of a path answers the initiator
+only after the token has crossed the whole path.  The clock-based variant
+has every node count T rounds with a neighbor ping-pong; the event-driven
+variant simply reacts to the token.  We run both through the synchronizer
+and measure the blow-up.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import BENCH_DELAYS, record, run_once
+
+from repro.analysis import Series
+from repro.core import run_synchronized
+from repro.net import (
+    NodeProgram,
+    ProgramSpec,
+    all_nodes_initiate,
+    run_synchronous,
+    topology,
+)
+
+
+class EventDrivenToken(NodeProgram):
+    """Token walks to the highest id, then an ack walks back."""
+
+    def on_start(self, api):
+        if self.info.node_id == 0:
+            api.send(self._next(), ("fwd",))
+
+    def _next(self):
+        higher = [v for v in self.info.neighbors if v > self.info.node_id]
+        return min(higher) if higher else None
+
+    def _prev(self):
+        lower = [v for v in self.info.neighbors if v < self.info.node_id]
+        return max(lower) if lower else None
+
+    def on_pulse(self, api, arrived):
+        for sender, (kind,) in arrived:
+            if kind == "fwd":
+                nxt = self._next()
+                if nxt is None:
+                    api.send(self._prev(), ("ack",))
+                else:
+                    api.send(nxt, ("fwd",))
+            else:
+                prev = self._prev()
+                if prev is None:
+                    api.set_output("answered")
+                else:
+                    api.send(prev, ("ack",))
+
+
+class ClockBasedToken(NodeProgram):
+    """Same task, written clock-based: idle nodes tick with a neighbor.
+
+    The footnote-4 transformation: each node generates a clock by bouncing a
+    message off its lowest neighbor every round until the token has passed —
+    the Θ(n·T) overhead the paper warns about, made explicit.
+    """
+
+    def __init__(self, info):
+        super().__init__(info)
+        n = info.n_upper
+        self.ticks_left = 2 * n  # a clock long enough to outlive the walk
+        self.task_done = False
+
+    def _next(self):
+        higher = [v for v in self.info.neighbors if v > self.info.node_id]
+        return min(higher) if higher else None
+
+    def _prev(self):
+        lower = [v for v in self.info.neighbors if v < self.info.node_id]
+        return max(lower) if lower else None
+
+    def _sent_targets(self, api):
+        return {to for to, _ in api._sends}
+
+    def on_start(self, api):
+        if self.info.node_id == 0:
+            api.send(self._next(), ("fwd",))
+        buddy = min(self.info.neighbors)
+        if buddy not in self._sent_targets(api):
+            api.send(buddy, ("tick",))
+
+    def on_pulse(self, api, arrived):
+        tick_seen = False
+        for sender, (kind,) in arrived:
+            if kind == "fwd":
+                nxt = self._next()
+                if nxt is None:
+                    api.send(self._prev(), ("ack",))
+                    self.task_done = True
+                else:
+                    api.send(nxt, ("fwd",))
+            elif kind == "ack":
+                prev = self._prev()
+                if prev is None:
+                    api.set_output("answered")
+                    self.task_done = True
+                else:
+                    api.send(prev, ("ack",))
+                    self.task_done = True
+            else:
+                tick_seen = True
+        if tick_seen and not self.task_done and self.ticks_left > 0:
+            self.ticks_left -= 1
+            buddy = min(self.info.neighbors)
+            if buddy not in self._sent_targets(api):
+                api.send(buddy, ("tick",))
+
+
+def _sweep():
+    series = Series(
+        "E10: event-driven vs clock-based programs (App. B)",
+        ["n", "variant", "M_sync", "M_async", "time_async"],
+    )
+    ratios = {}
+    for n in (12, 24, 48):
+        g = topology.path_graph(n)
+        event_spec = ProgramSpec("token-event", EventDrivenToken, all_nodes_initiate)
+        clock_spec = ProgramSpec("token-clock", ClockBasedToken, all_nodes_initiate)
+        results = {}
+        for name, spec in (("event", event_spec), ("clock", clock_spec)):
+            sync = run_synchronous(g, spec)
+            result = run_synchronized(g, spec, BENCH_DELAYS)
+            assert result.outputs.get(0) == "answered"
+            series.add(n, name, sync.messages, result.messages,
+                       round(result.time_to_output, 1))
+            results[name] = result.messages
+        ratios[n] = results["clock"] / results["event"]
+    return series, ratios
+
+
+def test_e10_clock_penalty(benchmark):
+    series, ratios = run_once(benchmark, _sweep)
+    record(benchmark, series)
+    # The clock-based variant pays a growing multiplicative penalty.
+    assert ratios[48] > 1.5
+    assert ratios[48] > ratios[12]

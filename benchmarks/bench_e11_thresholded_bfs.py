@@ -1,0 +1,76 @@
+"""E11 — Theorems 4.11/4.15/4.17: thresholded BFS scaling in 2^t and l.
+
+Claims: a 2^t-thresholded BFS costs O(2^t·polylog) time and O(m·polylog)
+messages; the l-stage extension multiplies messages by ~l and time by ~l.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import BENCH_DELAYS, record, run_once
+
+from repro.analysis import Series
+from repro.core import (
+    registry_for_threshold,
+    run_multi_stage_bfs,
+    run_thresholded_bfs,
+)
+from repro.net import topology
+
+
+def _threshold_sweep():
+    series = Series(
+        "E11: 2^t-thresholded BFS vs t (Thm 4.11/4.15)",
+        ["threshold", "messages", "msgs/m", "time", "time/2^t"],
+    )
+    g = topology.cycle_graph(64)
+    for t in (1, 2, 3, 4, 5):
+        theta = 1 << t
+        outcome = run_thresholded_bfs(g, 0, theta, BENCH_DELAYS)
+        series.add(
+            theta,
+            outcome.messages,
+            round(outcome.messages / g.num_edges, 1),
+            round(outcome.result.time_to_output, 1),
+            round(outcome.result.time_to_output / theta, 1),
+        )
+    return series
+
+
+def _stage_sweep():
+    series = Series(
+        "E11b: l-stage extension vs l (Thm 4.17)",
+        ["stages", "range", "messages", "time"],
+    )
+    g = topology.cycle_graph(64)
+    registry = registry_for_threshold(g, 4)
+    for stages in (1, 2, 4, 8):
+        outcome = run_multi_stage_bfs(g, 0, 4, stages, BENCH_DELAYS, registry=registry)
+        series.add(
+            stages,
+            4 * stages,
+            outcome.messages,
+            round(outcome.result.time_to_output, 1),
+        )
+    return series
+
+
+def test_e11_threshold_scaling(benchmark):
+    series = run_once(benchmark, _threshold_sweep)
+    record(benchmark, series)
+    times = series.column("time")
+    # Time grows with the threshold but stays near-linear in 2^t: the
+    # normalized column varies by a bounded factor.
+    normalized = series.column("time/2^t")
+    assert max(normalized) <= 6 * min(normalized)
+
+
+def test_e11_stage_scaling(benchmark):
+    series = run_once(benchmark, _stage_sweep)
+    record(benchmark, series)
+    msgs = series.column("messages")
+    # Theorem 4.17: messages ~ linear in l (factor-8 range, allow 12x).
+    assert msgs[-1] <= 12 * msgs[0]
+    assert msgs[-1] >= 2 * msgs[0]

@@ -1,0 +1,47 @@
+"""Shared helpers for the experiment benchmarks (E1–E11).
+
+Each benchmark runs the protocol(s) once inside pytest-benchmark (wall time
+is reported for reproducibility, but the quantities of interest are the
+*protocol* metrics: simulated time normalized by the delay bound τ, and
+message counts).  Every benchmark prints the series EXPERIMENTS.md records
+and attaches them to ``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict
+
+from repro.analysis import Series, fit_power_law
+
+# One deterministic adversary for benchmarks (correctness across the whole
+# adversary family is covered by the test suite).
+from repro.net.delays import UniformDelay
+
+BENCH_DELAYS = UniformDelay(seed=2305)  # arXiv number of the paper
+
+
+def run_once(benchmark, fn: Callable[[], Any]) -> Any:
+    """Execute fn exactly once under pytest-benchmark and return its result."""
+    box: Dict[str, Any] = {}
+
+    def wrapped():
+        box["result"] = fn()
+
+    benchmark.pedantic(wrapped, rounds=1, iterations=1, warmup_rounds=0)
+    return box["result"]
+
+
+def record(benchmark, series: Series) -> None:
+    print()
+    print(series.render())
+    benchmark.extra_info["table"] = {
+        "title": series.title,
+        "columns": list(series.columns),
+        "rows": [list(map(str, row)) for row in series.rows],
+    }
+
+
+def power_exponent(xs, ys) -> float:
+    exponent, _ = fit_power_law(xs, ys)
+    return exponent

@@ -1,0 +1,37 @@
+"""Quickstart: asynchronous BFS with the paper's deterministic machinery.
+
+Builds a small grid network, runs the complete asynchronous single-source
+BFS (Theorem 4.23) under an adversarial delay model, and verifies the
+distances against the graph oracle.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import run_full_bfs
+from repro.net import UniformDelay, topology
+
+
+def main() -> None:
+    graph = topology.grid_graph(6, 6)
+    adversary = UniformDelay(seed=42)
+
+    print(f"network: 6x6 grid, n={graph.num_nodes}, m={graph.num_edges},"
+          f" D={graph.diameter()}")
+    outcome = run_full_bfs(graph, sources=0, delay_model=adversary)
+
+    expected = graph.bfs_distances(0)
+    assert all(outcome.distances[v] == expected[v] for v in graph.nodes)
+
+    print("per-node distances from node 0 (row-major):")
+    for r in range(6):
+        row = [int(outcome.distances[r * 6 + c]) for c in range(6)]
+        print("  " + " ".join(f"{d:2d}" for d in row))
+
+    print(f"\nmessages sent:        {outcome.messages}")
+    print(f"normalized async time: {outcome.result.time_to_output:.1f}"
+          f"  (tau = 1; graph diameter = {graph.diameter()})")
+    print("distances verified against the BFS oracle ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro — reproduction of *A Near-Optimal Deterministic Distributed Synchronizer*
+(Ghaffari & Trygub, PODC 2023, arXiv:2305.06452).
+
+Quickstart::
+
+    from repro.net import topology, ConstantDelay
+    from repro.core import run_async_bfs
+
+    graph = topology.grid_graph(6, 6)
+    result = run_async_bfs(graph, source=0, delay_model=ConstantDelay())
+    print(result.distances)
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+__version__ = "1.0.0"

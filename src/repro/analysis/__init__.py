@@ -1,0 +1,12 @@
+"""Analysis helpers: scaling fits and benchmark report tables."""
+
+from .fits import fit_power_law, fit_polylog_exponent, growth_ratios
+from .tables import Series, format_table
+
+__all__ = [
+    "fit_power_law",
+    "fit_polylog_exponent",
+    "growth_ratios",
+    "Series",
+    "format_table",
+]

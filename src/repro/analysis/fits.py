@@ -1,0 +1,61 @@
+"""Scaling-shape estimators for the experiment harness.
+
+The paper's claims are asymptotic (polylog overheads, Õ(m) messages); the
+benchmarks check the *shape* of measured series.  Two fits:
+
+* :func:`fit_power_law` — least-squares slope of log y against log x: a
+  series that is truly polylogarithmic in n has a power-law exponent that
+  decays toward 0 as n grows; a linear-overhead series has exponent ≈ 1.
+* :func:`fit_polylog_exponent` — least-squares slope of log y against
+  log log x: the "k" in y ≈ c·log^k x.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def _least_squares_slope(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two matching points")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var = sum((x - mean_x) ** 2 for x in xs)
+    if var == 0:
+        raise ValueError("degenerate x values")
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = cov / var
+    intercept = mean_y - slope * mean_x
+    return slope, intercept
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Fit y ≈ c·x^a; returns (a, c)."""
+    for value in list(xs) + list(ys):
+        if value <= 0:
+            raise ValueError("power-law fit needs positive data")
+    slope, intercept = _least_squares_slope(
+        [math.log(x) for x in xs], [math.log(y) for y in ys]
+    )
+    return slope, math.exp(intercept)
+
+
+def fit_polylog_exponent(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Fit y ≈ c·(log2 x)^k; returns (k, c)."""
+    logs = [math.log2(x) for x in xs]
+    for value in logs:
+        if value <= 1:
+            raise ValueError("polylog fit needs x > 2")
+    slope, intercept = _least_squares_slope(
+        [math.log(lx) for lx in logs], [math.log(y) for y in ys]
+    )
+    return slope, math.exp(intercept)
+
+
+def growth_ratios(ys: Sequence[float]) -> List[float]:
+    """Consecutive ratios y[i+1]/y[i] — doubling-sweep growth factors."""
+    if len(ys) < 2:
+        raise ValueError("need at least two points")
+    return [b / a for a, b in zip(ys, ys[1:])]

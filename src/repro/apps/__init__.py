@@ -1,0 +1,20 @@
+"""Applications (Section 6): programs, leader election, MST."""
+
+from .programs import (
+    bfs_spec,
+    broadcast_echo_spec,
+    flood_max_spec,
+    neighbor_sum_spec,
+    path_token_spec,
+    pulse_wave_spec,
+    standard_programs,
+)
+from .leader_election import ElectionStructure, leader_election_spec
+from .mst import mst_edges_from_outputs, mst_spec, reference_mst
+
+__all__ = [
+    "bfs_spec", "broadcast_echo_spec", "flood_max_spec", "neighbor_sum_spec",
+    "path_token_spec", "pulse_wave_spec", "standard_programs",
+    "ElectionStructure", "leader_election_spec",
+    "mst_edges_from_outputs", "mst_spec", "reference_mst",
+]

@@ -1,0 +1,7 @@
+"""Awerbuch's alpha, beta, gamma synchronizers (Appendix A) — the baselines."""
+
+from .alpha import run_alpha
+from .beta import run_beta
+from .gamma import GammaStructure, run_gamma
+
+__all__ = ["run_alpha", "run_beta", "run_gamma", "GammaStructure"]

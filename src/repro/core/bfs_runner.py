@@ -1,0 +1,113 @@
+"""Runners that execute the thresholded-BFS machinery on the async simulator."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from ..covers.builders import build_layered_cover
+from ..covers.cover import LayeredCover
+from ..net.async_runtime import AsyncResult, AsyncRuntime, Process, ProcessContext
+from ..net.delays import DelayModel
+from ..net.graph import Graph, NodeId
+from .pulse import COVER_LEVEL_OFFSET
+from .registry import CoverRegistry
+from .thresholded_bfs import UNREACHED, ThresholdedBFSCore
+
+
+@dataclass
+class BFSOutcome:
+    """Distances computed by an asynchronous BFS run, plus transport stats."""
+
+    distances: Dict[NodeId, float]
+    parents: Dict[NodeId, Optional[NodeId]]
+    result: AsyncResult
+
+    @property
+    def messages(self) -> int:
+        return self.result.messages
+
+    @property
+    def time(self) -> float:
+        return self.result.time_to_output
+
+
+def required_cover_radius(threshold: int) -> int:
+    """Top cover radius a 2^t-thresholded BFS needs: 2^(t + 5)."""
+    t = max(threshold.bit_length() - 1, 0)
+    return 1 << (t + COVER_LEVEL_OFFSET)
+
+
+def registry_for_threshold(
+    graph: Graph, threshold: int, builder: str = "ap"
+) -> CoverRegistry:
+    layered = build_layered_cover(graph, required_cover_radius(threshold), builder)
+    return CoverRegistry(layered)
+
+
+class ThresholdedBFSProcess(Process):
+    """One-node standalone wrapper: activates at start, outputs its distance."""
+
+    # Set by the factory closure:
+    registry: CoverRegistry
+    sources: FrozenSet[NodeId]
+    threshold: int
+
+    def __init__(self, ctx: ProcessContext) -> None:
+        super().__init__(ctx)
+        self.core = ThresholdedBFSCore(
+            node_id=ctx.node_id,
+            neighbors=ctx.neighbors,
+            registry=self.registry,
+            threshold=self.threshold,
+            send=lambda to, payload, stage: ctx.send(to, payload, (stage,)),
+            on_complete=self._on_complete,
+        )
+
+    def _on_complete(self, pulse: Optional[int]) -> None:
+        self.ctx.set_output(
+            (pulse if pulse is not None else UNREACHED, self.core.parent)
+        )
+
+    def on_start(self) -> None:
+        self.core.activate(self.ctx.node_id in self.sources)
+
+    def on_message(self, sender: NodeId, payload: Tuple) -> None:
+        self.core.handle(sender, payload)
+
+
+def run_thresholded_bfs(
+    graph: Graph,
+    sources: Iterable[NodeId] | NodeId,
+    threshold: int,
+    delay_model: DelayModel,
+    registry: Optional[CoverRegistry] = None,
+    builder: str = "ap",
+    max_events: int = 50_000_000,
+) -> BFSOutcome:
+    """Run one 2^t-thresholded (multi-source) BFS to completion.
+
+    Every node outputs its distance to the closest source, or ``inf`` when
+    that distance exceeds the threshold (Definition 4.2).
+    """
+    source_set = frozenset((sources,)) if isinstance(sources, int) else frozenset(sources)
+    if not source_set:
+        raise ValueError("at least one source required")
+    if registry is None:
+        registry = registry_for_threshold(graph, threshold, builder)
+
+    namespace = dict(
+        registry=registry, sources=source_set, threshold=threshold
+    )
+    process_cls = type("BoundThresholdedBFS", (ThresholdedBFSProcess,), namespace)
+    runtime = AsyncRuntime(graph, process_cls, delay_model)
+    result = runtime.run(max_events=max_events)
+    if result.stop_reason != "quiescent":
+        raise RuntimeError(f"BFS did not finish: {result.stop_reason}")
+    missing = set(graph.nodes) - set(result.outputs)
+    if missing:
+        raise RuntimeError(f"BFS deadlocked: nodes {sorted(missing)} never completed")
+    distances = {v: result.outputs[v][0] for v in graph.nodes}
+    parents = {v: result.outputs[v][1] for v in graph.nodes}
+    return BFSOutcome(distances=distances, parents=parents, result=result)

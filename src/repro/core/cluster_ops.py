@@ -1,0 +1,165 @@
+"""Convergecast/broadcast aggregation on cluster trees.
+
+One primitive covers several of the paper's building blocks:
+
+* information gathering in covers (Section 3.1, Theorems 3.1/3.2): aggregate
+  "everyone in this cluster is done with P" (boolean AND) and broadcast the
+  confirmation;
+* the multi-source registration base case (Section 4.2): convergecast "all
+  sources in the cluster have p-registered / p-deregistered", broadcast the
+  confirmation / the Go-Ahead;
+* leader election (Section 6): convergecast the minimum candidate identifier
+  per cluster and broadcast it.
+
+An *instance* is identified by ``(cluster_id, tag)``.  Every node on the
+cluster tree (members and Steiner relays alike) eventually contributes one
+value; a node forwards up once it holds its own value and one value per
+child, and the root broadcasts the combined result down.  Cost: exactly two
+messages per tree edge per instance and one round trip of the tree height —
+the counts Theorem 3.1 charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..net.graph import NodeId
+from .registration import ClusterView
+
+MSG_PREFIX = "agg"
+
+Tag = Any
+Key = Tuple[int, Tag]
+MergeFn = Callable[[Any, Any], Any]
+
+
+@dataclass
+class _InstanceState:
+    contributed: bool = False
+    value: Any = None
+    child_values: Dict[NodeId, Any] = field(default_factory=dict)
+    sent_up: bool = False
+    result: Any = None
+    done: bool = False
+
+
+class ClusterAggregateModule:
+    """Per-node engine for tree aggregation, multiplexed over (cluster, tag).
+
+    Host contract: route payloads starting with ``"agg"`` to :meth:`handle`;
+    call :meth:`contribute` exactly once per instance on every tree node of
+    the cluster; ``merge_fn(tag)`` and ``priority_fn(tag)`` must be pure and
+    identical across nodes.  ``on_result(cluster_id, tag, result)`` fires on
+    every tree node once the broadcast reaches it.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        clusters: Dict[int, ClusterView],
+        send: Callable[[NodeId, Tuple, Any], None],
+        on_result: Callable[[int, Tag, Any], None],
+        merge_fn: Callable[[Tag], MergeFn],
+        priority_fn: Callable[[Tag], Any],
+    ) -> None:
+        self.node_id = node_id
+        self.clusters = clusters
+        self._send = send
+        self.on_result = on_result
+        self.merge_fn = merge_fn
+        self.priority_fn = priority_fn
+        self._instances: Dict[Key, _InstanceState] = {}
+        self.messages_sent = 0
+
+    def _instance(self, cluster_id: int, tag: Tag) -> _InstanceState:
+        key = (cluster_id, tag)
+        instance = self._instances.get(key)
+        if instance is None:
+            if cluster_id not in self.clusters:
+                raise ValueError(
+                    f"node {self.node_id} is not on the tree of cluster {cluster_id}"
+                )
+            instance = _InstanceState()
+            self._instances[key] = instance
+        return instance
+
+    def _emit(self, to: NodeId, kind: str, cluster_id: int, tag: Tag, value: Any) -> None:
+        self.messages_sent += 1
+        self._send(
+            to, (MSG_PREFIX, kind, cluster_id, tag, value), self.priority_fn(tag)
+        )
+
+    # ------------------------------------------------------------------
+    def contribute(self, cluster_id: int, tag: Tag, value: Any) -> None:
+        """Provide this node's input to the instance (exactly once)."""
+        instance = self._instance(cluster_id, tag)
+        if instance.contributed:
+            raise ValueError(
+                f"node {self.node_id} double-contributes to {cluster_id}/{tag}"
+            )
+        instance.contributed = True
+        instance.value = value
+        self._maybe_forward(cluster_id, tag, instance)
+
+    def result_of(self, cluster_id: int, tag: Tag) -> Optional[Any]:
+        key = (cluster_id, tag)
+        instance = self._instances.get(key)
+        return instance.result if instance is not None and instance.done else None
+
+    # ------------------------------------------------------------------
+    def _maybe_forward(self, cluster_id: int, tag: Tag, instance: _InstanceState) -> None:
+        if instance.sent_up or not instance.contributed:
+            return
+        view = self.clusters[cluster_id]
+        if set(instance.child_values) != set(view.children):
+            return
+        merge = self.merge_fn(tag)
+        combined = instance.value
+        for child in view.children:
+            combined = merge(combined, instance.child_values[child])
+        instance.sent_up = True
+        if view.is_root:
+            self._finish(cluster_id, tag, instance, combined)
+        else:
+            self._emit(view.parent, "up", cluster_id, tag, combined)
+
+    def _finish(self, cluster_id: int, tag: Tag, instance: _InstanceState, result: Any) -> None:
+        instance.result = result
+        instance.done = True
+        view = self.clusters[cluster_id]
+        for child in view.children:
+            self._emit(child, "down", cluster_id, tag, result)
+        self.on_result(cluster_id, tag, result)
+
+    # ------------------------------------------------------------------
+    def handle(self, sender: NodeId, payload: Tuple) -> bool:
+        if not (isinstance(payload, tuple) and payload and payload[0] == MSG_PREFIX):
+            return False
+        _, kind, cluster_id, tag, value = payload
+        instance = self._instance(cluster_id, tag)
+        if kind == "up":
+            if sender in instance.child_values:
+                raise ValueError(
+                    f"duplicate convergecast value from {sender} in"
+                    f" {cluster_id}/{tag}"
+                )
+            instance.child_values[sender] = value
+            self._maybe_forward(cluster_id, tag, instance)
+        elif kind == "down":
+            self._finish(cluster_id, tag, instance, value)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown aggregate message kind {kind!r}")
+        return True
+
+
+def and_merge(a: Any, b: Any) -> Any:
+    return bool(a) and bool(b)
+
+
+def min_merge(a: Any, b: Any) -> Any:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)

@@ -1,0 +1,96 @@
+"""Pulse arithmetic (Definitions 4.3–4.5 and Lemmas 4.7/4.13/4.14/4.16).
+
+The synchronizer schedules its per-pulse stages using the dyadic structure of
+pulse numbers: the *level* ``l(p)`` of a pulse is the exponent of the largest
+power of two dividing it, and ``prev(p)`` is the nearest strictly-higher-level
+pulse at distance at least ``2^l(p)`` below ``p``.  Safety information for
+pulse ``p`` is collected at nodes of pulse ``prev(prev(p))``, and the
+registration for pulse ``p`` happens in the sparse ``2^{l(p)+5}``-cover.
+
+All functions here are pure and integer-only; the property tests pin the
+paper's inequalities exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+INFINITE_LEVEL = float("inf")
+
+#: Registration for pulse p uses the sparse 2^(l(p) + COVER_LEVEL_OFFSET)-cover
+#: (Section 4.1.2).
+COVER_LEVEL_OFFSET = 5
+
+
+def level(p: int) -> float:
+    """Level l(p): exponent of the largest power of 2 dividing p; inf for 0."""
+    if p < 0:
+        raise ValueError(f"pulse must be non-negative, got {p}")
+    if p == 0:
+        return INFINITE_LEVEL
+    return (p & -p).bit_length() - 1
+
+
+def prev(p: int) -> int:
+    """Definition 4.4: the largest pulse of level ``l(p)+1`` at most ``p - 2^l(p)``.
+
+    Returns 0 when no such positive pulse exists; ``prev(0) = 0``.
+    """
+    if p < 0:
+        raise ValueError(f"pulse must be non-negative, got {p}")
+    if p == 0:
+        return 0
+    lev = int(level(p))
+    target_level = lev + 1
+    ceiling = p - (1 << lev)
+    block = 1 << target_level
+    multiple = ceiling // block
+    if multiple <= 0:
+        return 0
+    if multiple % 2 == 0:
+        multiple -= 1
+    if multiple <= 0:
+        return 0
+    return multiple * block
+
+
+def prev_prev(p: int) -> int:
+    """``prev(prev(p))`` — where pulse-p safety information is collected."""
+    return prev(prev(p))
+
+
+def cover_level(p: int) -> int:
+    """The cover layer used for pulse-p registration: ``l(p) + 5``."""
+    if p <= 0:
+        raise ValueError("cover level defined for positive pulses only")
+    return int(level(p)) + COVER_LEVEL_OFFSET
+
+
+def pulses_up_to(max_pulse: int) -> range:
+    """All positive pulses the machinery runs stages for."""
+    return range(1, max_pulse + 1)
+
+
+def registration_pulses_at(w: int, max_pulse: int) -> List[int]:
+    """All pulses ``p <= max_pulse`` with ``prev_prev(p) == w``.
+
+    A node of pulse ``w`` p-registers/p-deregisters exactly for these pulses
+    (Section 4.1.2).  Lemma 4.14 bounds their number by ``O(log max_pulse)``.
+    """
+    return [p for p in pulses_up_to(max_pulse) if prev_prev(p) == w]
+
+
+def source_pulses(max_pulse: int) -> List[int]:
+    """Pulses with ``prev_prev(p) == 0`` — handled by the multi-source
+    convergecast registration of Section 4.2.  Lemma 4.16: O(log max_pulse)."""
+    return registration_pulses_at(0, max_pulse)
+
+
+def gating_pulses_at(w: int, max_pulse: int) -> List[int]:
+    """All pulses ``p <= max_pulse`` with ``prev(p) == w``.
+
+    While the ``w``-safety convergecast passes through a node of pulse
+    ``prev(w)``, that node must first p-register for each of these ``p``
+    before forwarding the report upward.
+    """
+    return [p for p in pulses_up_to(max_pulse) if prev(p) == w]

@@ -1,0 +1,296 @@
+"""Registration / deregistration / Go-Ahead in cluster trees (Section 3.2).
+
+This is the paper's fix of the congestion bug in [AP90a]: instead of routing
+every registration to the cluster root (Omega(n) congestion on the root
+edge), registration marks the path to the root *dirty* with a recursive wave
+``R``, deregistration converts dirty marks to *waiting* with a wave ``D``,
+and the root's ``Go-Ahead`` walks back down the waiting edges.
+
+The module multiplexes many independent registration stages: state is keyed
+by ``(cluster_id, tag)`` where the tag is the pulse number (one stage per
+pulse, Lemma 2.5).  Messages carry a host-supplied priority so lower stages
+preempt higher ones on shared links.
+
+Guarantees implemented (and asserted by the tests verbatim):
+
+* Register Guarantee 1 (Lemma 3.4): when ``v`` receives Go-Ahead, every node
+  that registered before ``v`` deregistered has already deregistered;
+  registration/deregistration cost O(h) time and messages.
+* Register Guarantee 2 (Lemma 3.5): once registrations stop and all
+  registered nodes have deregistered, every registered node receives its
+  Go-Ahead within O(h) time, with Go-Ahead messages proportional to
+  registration traffic (each Go-Ahead message consumes one waiting mark).
+
+One deviation from the paper's prose, required for message-passing
+correctness (see DESIGN.md §5): ``D(u)`` also terminates immediately while
+``u``'s *own* registration is still in flight (state ``registering``) — the
+paper's "if u is still registered" check starts one message too late
+otherwise, and a deregistration wave could erase the dirty mark that ``u``'s
+pending registration depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..net.graph import NodeId
+
+# Edge marks (our node's view of the edge to parent / to each child).
+CLEAN = "clean"
+DIRTY = "dirty"
+WAITING = "waiting"
+
+# Node registration lifecycle per (cluster, tag).
+NONE = "none"
+REGISTERING = "registering"
+REGISTERED = "registered"
+DEREGISTERED = "deregistered"
+FREE = "free"
+
+MSG_PREFIX = "reg"
+
+Tag = Any
+Key = Tuple[int, Tag]
+SendFn = Callable[[NodeId, Tuple, Any], None]
+
+
+@dataclass
+class _StageState:
+    """Per-(cluster, tag) registration state at one node."""
+
+    state: str = NONE
+    finished: bool = False
+    parent_mark: str = CLEAN
+    child_marks: Dict[NodeId, str] = field(default_factory=dict)
+    r_in_flight: bool = False
+    pending_child_invokers: List[NodeId] = field(default_factory=list)
+    local_pending: bool = False
+
+
+@dataclass(frozen=True)
+class ClusterView:
+    """One node's local view of one cluster tree."""
+
+    cluster_id: int
+    parent: Optional[NodeId]  # None iff this node is the root
+    children: Tuple[NodeId, ...]
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+
+class RegistrationModule:
+    """Per-node engine for Section 3.2, multiplexed over (cluster, tag) stages.
+
+    Host protocol contract:
+
+    * route every message whose payload starts with ``"reg"`` to
+      :meth:`handle`;
+    * call :meth:`register` / :meth:`deregister` at most once each per
+      (cluster, tag);
+    * supply ``priority_fn(tag)`` mapping a tag to the link priority of its
+      stage, and the two callbacks.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        clusters: Dict[int, ClusterView],
+        send: SendFn,
+        on_registered: Callable[[int, Tag], None],
+        on_go_ahead: Callable[[int, Tag], None],
+        priority_fn: Callable[[Tag], Any],
+    ) -> None:
+        self.node_id = node_id
+        self.clusters = clusters
+        self._send = send
+        self.on_registered = on_registered
+        self.on_go_ahead = on_go_ahead
+        self.priority_fn = priority_fn
+        self._stages: Dict[Key, _StageState] = {}
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------
+    def _stage(self, cluster_id: int, tag: Tag) -> _StageState:
+        key = (cluster_id, tag)
+        stage = self._stages.get(key)
+        if stage is None:
+            if cluster_id not in self.clusters:
+                raise ValueError(
+                    f"node {self.node_id} is not in cluster {cluster_id}"
+                )
+            stage = _StageState(finished=self.clusters[cluster_id].is_root)
+            self._stages[key] = stage
+        return stage
+
+    def _emit(self, to: NodeId, kind: str, cluster_id: int, tag: Tag) -> None:
+        self.messages_sent += 1
+        self._send(to, (MSG_PREFIX, kind, cluster_id, tag), self.priority_fn(tag))
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+    def register(self, cluster_id: int, tag: Tag) -> None:
+        """Start registering this node; ``on_registered`` fires when done."""
+        stage = self._stage(cluster_id, tag)
+        if stage.state != NONE:
+            raise ValueError(
+                f"node {self.node_id} double-registers in {cluster_id}/{tag}"
+            )
+        stage.state = REGISTERING
+        if stage.finished:
+            stage.state = REGISTERED
+            self.on_registered(cluster_id, tag)
+            return
+        stage.local_pending = True
+        self._invoke_r(cluster_id, tag, stage)
+
+    def deregister(self, cluster_id: int, tag: Tag) -> None:
+        """Mark deregistered and launch the D wave; Go-Ahead arrives later."""
+        stage = self._stage(cluster_id, tag)
+        if stage.state != REGISTERED:
+            raise ValueError(
+                f"node {self.node_id} deregisters in {cluster_id}/{tag}"
+                f" from state {stage.state!r}"
+            )
+        stage.state = DEREGISTERED
+        view = self.clusters[cluster_id]
+        if view.is_root:
+            self._root_maybe_go_ahead(cluster_id, tag, stage)
+        else:
+            self._run_d(cluster_id, tag, stage)
+
+    def state_of(self, cluster_id: int, tag: Tag) -> str:
+        key = (cluster_id, tag)
+        return self._stages[key].state if key in self._stages else NONE
+
+    # ------------------------------------------------------------------
+    # R wave
+    # ------------------------------------------------------------------
+    def _invoke_r(self, cluster_id: int, tag: Tag, stage: _StageState) -> None:
+        if stage.r_in_flight:
+            return
+        view = self.clusters[cluster_id]
+        stage.parent_mark = DIRTY
+        stage.r_in_flight = True
+        self._emit(view.parent, "reg_up", cluster_id, tag)
+
+    def _handle_reg_up(self, child: NodeId, cluster_id: int, tag: Tag) -> None:
+        stage = self._stage(cluster_id, tag)
+        stage.child_marks[child] = DIRTY
+        if stage.finished:
+            self._emit(child, "reg_done", cluster_id, tag)
+            return
+        stage.pending_child_invokers.append(child)
+        self._invoke_r(cluster_id, tag, stage)
+
+    def _handle_reg_done(self, parent: NodeId, cluster_id: int, tag: Tag) -> None:
+        stage = self._stage(cluster_id, tag)
+        stage.r_in_flight = False
+        # The parent's subtree-path to the root is dirty, hence so is ours.
+        stage.finished = True
+        for child in stage.pending_child_invokers:
+            self._emit(child, "reg_done", cluster_id, tag)
+        stage.pending_child_invokers.clear()
+        if stage.local_pending:
+            stage.local_pending = False
+            stage.state = REGISTERED
+            self.on_registered(cluster_id, tag)
+
+    # ------------------------------------------------------------------
+    # D wave
+    # ------------------------------------------------------------------
+    def _run_d(self, cluster_id: int, tag: Tag, stage: _StageState) -> None:
+        view = self.clusters[cluster_id]
+        if any(mark == DIRTY for mark in stage.child_marks.values()):
+            return
+        if view.is_root:
+            return
+        if stage.state in (REGISTERING, REGISTERED):
+            return
+        if stage.parent_mark != DIRTY:
+            # A D wave may arrive after our parent edge already turned
+            # waiting (duplicate wave through another child); nothing to do.
+            return
+        stage.parent_mark = WAITING
+        stage.finished = False
+        self._emit(view.parent, "dereg", cluster_id, tag)
+
+    def _handle_dereg(self, child: NodeId, cluster_id: int, tag: Tag) -> None:
+        stage = self._stage(cluster_id, tag)
+        stage.child_marks[child] = WAITING
+        view = self.clusters[cluster_id]
+        if view.is_root:
+            self._root_maybe_go_ahead(cluster_id, tag, stage)
+        else:
+            self._run_d(cluster_id, tag, stage)
+
+    # ------------------------------------------------------------------
+    # Go-Ahead wave
+    # ------------------------------------------------------------------
+    def _root_maybe_go_ahead(
+        self, cluster_id: int, tag: Tag, stage: _StageState
+    ) -> None:
+        if any(mark == DIRTY for mark in stage.child_marks.values()):
+            return
+        if stage.state in (REGISTERING, REGISTERED):
+            # The root's own registration holds the cluster open.
+            return
+        self._run_g(cluster_id, tag, stage)
+
+    def _run_g(self, cluster_id: int, tag: Tag, stage: _StageState) -> None:
+        if stage.state == DEREGISTERED:
+            stage.state = FREE
+            self.on_go_ahead(cluster_id, tag)
+        for child, mark in sorted(stage.child_marks.items()):
+            if mark == WAITING:
+                stage.child_marks[child] = CLEAN
+                self._emit(child, "go_ahead", cluster_id, tag)
+
+    def _handle_go_ahead(self, parent: NodeId, cluster_id: int, tag: Tag) -> None:
+        stage = self._stage(cluster_id, tag)
+        if stage.parent_mark != WAITING:
+            # A registration wave re-dirtied this edge while the Go-Ahead was
+            # in flight; drop it — a newer Go-Ahead will follow (Lemma 3.5's
+            # case analysis).
+            return
+        stage.parent_mark = CLEAN
+        self._run_g(cluster_id, tag, stage)
+
+    # ------------------------------------------------------------------
+    def handle(self, sender: NodeId, payload: Tuple) -> bool:
+        """Process one registration message; returns False if not ours."""
+        if not (isinstance(payload, tuple) and payload and payload[0] == MSG_PREFIX):
+            return False
+        _, kind, cluster_id, tag = payload
+        if kind == "reg_up":
+            self._handle_reg_up(sender, cluster_id, tag)
+        elif kind == "reg_done":
+            self._handle_reg_done(sender, cluster_id, tag)
+        elif kind == "dereg":
+            self._handle_dereg(sender, cluster_id, tag)
+        elif kind == "go_ahead":
+            self._handle_go_ahead(sender, cluster_id, tag)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown registration message kind {kind!r}")
+        return True
+
+
+def cluster_views_for(
+    cover_clusters: Dict[int, "object"], node_id: NodeId
+) -> Dict[int, ClusterView]:
+    """Extract this node's :class:`ClusterView` for every tree it appears in.
+
+    ``cover_clusters`` maps cluster id to a :class:`~repro.covers.ClusterTree`.
+    """
+    views: Dict[int, ClusterView] = {}
+    for cid, tree in cover_clusters.items():
+        if node_id in tree.parent:
+            views[cid] = ClusterView(
+                cluster_id=cid,
+                parent=tree.parent[node_id],
+                children=tree.children.get(node_id, ()),
+            )
+    return views

@@ -1,0 +1,88 @@
+"""Node-local views of a layered sparse cover.
+
+The asynchronous machinery needs, per node: which cluster trees it sits on
+(parent/children per cluster, for the registration and aggregation waves) and
+which clusters it is a *member* of per level (for "register in all clusters
+of the 2^{l(p)+5}-cover that contain v").  :class:`CoverRegistry` assigns
+globally unique cluster ids across levels and precomputes those views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..covers.cluster import ClusterTree
+from ..covers.cover import LayeredCover
+from ..net.graph import NodeId
+from .registration import ClusterView
+
+
+@dataclass(frozen=True)
+class GlobalCluster:
+    global_id: int
+    level: int
+    tree: ClusterTree
+
+
+class CoverRegistry:
+    """Level-indexed, globally-id'd view of a :class:`LayeredCover`."""
+
+    def __init__(self, layered: LayeredCover) -> None:
+        self.layered = layered
+        self._clusters: Dict[int, GlobalCluster] = {}
+        self._by_level: Dict[int, List[int]] = {}
+        self._member_of: Dict[Tuple[NodeId, int], List[int]] = {}
+        self._views: Dict[NodeId, Dict[int, ClusterView]] = {}
+        next_id = 0
+        for level in sorted(layered.levels):
+            cover = layered.levels[level]
+            ids: List[int] = []
+            for tree in cover.clusters:
+                gc = GlobalCluster(global_id=next_id, level=level, tree=tree)
+                self._clusters[next_id] = gc
+                ids.append(next_id)
+                for v in tree.parent:
+                    self._views.setdefault(v, {})[next_id] = ClusterView(
+                        cluster_id=next_id,
+                        parent=tree.parent[v],
+                        children=tree.children.get(v, ()),
+                    )
+                for v in tree.members:
+                    self._member_of.setdefault((v, level), []).append(next_id)
+                next_id += 1
+            self._by_level[level] = ids
+
+    @property
+    def top_level(self) -> int:
+        return self.layered.top_level
+
+    def clamp_level(self, level: int) -> int:
+        """Clamp a requested cover level into the available range."""
+        return min(max(level, min(self._by_level)), self.top_level)
+
+    def cluster(self, global_id: int) -> GlobalCluster:
+        return self._clusters[global_id]
+
+    def clusters_at_level(self, level: int) -> List[int]:
+        return list(self._by_level[self.clamp_level(level)])
+
+    def views_of(self, node: NodeId) -> Dict[int, ClusterView]:
+        """Every cluster tree this node participates in (member or Steiner)."""
+        return dict(self._views.get(node, {}))
+
+    def member_clusters(self, node: NodeId, level: int) -> List[int]:
+        """Global ids of clusters at ``level`` that contain ``node``."""
+        return list(self._member_of.get((node, self.clamp_level(level)), ()))
+
+    def tree_clusters_of(self, node: NodeId, level: int) -> List[int]:
+        """Clusters at ``level`` whose tree passes through ``node``."""
+        lvl = self.clamp_level(level)
+        return [
+            cid
+            for cid, view in self._views.get(node, {}).items()
+            if self._clusters[cid].level == lvl
+        ]
+
+    def is_member(self, node: NodeId, global_id: int) -> bool:
+        return node in self._clusters[global_id].tree.members

@@ -1,0 +1,543 @@
+"""The deterministic synchronizer for event-driven algorithms (Section 5).
+
+Given any event-driven synchronous program (:class:`~repro.net.program.ProgramSpec`)
+and a layered sparse cover for a known bound on its round complexity
+(the Theorem 5.3/5.5 setting), this module produces an asynchronous execution
+whose per-node message history is *identical* to the synchronous one.
+
+Mechanics, mirroring the thresholded-BFS machinery over *virtual nodes*
+``(v, p)`` (Section 5.2/5.3):
+
+* A physical node evaluates pulse ``p`` — feeding its program the batch of
+  pulse-``p-1`` messages — only upon receiving Go-Ahead(p); Lemma 5.1
+  guarantees every pulse-``p-1`` message has arrived by then (asserted at
+  runtime as a machinery oracle).
+* If the evaluation sends messages, the virtual node ``(v, p)`` is created;
+  it picks a parent among the pulse-``p-1`` virtual nodes that triggered it
+  and answers chosen/not-chosen to all of them.
+* Safety/emptiness flows, gate registrations (in the ``2^{l(p)+5}``-covers),
+  terminus deregistrations and Go-Ahead releases run on the execution forest
+  exactly as in BFS, with two adaptations documented in DESIGN.md §5:
+  safety is established from transport acknowledgments (``on_delivered``)
+  rather than from the chosen/not-chosen answers, and leaf emptiness is the
+  monotone over-approximation "this virtual node sent messages".
+* Pulses with ``prev(prev(p)) = 0`` use the Section 4.2 convergecast base
+  case; initiators hold their pulse-0 sends until every such barrier
+  completes.
+
+There is no checking stage (Section 5.3: "we do not require any termination
+of this form"): nodes output whenever their program does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..net.async_runtime import AsyncResult, AsyncRuntime, Process, ProcessContext
+from ..net.delays import DelayModel
+from ..net.graph import Graph, NodeId
+from ..net.program import ArrivedBatch, NodeInfo, ProgramSpec, PulseApi
+from ..net.sync_runtime import run_synchronous
+from .bfs_runner import registry_for_threshold
+from .cluster_ops import ClusterAggregateModule, and_merge
+from .pulse import cover_level, gating_pulses_at, prev, prev_prev, source_pulses
+from .registration import RegistrationModule
+from .registry import CoverRegistry
+
+
+@dataclass
+class _VFlow:
+    reports: Dict[NodeId, bool] = field(default_factory=dict)
+    self_report: Optional[bool] = None
+    assembled: bool = False
+    empty: Optional[bool] = None
+    gate_wait: int = 0
+    gate_done: bool = False
+
+
+@dataclass
+class _VNode:
+    """State of virtual node (v, pulse) held by physical node v."""
+
+    pulse: int
+    parent: Optional[NodeId]  # physical id of parent (v, pulse-1); None = self/root
+    parent_is_self: bool
+    recipients: Tuple[NodeId, ...] = ()
+    payloads: Tuple[Tuple[NodeId, Any], ...] = ()
+    sends_pending: int = 0
+    released: bool = False
+    sent: bool = False
+    answers_pending: Set[Any] = field(default_factory=set)
+    children: List[NodeId] = field(default_factory=list)
+    self_child: bool = False
+    flows: Dict[int, _VFlow] = field(default_factory=dict)
+    ga_released: Set[int] = field(default_factory=set)
+
+    def flow(self, q: int) -> _VFlow:
+        f = self.flows.get(q)
+        if f is None:
+            f = _VFlow()
+            self.flows[q] = f
+        return f
+
+    @property
+    def answers_done(self) -> bool:
+        return not self.answers_pending
+
+
+class SynchronizerNode:
+    """Per-node engine: program execution + the pulse machinery."""
+
+    SELF = "_self"
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        info: NodeInfo,
+        program_factory,
+        is_initiator: bool,
+        registry: CoverRegistry,
+        max_pulse: int,
+        send,  # (to, payload, priority_tuple) -> None
+        set_output,  # (value) -> None
+    ) -> None:
+        if max_pulse < 1 or max_pulse & (max_pulse - 1):
+            raise ValueError("max_pulse must be a power of two")
+        self.node_id = node_id
+        self.info = info
+        self.program = program_factory(info)
+        self.is_initiator = is_initiator
+        self.registry = registry
+        self.max_pulse = max_pulse
+        self._send = send
+        self.set_output = set_output
+
+        views = registry.views_of(node_id)
+        self.reg = RegistrationModule(
+            node_id=node_id,
+            clusters=views,
+            send=lambda to, payload, stage: self._send(to, payload, (int(stage),)),
+            on_registered=self._on_registered,
+            on_go_ahead=self._on_cluster_go_ahead,
+            priority_fn=lambda tag: tag,
+        )
+        self.agg = ClusterAggregateModule(
+            node_id=node_id,
+            clusters=views,
+            send=lambda to, payload, stage: self._send(to, payload, (int(stage),)),
+            on_result=self._on_agg_result,
+            merge_fn=lambda tag: and_merge,
+            priority_fn=lambda tag: tag[1],
+        )
+
+        self.vnodes: Dict[int, _VNode] = {}
+        self.arrived: Dict[int, List[Tuple[NodeId, Any]]] = {}
+        self.evaluated: Set[int] = set()
+        self.base_pulses = source_pulses(max_pulse)
+        self._sreg_pending: Dict[int, Set[int]] = {}
+        self._sdereg_pending: Dict[int, Set[int]] = {}
+        self._reg_pending: Dict[int, int] = {}
+        self._registered: Set[int] = set()
+        self._awaiting_dereg: Set[int] = set()
+        self._goahead_pending: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _level_for(self, p: int) -> int:
+        return self.registry.clamp_level(cover_level(p))
+
+    def start(self) -> None:
+        """Pulse 0: initiators evaluate; everyone contributes base barriers."""
+        root_sends: List[Tuple[NodeId, Any]] = []
+        if self.is_initiator:
+            api = PulseApi(self.info)
+            self.program.on_start(api)
+            sends, has_output, value = api.collect()
+            if has_output:
+                self.set_output(value)
+            root_sends = sends
+        self.evaluated.add(0)
+        is_origin = bool(root_sends)
+        if is_origin:
+            vnode = _VNode(pulse=0, parent=None, parent_is_self=False)
+            vnode.recipients = tuple(to for to, _ in root_sends)
+            vnode.payloads = tuple(root_sends)
+            self.vnodes[0] = vnode
+            for p in self.base_pulses:
+                members = set(
+                    self.registry.member_clusters(self.node_id, self._level_for(p))
+                )
+                self._sreg_pending[p] = set(members)
+                self._sdereg_pending[p] = set(members)
+        for p in self.base_pulses:
+            lvl = self._level_for(p)
+            for cid in self.registry.tree_clusters_of(self.node_id, lvl):
+                origin_member = is_origin and self.registry.is_member(self.node_id, cid)
+                self.agg.contribute(cid, ("sreg", p), True)
+                if not origin_member:
+                    self.agg.contribute(cid, ("sdereg", p), True)
+        self._maybe_origin_send()
+
+    def _maybe_origin_send(self) -> None:
+        vnode = self.vnodes.get(0)
+        if (
+            vnode is not None
+            and not vnode.sent
+            and all(not pending for pending in self._sreg_pending.values())
+        ):
+            self._do_sends(vnode)
+
+    # ------------------------------------------------------------------
+    # sending and evaluation
+    # ------------------------------------------------------------------
+    def _do_sends(self, vnode: _VNode) -> None:
+        if vnode.sent:
+            return
+        vnode.sent = True
+        vnode.sends_pending = len(vnode.payloads)
+        vnode.answers_pending = set(vnode.recipients)
+        vnode.answers_pending.add(self.SELF)
+        for to, payload in vnode.payloads:
+            self._send(to, ("app", vnode.pulse, payload), (vnode.pulse + 1,))
+        if vnode.sends_pending == 0:  # pragma: no cover - origins always send
+            self._vnode_safe(vnode)
+
+    def on_delivered(self, to: NodeId, payload: Tuple) -> None:
+        if payload[0] != "app":
+            return
+        vnode = self.vnodes[payload[1]]
+        vnode.sends_pending -= 1
+        if vnode.sends_pending == 0:
+            self._vnode_safe(vnode)
+
+    def _vnode_safe(self, vnode: _VNode) -> None:
+        """All of (v, w)'s messages are delivered: emit the flow-(w+1) leaf
+        report (emptiness over-approximated as 'has recipients')."""
+        q = vnode.pulse + 1
+        if q <= self.max_pulse:
+            self._flow_assembled(vnode, q, empty=False)
+
+    def _evaluate(self, p: int) -> None:
+        if p in self.evaluated:
+            return
+        self.evaluated.add(p)
+        batch: ArrivedBatch = tuple(sorted(self.arrived.get(p - 1, ())))
+        api = PulseApi(self.info)
+        self.program.on_pulse(api, batch)
+        sends, has_output, value = api.collect()
+        if sends and p >= self.max_pulse:
+            raise RuntimeError(
+                f"program sends at pulse {p}, exceeding the declared pulse"
+                f" bound {self.max_pulse} (Theorem 5.5 needs T(A) known)"
+            )
+        if has_output:
+            self.set_output(value)
+        senders = sorted({u for u, _ in batch})
+        prev_vnode = self.vnodes.get(p - 1)
+        chosen_parent: Optional[NodeId] = None
+        parent_is_self = False
+        if sends:
+            if senders:
+                chosen_parent = senders[0]
+            elif prev_vnode is not None:
+                parent_is_self = True
+            else:
+                raise RuntimeError(
+                    f"node {self.node_id} sent at pulse {p} without any"
+                    " pulse-{p-1} trigger: the program is not event-driven"
+                )
+            vnode = _VNode(
+                pulse=p, parent=chosen_parent, parent_is_self=parent_is_self
+            )
+            vnode.recipients = tuple(to for to, _ in sends)
+            vnode.payloads = tuple(sends)
+            self.vnodes[p] = vnode
+            self._do_sends(vnode)
+        # Chosen/not-chosen answers close the parents' child sets.
+        for u in senders:
+            self._send(
+                u, ("child_ans", p, u == chosen_parent), (p,)
+            )
+        if prev_vnode is not None:
+            self._child_answer(prev_vnode, self.SELF, sends and parent_is_self)
+
+    def _handle_app(self, sender: NodeId, p: int, payload: Any) -> None:
+        if p + 1 in self.evaluated:
+            raise AssertionError(
+                f"node {self.node_id} received a pulse-{p} message after"
+                f" evaluating pulse {p + 1} — Lemma 5.1 violated"
+            )
+        self.arrived.setdefault(p, []).append((sender, payload))
+
+    # ------------------------------------------------------------------
+    # execution-forest child answers and flows
+    # ------------------------------------------------------------------
+    def _handle_child_answer(self, sender: NodeId, p: int, chosen: bool) -> None:
+        vnode = self.vnodes[p - 1]
+        self._child_answer(vnode, sender, chosen)
+
+    def _child_answer(self, vnode: _VNode, who: Any, chosen: bool) -> None:
+        if who not in vnode.answers_pending:
+            raise AssertionError(
+                f"unexpected child answer from {who} at ({self.node_id},"
+                f" {vnode.pulse})"
+            )
+        vnode.answers_pending.discard(who)
+        if chosen:
+            if who == self.SELF:
+                vnode.self_child = True
+            else:
+                vnode.children.append(who)
+        if vnode.answers_done:
+            for q in list(vnode.flows):
+                self._try_assemble(vnode, q)
+            for q in range(vnode.pulse + 2, self.max_pulse + 1):
+                if prev_prev(q) <= vnode.pulse:
+                    self._try_assemble(vnode, q)
+
+    def _handle_vflow(self, sender: NodeId, parent_pulse: int, q: int, empty: bool) -> None:
+        vnode = self.vnodes[parent_pulse]
+        flow = vnode.flow(q)
+        if sender in flow.reports:
+            raise AssertionError(f"duplicate flow report from {sender}")
+        flow.reports[sender] = empty
+        self._try_assemble(vnode, q)
+
+    def _self_flow_report(self, vnode: _VNode, q: int, empty: bool) -> None:
+        flow = vnode.flow(q)
+        flow.self_report = empty
+        self._try_assemble(vnode, q)
+
+    def _try_assemble(self, vnode: _VNode, q: int) -> None:
+        flow = vnode.flow(q)
+        if flow.assembled or not vnode.answers_done:
+            return
+        if q == vnode.pulse + 1:
+            return  # leaf path (delivery confirmations) assembles this one
+        if not set(flow.reports) >= set(vnode.children):
+            return
+        if vnode.self_child and flow.self_report is None:
+            return
+        parts = [flow.reports[c] for c in vnode.children]
+        if vnode.self_child:
+            parts.append(flow.self_report)
+        empty = all(parts) if parts else True
+        self._flow_assembled(vnode, q, empty)
+
+    def _flow_assembled(self, vnode: _VNode, q: int, empty: bool) -> None:
+        flow = vnode.flow(q)
+        if flow.assembled:
+            return
+        flow.assembled = True
+        flow.empty = empty
+        if vnode.pulse == prev(q) and vnode.pulse > 0 and not empty:
+            gates = []
+            for p in gating_pulses_at(q, self.max_pulse):
+                cids = self.registry.member_clusters(self.node_id, self._level_for(p))
+                if not cids:  # pragma: no cover
+                    continue
+                self._reg_pending[p] = len(cids)
+                flow.gate_wait += 1
+                gates.append((p, cids))
+            for p, cids in gates:
+                for cid in cids:
+                    self.reg.register(cid, p)
+        if flow.gate_wait == 0:
+            self._after_gate(vnode, q)
+
+    def _on_registered(self, cid: int, p: int) -> None:
+        self._reg_pending[p] -= 1
+        if self._reg_pending[p] > 0:
+            return
+        self._registered.add(p)
+        if p in self._awaiting_dereg:
+            self._awaiting_dereg.discard(p)
+            self._do_deregister(p)
+        q = prev(p)
+        vnode = self.vnodes.get(prev_prev(p))
+        if vnode is None:  # pragma: no cover - gate must exist
+            return
+        flow = vnode.flow(q)
+        flow.gate_wait -= 1
+        if flow.gate_wait == 0 and flow.assembled:
+            self._after_gate(vnode, q)
+
+    def _after_gate(self, vnode: _VNode, q: int) -> None:
+        flow = vnode.flow(q)
+        if flow.gate_done:
+            return
+        flow.gate_done = True
+        if vnode.pulse == prev_prev(q):
+            self._terminus(vnode, q, flow)
+        elif vnode.parent_is_self:
+            self._self_flow_report(self.vnodes[vnode.pulse - 1], q, flow.empty)
+        else:
+            self._send(
+                vnode.parent, ("vflow", vnode.pulse - 1, q, flow.empty), (q,)
+            )
+
+    def _terminus(self, vnode: _VNode, q: int, flow: _VFlow) -> None:
+        if vnode.pulse == 0:
+            for cid in list(self._sdereg_pending.get(q, ())):
+                self.agg.contribute(cid, ("sdereg", q), True)
+            if not self._sdereg_pending.get(q):
+                self._release_down(vnode, q)
+            return
+        if q in self._registered:
+            self._do_deregister(q)
+        elif self._reg_pending.get(q, 0) > 0:
+            self._awaiting_dereg.add(q)
+        else:
+            assert flow.empty, "non-empty terminus without registration"
+
+    def _do_deregister(self, q: int) -> None:
+        cids = self.registry.member_clusters(self.node_id, self._level_for(q))
+        self._goahead_pending[q] = set(cids)
+        for cid in cids:
+            self.reg.deregister(cid, q)
+
+    def _on_cluster_go_ahead(self, cid: int, q: int) -> None:
+        pending = self._goahead_pending.get(q)
+        if pending is None:
+            return
+        pending.discard(cid)
+        if not pending:
+            vnode = self.vnodes[prev_prev(q)]
+            self._release_down(vnode, q)
+
+    # ------------------------------------------------------------------
+    # Go-Ahead propagation down the forest
+    # ------------------------------------------------------------------
+    def _release_down(self, vnode: _VNode, q: int) -> None:
+        if q in vnode.ga_released:
+            return
+        vnode.ga_released.add(q)
+        if vnode.pulse == q - 1:
+            for to in sorted(set(vnode.recipients)):
+                self._send(to, ("vrelease", q), (q,))
+            self._evaluate(q)  # a pulse-(q-1) sender is itself triggered
+            return
+        flow = vnode.flow(q)
+        for c in vnode.children:
+            if flow.reports.get(c) is False:
+                self._send(c, ("vga", q, vnode.pulse + 1), (q,))
+        if vnode.self_child and flow.self_report is False:
+            self._release_down(self.vnodes[vnode.pulse + 1], q)
+
+    def _handle_vga(self, q: int, target_pulse: int) -> None:
+        self._release_down(self.vnodes[target_pulse], q)
+
+    def _handle_vrelease(self, q: int) -> None:
+        self._evaluate(q)
+
+    # ------------------------------------------------------------------
+    def _on_agg_result(self, cid: int, tag: Tuple, result: Any) -> None:
+        kind, p = tag
+        if kind == "sreg":
+            pending = self._sreg_pending.get(p)
+            if pending is not None and cid in pending:
+                pending.discard(cid)
+                self._maybe_origin_send()
+        elif kind == "sdereg":
+            pending = self._sdereg_pending.get(p)
+            if pending is None or cid not in pending:
+                return
+            pending.discard(cid)
+            vnode = self.vnodes.get(0)
+            if not pending and vnode is not None:
+                flow = vnode.flows.get(p)
+                if flow is not None and flow.assembled:
+                    self._release_down(vnode, p)
+        else:  # pragma: no cover
+            raise ValueError(f"unknown aggregate tag {tag!r}")
+
+    # ------------------------------------------------------------------
+    def handle(self, sender: NodeId, payload: Tuple) -> None:
+        kind = payload[0]
+        if kind == "reg":
+            self.reg.handle(sender, payload)
+        elif kind == "agg":
+            self.agg.handle(sender, payload)
+        elif kind == "app":
+            self._handle_app(sender, payload[1], payload[2])
+        elif kind == "child_ans":
+            self._handle_child_answer(sender, payload[1], payload[2])
+        elif kind == "vflow":
+            self._handle_vflow(sender, payload[1], payload[2], payload[3])
+        elif kind == "vga":
+            self._handle_vga(payload[1], payload[2])
+        elif kind == "vrelease":
+            self._handle_vrelease(payload[1])
+        else:
+            raise ValueError(f"unknown synchronizer message {payload!r}")
+
+
+class SynchronizerProcess(Process):
+    spec: ProgramSpec
+    registry: CoverRegistry
+    max_pulse: int
+    initiators: FrozenSet[NodeId]
+    infos: Dict[NodeId, NodeInfo]
+
+    def __init__(self, ctx: ProcessContext) -> None:
+        super().__init__(ctx)
+        self.node = SynchronizerNode(
+            node_id=ctx.node_id,
+            info=self.infos[ctx.node_id],
+            program_factory=self.spec.node_factory,
+            is_initiator=ctx.node_id in self.initiators,
+            registry=self.registry,
+            max_pulse=self.max_pulse,
+            send=lambda to, payload, priority: ctx.send(to, payload, priority),
+            set_output=lambda value: ctx.set_output(value),
+        )
+
+    def on_start(self) -> None:
+        self.node.start()
+
+    def on_message(self, sender: NodeId, payload: Tuple) -> None:
+        self.node.handle(sender, payload)
+
+    def on_delivered(self, to: NodeId, payload: Tuple) -> None:
+        self.node.on_delivered(to, payload)
+
+
+def pulse_bound_for(graph: Graph, spec: ProgramSpec) -> int:
+    """Round bound T(A) for the Theorem 5.5 setting, measured synchronously."""
+    rounds = run_synchronous(graph, spec).rounds_total
+    return 1 << max(1, math.ceil(math.log2(max(rounds, 2))))
+
+
+def run_synchronized(
+    graph: Graph,
+    spec: ProgramSpec,
+    delay_model: DelayModel,
+    registry: Optional[CoverRegistry] = None,
+    max_pulse: Optional[int] = None,
+    builder: str = "ap",
+    max_events: int = 100_000_000,
+) -> AsyncResult:
+    """Run ``spec`` asynchronously under the deterministic synchronizer.
+
+    ``max_pulse`` is the known bound on T(A) (Theorem 5.5); when omitted it
+    is measured by one synchronous execution, which is also how the
+    benchmark harness computes overhead ratios.
+    """
+    if max_pulse is None:
+        max_pulse = pulse_bound_for(graph, spec)
+    if registry is None:
+        registry = registry_for_threshold(graph, max_pulse, builder)
+    namespace = dict(
+        spec=spec,
+        registry=registry,
+        max_pulse=max_pulse,
+        initiators=frozenset(spec.initiators(graph)),
+        infos=spec.make_infos(graph),
+    )
+    process_cls = type("BoundSynchronizer", (SynchronizerProcess,), namespace)
+    runtime = AsyncRuntime(graph, process_cls, delay_model)
+    result = runtime.run(max_events=max_events)
+    if result.stop_reason != "quiescent":
+        raise RuntimeError(f"synchronizer did not finish: {result.stop_reason}")
+    return result

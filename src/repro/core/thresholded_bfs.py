@@ -1,0 +1,469 @@
+"""Asynchronous 2^t-thresholded multi-source BFS (Sections 4.1 and 4.2).
+
+One :class:`ThresholdedBFSCore` instance per node implements the paper's
+pulse machinery, given a layered sparse cover:
+
+* Nodes join the *execution tree* by accepting the first ``join`` proposal;
+  ``pulse(v) = pulse(parent) + 1`` (Section 4.1.1).  Lemma 4.10 — which the
+  tests check against true BFS distances under every adversary — states that
+  pulses equal distances.
+* For every pulse ``q``, a *safety/emptiness flow* travels up the execution
+  tree from pulse ``q-1`` nodes to the pulse ``prev(prev(q))`` ancestor: a
+  node reports for flow ``q`` once its own join proposals are answered and
+  all children reported (Definition 4.6).
+* When flow ``q`` assembles at a node of pulse ``prev(q) > 0`` (the *gate*)
+  and is non-empty, the node p-registers — for every ``p`` with
+  ``prev(p) = q`` — in all clusters of the ``2^{l(p)+5}``-cover containing
+  it, and only then forwards the report upward.
+* When flow ``q`` assembles at the pulse ``prev(prev(q))`` ancestor (the
+  *terminus*), the node q-deregisters and waits for Go-Ahead(q) from all
+  those clusters; the Go-Ahead then walks down non-empty branches and
+  releases the pulse-q nodes' join proposals.
+* Pulses with ``prev(prev(p)) = 0`` use the Section 4.2 base case: their
+  registration is a whole-cluster convergecast completed *before any source
+  sends*, and their deregistration/Go-Ahead is likewise a convergecast whose
+  sources contribute upon p-safety.
+* The checking stage (Section 4.1.2) gathers "every source in this
+  2^t-cluster is 2^t-safe" so unreached nodes can output infinity.
+
+The threshold must be a power of two; arbitrary thresholds are provided by
+the multi-stage wrapper (Section 4.3 / Remark 4.18) in
+:mod:`repro.core.multi_stage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..net.graph import NodeId
+from .cluster_ops import ClusterAggregateModule, and_merge
+from .pulse import (
+    cover_level,
+    gating_pulses_at,
+    prev,
+    prev_prev,
+    source_pulses,
+)
+from .registration import RegistrationModule
+from .registry import CoverRegistry
+
+UNREACHED = float("inf")
+
+SendFn = Callable[[NodeId, Tuple, int], None]  # (to, payload, stage-priority)
+
+
+@dataclass
+class _Flow:
+    """Per-pulse safety/emptiness flow state at one node."""
+
+    reports: Dict[NodeId, bool] = field(default_factory=dict)
+    assembled: bool = False
+    empty: Optional[bool] = None
+    gate_wait: int = 0
+    gate_done: bool = False
+
+
+class ThresholdedBFSCore:
+    """Per-node engine for one thresholded-BFS instance.
+
+    The owner routes messages to :meth:`handle`, calls :meth:`activate` once
+    (telling the node whether it is a source), and receives the node's
+    distance (or ``None`` for "beyond threshold") via ``on_complete``.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        neighbors: Sequence[NodeId],
+        registry: CoverRegistry,
+        threshold: int,
+        send: SendFn,
+        on_complete: Callable[[Optional[int]], None],
+    ) -> None:
+        if threshold < 1 or threshold & (threshold - 1):
+            raise ValueError(f"threshold must be a power of two, got {threshold}")
+        self.node_id = node_id
+        self.neighbors = tuple(neighbors)
+        self.registry = registry
+        self.threshold = threshold
+        self.t = threshold.bit_length() - 1
+        required = cover_level(threshold)
+        if registry.top_level < min(required, self.t):
+            raise ValueError(
+                f"layered cover top level {registry.top_level} too small for"
+                f" threshold {threshold}"
+            )
+        self._send = send
+        self.on_complete = on_complete
+
+        views = registry.views_of(node_id)
+        self.reg = RegistrationModule(
+            node_id=node_id,
+            clusters=views,
+            send=self._send_module,
+            on_registered=self._on_registered,
+            on_go_ahead=self._on_cluster_go_ahead,
+            priority_fn=lambda tag: tag,  # tag is the pulse = its stage
+        )
+        self.agg = ClusterAggregateModule(
+            node_id=node_id,
+            clusters=views,
+            send=self._send_module,
+            on_result=self._on_agg_result,
+            merge_fn=lambda tag: and_merge,
+            priority_fn=self._agg_stage,
+        )
+
+        self.activated = False
+        self.is_source = False
+        self.covered = False
+        self.pulse: Optional[int] = None
+        self.parent: Optional[NodeId] = None
+        self.children: List[NodeId] = []
+        self.joins_sent = False
+        self.answers_pending = 0
+        self.answered = False
+        self.completed = False
+
+        self._flows: Dict[int, _Flow] = {}
+        self._base_pulses = [p for p in source_pulses(threshold)]
+        self._reg_pending: Dict[int, int] = {}
+        self._registered: Set[int] = set()
+        self._awaiting_dereg: Set[int] = set()
+        self._goahead_pending: Dict[int, Set[int]] = {}
+        self._released: Set[int] = set()
+        self._sreg_pending: Dict[int, Set[int]] = {}
+        self._sdereg_pending: Dict[int, Set[int]] = {}
+        self._check_pending: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _send_module(self, to: NodeId, payload: Tuple, priority: Any) -> None:
+        """Registration/aggregate sub-messages; priority is already a stage."""
+        self._send(to, payload, int(priority))
+
+    def _agg_stage(self, tag: Tuple) -> int:
+        if tag[0] in ("sreg", "sdereg"):
+            return tag[1]
+        if tag[0] == "check":
+            return self.threshold + 1
+        raise ValueError(f"unknown aggregate tag {tag!r}")  # pragma: no cover
+
+    def _flow(self, q: int) -> _Flow:
+        flow = self._flows.get(q)
+        if flow is None:
+            flow = _Flow()
+            self._flows[q] = flow
+        return flow
+
+    def _level_for(self, p: int) -> int:
+        return self.registry.clamp_level(cover_level(p))
+
+    @property
+    def check_level(self) -> int:
+        return self.registry.clamp_level(self.t)
+
+    def _participates(self, q: int) -> bool:
+        """Is this node on flow q's path (prev_prev(q) <= pulse <= q-1)?"""
+        return (
+            self.pulse is not None
+            and prev_prev(q) <= self.pulse <= q - 1
+        )
+
+    # ------------------------------------------------------------------
+    # activation
+    # ------------------------------------------------------------------
+    def activate(self, is_source: bool, covered: bool = False) -> None:
+        """Start this node's participation; called exactly once.
+
+        ``covered`` marks a node whose distance was finalized by an earlier
+        stage/iteration (Section 4.3 staging, Theorem 4.24 dead nodes): it
+        declines every join proposal and otherwise participates as a
+        non-source relay so cluster barriers still complete.
+        """
+        if self.activated:
+            raise ValueError(f"node {self.node_id} activated twice")
+        if covered and is_source:
+            raise ValueError("a covered node cannot be a source")
+        self.activated = True
+        self.covered = covered
+        self.is_source = is_source
+        if is_source:
+            self.pulse = 0
+            for p in self._base_pulses:
+                members = set(self.registry.member_clusters(self.node_id, self._level_for(p)))
+                self._sreg_pending[p] = set(members)
+                self._sdereg_pending[p] = set(members)
+        # All bookkeeping state must exist before the first contribution:
+        # on single-node clusters a barrier completes synchronously and the
+        # whole protocol can cascade inside agg.contribute.
+        self._check_pending = set(
+            self.registry.member_clusters(self.node_id, self.check_level)
+        )
+        for cid in self.registry.tree_clusters_of(self.node_id, self.check_level):
+            member_source = is_source and self.registry.is_member(self.node_id, cid)
+            if not member_source:
+                self.agg.contribute(cid, ("check",), True)
+        # Start-time convergecast contributions (Section 4.2 base case):
+        # every tree node contributes; source members defer their
+        # deregistration contribution until p-safe.
+        for p in self._base_pulses:
+            lvl = self._level_for(p)
+            for cid in self.registry.tree_clusters_of(self.node_id, lvl):
+                member_source = is_source and self.registry.is_member(self.node_id, cid)
+                self.agg.contribute(cid, ("sreg", p), True)
+                if not member_source:
+                    self.agg.contribute(cid, ("sdereg", p), True)
+        self._maybe_source_send()
+
+    def _maybe_source_send(self) -> None:
+        if (
+            self.is_source
+            and not self.joins_sent
+            and all(not pending for pending in self._sreg_pending.values())
+        ):
+            self._send_joins()
+
+    # ------------------------------------------------------------------
+    # join / answer
+    # ------------------------------------------------------------------
+    def _send_joins(self) -> None:
+        if self.joins_sent:
+            return
+        self.joins_sent = True
+        stage = self.pulse + 1
+        self.answers_pending = len(self.neighbors)
+        for v in self.neighbors:
+            self._send(v, ("join", self.pulse), stage)
+        if self.answers_pending == 0:
+            self._answers_complete()
+
+    def _handle_join(self, sender: NodeId, sender_pulse: int) -> None:
+        if not self.activated:
+            raise AssertionError(
+                f"node {self.node_id} received a join before activation —"
+                " the Section 4.2 registration barrier should prevent this"
+            )
+        stage = sender_pulse + 1
+        if self.pulse is None and not self.covered:
+            self.pulse = sender_pulse + 1
+            self.parent = sender
+            self._send(sender, ("answer", True), stage)
+        else:
+            self._send(sender, ("answer", False), stage)
+
+    def _handle_answer(self, sender: NodeId, accepted: bool) -> None:
+        if accepted:
+            self.children.append(sender)
+        self.answers_pending -= 1
+        if self.answers_pending == 0:
+            self._answers_complete()
+
+    def _answers_complete(self) -> None:
+        self.answered = True
+        leaf_flow = self.pulse + 1
+        if leaf_flow <= self.threshold:
+            self._flow_assembled(leaf_flow, empty=(len(self.children) == 0))
+        if self.children:
+            for q in list(self._flows):
+                self._try_assemble(q)
+        else:
+            # A childless node is the frontier of every flow through it.
+            for q in range(self.pulse + 2, self.threshold + 1):
+                if self._participates(q):
+                    self._flow_assembled(q, empty=True)
+
+    # ------------------------------------------------------------------
+    # safety/emptiness flows
+    # ------------------------------------------------------------------
+    def _handle_flow(self, sender: NodeId, q: int, empty: bool) -> None:
+        flow = self._flow(q)
+        if sender in flow.reports:
+            raise AssertionError(
+                f"duplicate flow-{q} report from {sender} at {self.node_id}"
+            )
+        flow.reports[sender] = empty
+        self._try_assemble(q)
+
+    def _try_assemble(self, q: int) -> None:
+        flow = self._flow(q)
+        if flow.assembled or not self.answered:
+            return
+        if q == self.pulse + 1:
+            return  # the leaf path assembles this one
+        if not set(flow.reports) >= set(self.children):
+            return
+        empty = all(flow.reports[c] for c in self.children)
+        self._flow_assembled(q, empty)
+
+    def _flow_assembled(self, q: int, empty: bool) -> None:
+        flow = self._flow(q)
+        if flow.assembled:
+            return
+        flow.assembled = True
+        flow.empty = empty
+        # Gate: register for every pulse p with prev(p) = q before passing
+        # the report on (Section 4.1.2, first bullet).  All gate_wait slots
+        # are reserved before any registration is issued, because a
+        # root-cluster registration confirms synchronously.
+        if self.pulse == prev(q) and self.pulse > 0 and not empty:
+            gates = []
+            for p in gating_pulses_at(q, self.threshold):
+                cids = self.registry.member_clusters(self.node_id, self._level_for(p))
+                if not cids:  # pragma: no cover - home cluster always exists
+                    continue
+                self._reg_pending[p] = len(cids)
+                flow.gate_wait += 1
+                gates.append((p, cids))
+            for p, cids in gates:
+                for cid in cids:
+                    self.reg.register(cid, p)
+        if flow.gate_wait == 0:
+            self._after_gate(q)
+
+    def _on_registered(self, cid: int, p: int) -> None:
+        self._reg_pending[p] -= 1
+        if self._reg_pending[p] > 0:
+            return
+        self._registered.add(p)
+        if p in self._awaiting_dereg:
+            self._awaiting_dereg.discard(p)
+            self._do_deregister(p)
+        q = prev(p)
+        flow = self._flow(q)
+        flow.gate_wait -= 1
+        if flow.gate_wait == 0 and flow.assembled:
+            self._after_gate(q)
+
+    def _after_gate(self, q: int) -> None:
+        flow = self._flow(q)
+        if flow.gate_done:
+            return
+        flow.gate_done = True
+        if self.pulse == prev_prev(q):
+            self._terminus(q, flow)
+        else:
+            self._send(self.parent, ("flow", q, flow.empty), q)
+
+    def _terminus(self, q: int, flow: _Flow) -> None:
+        if self.pulse == 0:
+            # Base case (Section 4.2): q-safety reached the source; its
+            # deregistration is the convergecast contribution.  Iterate a
+            # copy: a single-node cluster confirms synchronously, mutating
+            # the pending set.
+            for cid in list(self._sdereg_pending.get(q, ())):
+                self.agg.contribute(cid, ("sdereg", q), True)
+            if not self._sdereg_pending.get(q):
+                self._release_go_ahead(q)
+            if q == self.threshold:
+                self._contribute_check()
+            return
+        if q in self._registered:
+            self._do_deregister(q)
+        elif self._reg_pending.get(q, 0) > 0:
+            self._awaiting_dereg.add(q)
+        else:
+            # Never registered for q: flow prev(q) was empty here, hence so
+            # is flow q; nothing to release.
+            assert flow.empty, (
+                f"node {self.node_id} reached flow-{q} terminus non-empty"
+                " without having registered"
+            )
+
+    def _do_deregister(self, q: int) -> None:
+        cids = self.registry.member_clusters(self.node_id, self._level_for(q))
+        self._goahead_pending[q] = set(cids)
+        for cid in cids:
+            self.reg.deregister(cid, q)
+
+    def _on_cluster_go_ahead(self, cid: int, q: int) -> None:
+        pending = self._goahead_pending.get(q)
+        if pending is None:
+            return
+        pending.discard(cid)
+        if not pending:
+            self._release_go_ahead(q)
+
+    # ------------------------------------------------------------------
+    # Go-Ahead propagation down the execution tree
+    # ------------------------------------------------------------------
+    def _release_go_ahead(self, q: int) -> None:
+        if q in self._released:
+            return
+        self._released.add(q)
+        self._propagate_go_ahead(q)
+
+    def _propagate_go_ahead(self, q: int) -> None:
+        if self.pulse == q - 1:
+            for c in self.children:
+                self._send(c, ("ga", q), q)
+            return
+        flow = self._flow(q)
+        for c in self.children:
+            if flow.reports.get(c) is False:
+                self._send(c, ("ga", q), q)
+
+    def _handle_go_ahead_tree(self, q: int) -> None:
+        if self.pulse == q:
+            if q < self.threshold:
+                self._send_joins()
+            return
+        self._propagate_go_ahead(q)
+
+    # ------------------------------------------------------------------
+    # aggregate results (base registrations, base Go-Aheads, checking)
+    # ------------------------------------------------------------------
+    def _on_agg_result(self, cid: int, tag: Tuple, result: Any) -> None:
+        kind = tag[0]
+        if kind == "sreg":
+            p = tag[1]
+            pending = self._sreg_pending.get(p)
+            if pending is not None and cid in pending:
+                pending.discard(cid)
+                self._maybe_source_send()
+        elif kind == "sdereg":
+            q = tag[1]
+            pending = self._sdereg_pending.get(q)
+            if pending is None or cid not in pending:
+                return
+            pending.discard(cid)
+            flow = self._flows.get(q)
+            if not pending and flow is not None and flow.assembled:
+                self._release_go_ahead(q)
+        elif kind == "check":
+            if cid in self._check_pending:
+                self._check_pending.discard(cid)
+                if not self._check_pending:
+                    self._complete()
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown aggregate result tag {tag!r}")
+
+    def _contribute_check(self) -> None:
+        for cid in self.registry.member_clusters(self.node_id, self.check_level):
+            self.agg.contribute(cid, ("check",), True)
+
+    def _complete(self) -> None:
+        if self.completed:
+            return
+        self.completed = True
+        self.on_complete(self.pulse)
+
+    # ------------------------------------------------------------------
+    def handle(self, sender: NodeId, payload: Tuple) -> None:
+        kind = payload[0]
+        if kind == "reg":
+            self.reg.handle(sender, payload)
+        elif kind == "agg":
+            self.agg.handle(sender, payload)
+        elif kind == "join":
+            self._handle_join(sender, payload[1])
+        elif kind == "answer":
+            self._handle_answer(sender, payload[1])
+        elif kind == "flow":
+            self._handle_flow(sender, payload[1], payload[2])
+        elif kind == "ga":
+            self._handle_go_ahead_tree(payload[1])
+        else:
+            raise ValueError(f"unknown thresholded-BFS message {kind!r}")

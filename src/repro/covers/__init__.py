@@ -1,0 +1,43 @@
+"""Sparse covers (Section 2.1) and their deterministic constructions."""
+
+from .cluster import ClusterTree, bfs_cluster_tree, steiner_tree_from_paths
+from .cover import (
+    LayeredCover,
+    SparseCover,
+    required_top_level,
+    validate_cover,
+)
+from .awerbuch_peleg import (
+    ap_membership_bound,
+    build_ap_cover,
+    build_ap_layered_cover,
+)
+from .rozhon_ghaffari import (
+    CostAccount,
+    Decomposition,
+    build_rg_cover,
+    build_rg_decomposition,
+    build_rg_layered_cover,
+)
+from .builders import build_cover, build_layered_cover, build_trivial_cover
+
+__all__ = [
+    "ClusterTree",
+    "bfs_cluster_tree",
+    "steiner_tree_from_paths",
+    "LayeredCover",
+    "SparseCover",
+    "required_top_level",
+    "validate_cover",
+    "ap_membership_bound",
+    "build_ap_cover",
+    "build_ap_layered_cover",
+    "CostAccount",
+    "Decomposition",
+    "build_rg_cover",
+    "build_rg_decomposition",
+    "build_rg_layered_cover",
+    "build_cover",
+    "build_layered_cover",
+    "build_trivial_cover",
+]

@@ -1,0 +1,56 @@
+"""Uniform entry points for constructing (layered) sparse covers.
+
+Three builders:
+
+* ``"ap"`` — Awerbuch–Peleg-style sequential coarsening, stretch O(log n)
+  (the default used by the asynchronous machinery; see DESIGN.md,
+  substitution 3);
+* ``"rg"`` — Rozhoň–Ghaffari deterministic distributed construction
+  (Theorem 4.21), stretch O(log^3 n);
+* ``"trivial"`` — one cluster containing the whole graph (valid for every
+  radius; isolates the synchronizer machinery from cover quality in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..net.graph import Graph, NodeId
+from .cluster import ClusterTree, bfs_cluster_tree
+from .cover import LayeredCover, SparseCover, required_top_level
+from .awerbuch_peleg import build_ap_cover, build_ap_layered_cover
+from .rozhon_ghaffari import build_rg_cover, build_rg_layered_cover
+
+
+def build_trivial_cover(graph: Graph, d: int) -> SparseCover:
+    """One whole-graph cluster rooted at a graph center."""
+    _, center = graph.radius_center()
+    tree = bfs_cluster_tree(graph, 0, members=graph.nodes, root=center)
+    return SparseCover.from_clusters(
+        d, [tree], {v: 0 for v in graph.nodes}
+    )
+
+
+def build_cover(graph: Graph, d: int, builder: str = "ap") -> SparseCover:
+    if builder == "ap":
+        return build_ap_cover(graph, d)
+    if builder == "rg":
+        cover, _ = build_rg_cover(graph, d)
+        return cover
+    if builder == "trivial":
+        return build_trivial_cover(graph, d)
+    raise ValueError(f"unknown cover builder {builder!r}")
+
+
+def build_layered_cover(graph: Graph, d: int, builder: str = "ap") -> LayeredCover:
+    if builder == "ap":
+        return build_ap_layered_cover(graph, d)
+    if builder == "rg":
+        layered, _ = build_rg_layered_cover(graph, d)
+        return layered
+    if builder == "trivial":
+        top = required_top_level(d)
+        return LayeredCover(
+            levels={j: build_trivial_cover(graph, 1 << j) for j in range(top + 1)}
+        )
+    raise ValueError(f"unknown cover builder {builder!r}")

@@ -1,0 +1,69 @@
+"""Network substrate: graphs, topologies, and the two message-passing simulators."""
+
+from .graph import Edge, Graph, NodeId, edge_key, validate_tree
+from .events import EventQueue
+from .delays import (
+    TAU,
+    AlternatingDelay,
+    BimodalDelay,
+    ConstantDelay,
+    DelayModel,
+    DirectionalSkewDelay,
+    SlowEdgesDelay,
+    UniformDelay,
+    standard_adversaries,
+)
+from .program import (
+    ArrivedBatch,
+    NodeInfo,
+    NodeProgram,
+    ProgramSpec,
+    PulseApi,
+    all_nodes_initiate,
+    fixed_initiators,
+    single_initiator,
+)
+from .sync_runtime import SyncResult, SyncRuntime, run_synchronous
+from .async_runtime import (
+    AsyncResult,
+    AsyncRuntime,
+    Process,
+    ProcessContext,
+    run_asynchronous,
+)
+from . import topology
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "NodeId",
+    "edge_key",
+    "validate_tree",
+    "EventQueue",
+    "TAU",
+    "DelayModel",
+    "ConstantDelay",
+    "UniformDelay",
+    "BimodalDelay",
+    "SlowEdgesDelay",
+    "AlternatingDelay",
+    "DirectionalSkewDelay",
+    "standard_adversaries",
+    "ArrivedBatch",
+    "NodeInfo",
+    "NodeProgram",
+    "ProgramSpec",
+    "PulseApi",
+    "all_nodes_initiate",
+    "fixed_initiators",
+    "single_initiator",
+    "SyncResult",
+    "SyncRuntime",
+    "run_synchronous",
+    "AsyncResult",
+    "AsyncRuntime",
+    "Process",
+    "ProcessContext",
+    "run_asynchronous",
+    "topology",
+]

@@ -1,0 +1,248 @@
+"""Asynchronous message-passing simulator (Sections 1.1, 2.2, Appendix B).
+
+Model implemented here:
+
+* Per-message delays are chosen by a :class:`~repro.net.delays.DelayModel`
+  (the adversary), bounded by ``tau = 1``; reported times are therefore
+  already normalized, matching the paper's ``T = T_real / tau`` definition.
+* The acknowledgment discipline of Appendix B: each node may have at most one
+  algorithm message in flight per directed link; the next message is injected
+  only when the previous one's acknowledgment returns.  Acknowledgments ride
+  outside the discipline (at most one each way), also with adversarial delay.
+* Per-link outboxes are priority queues.  A message's ``priority`` tuple
+  encodes its stage (Lemma 2.5: lower stages first) and its procedure's
+  round-robin ticket (Corollary 2.3: fairness among same-stage procedures
+  sharing an edge), so the scheduling lemmas of Section 2.2 are realized by
+  the transport itself and every protocol above gets them for free.
+
+Protocols are :class:`Process` subclasses; one instance runs per node and
+reacts to deliveries via ``on_message``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .delays import DelayModel, TAU
+from .events import EventQueue
+from .graph import Graph, NodeId
+
+Payload = Any
+Priority = Tuple[Any, ...]
+
+DEFAULT_PRIORITY: Priority = (0,)
+
+
+class Process:
+    """Base class for one node's asynchronous protocol instance."""
+
+    def __init__(self, ctx: "ProcessContext") -> None:
+        self.ctx = ctx
+
+    def on_start(self) -> None:  # pragma: no cover - default no-op
+        """Called once at time 0."""
+
+    def on_message(self, sender: NodeId, payload: Payload) -> None:
+        raise NotImplementedError
+
+    def on_delivered(self, to: NodeId, payload: Payload) -> None:
+        """Acknowledgment arrived: ``payload`` was delivered to ``to``.
+
+        The asynchronous model already pays for these acknowledgments
+        (Appendix B); protocols that need delivery confirmation — the general
+        synchronizer's safety bookkeeping — override this hook.  Default:
+        no-op.
+        """
+
+
+class ProcessContext:
+    """Per-node handle into the runtime: identity, sending, and output."""
+
+    __slots__ = ("_runtime", "node_id", "neighbors")
+
+    def __init__(self, runtime: "AsyncRuntime", node_id: NodeId) -> None:
+        self._runtime = runtime
+        self.node_id = node_id
+        self.neighbors = runtime.graph.neighbors(node_id)
+
+    @property
+    def now(self) -> float:
+        return self._runtime.now
+
+    def send(
+        self, to: NodeId, payload: Payload, priority: Priority = DEFAULT_PRIORITY
+    ) -> None:
+        self._runtime._enqueue(self.node_id, to, payload, priority)
+
+    def schedule_environment_event(self, delay: float, callback) -> None:
+        """Schedule an adversary/environment-controlled local event.
+
+        Protocols themselves must never use this (the asynchronous model has
+        no clocks); it exists for tests and workload drivers that model the
+        environment handing a node an input at an arbitrary time.
+        """
+        self._runtime.queue.schedule(delay, callback)
+
+    def set_output(self, value: Any) -> None:
+        self._runtime._record_output(self.node_id, value)
+
+    def edge_weight(self, to: NodeId) -> float:
+        return self._runtime.graph.weight(self.node_id, to)
+
+
+@dataclass
+class AsyncResult:
+    """Outcome of one asynchronous execution (times normalized by tau)."""
+
+    time_to_output: float
+    time_to_quiescence: float
+    messages: int
+    acks: int
+    outputs: Dict[NodeId, Any]
+    output_time: Dict[NodeId, float]
+    events_fired: int
+    stop_reason: str
+
+    @property
+    def time_complexity(self) -> float:
+        return self.time_to_output
+
+    @property
+    def message_complexity(self) -> int:
+        return self.messages
+
+    @property
+    def messages_with_acks(self) -> int:
+        return self.messages + self.acks
+
+
+class _Link:
+    """Directed link state: one in-flight slot plus a priority outbox."""
+
+    __slots__ = ("busy", "outbox", "seq", "injected")
+
+    def __init__(self) -> None:
+        self.busy = False
+        self.outbox: List[Tuple[Priority, int, Payload]] = []
+        self.seq = 0
+        self.injected = 0
+
+
+class AsyncRuntime:
+    """Discrete-event executor for one protocol over one graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        process_factory: Callable[[ProcessContext], Process],
+        delay_model: DelayModel,
+        count_acks: bool = True,
+        trace: Optional[Callable[[float, NodeId, NodeId, Payload], None]] = None,
+    ) -> None:
+        self.graph = graph
+        self.delay_model = delay_model
+        self.queue = EventQueue()
+        self.count_acks = count_acks
+        self.trace = trace
+        self._links: Dict[Tuple[NodeId, NodeId], _Link] = {}
+        for u, v in graph.edges:
+            self._links[(u, v)] = _Link()
+            self._links[(v, u)] = _Link()
+        self.messages = 0
+        self.acks = 0
+        self.outputs: Dict[NodeId, Any] = {}
+        self.output_time: Dict[NodeId, float] = {}
+        self._time_to_output = 0.0
+        self.processes: Dict[NodeId, Process] = {}
+        for v in graph.nodes:
+            self.processes[v] = process_factory(ProcessContext(self, v))
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.queue.now
+
+    def _record_output(self, node: NodeId, value: Any) -> None:
+        self.outputs[node] = value
+        self.output_time[node] = self.now
+        self._time_to_output = max(self._time_to_output, self.now)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _enqueue(
+        self, u: NodeId, v: NodeId, payload: Payload, priority: Priority
+    ) -> None:
+        link = self._links.get((u, v))
+        if link is None:
+            raise ValueError(f"no link {u} -> {v}")
+        heapq.heappush(link.outbox, (priority, link.seq, payload))
+        link.seq += 1
+        if not link.busy:
+            self._inject(u, v, link)
+
+    def _inject(self, u: NodeId, v: NodeId, link: _Link) -> None:
+        _, _, payload = heapq.heappop(link.outbox)
+        link.busy = True
+        link.injected += 1
+        self.messages += 1
+        delay = self.delay_model(u, v, link.injected, self.now)
+        if not 0 < delay <= TAU:
+            raise ValueError(
+                f"delay model produced {delay} outside (0, {TAU}] on {u}->{v}"
+            )
+        self.queue.schedule(delay, lambda: self._deliver(u, v, payload))
+
+    def _deliver(self, u: NodeId, v: NodeId, payload: Payload) -> None:
+        if self.trace is not None:
+            self.trace(self.now, u, v, payload)
+        # The acknowledgment travels back outside the send discipline.
+        self.acks += 1
+        link = self._links[(u, v)]
+        ack_delay = self.delay_model(v, u, -link.injected, self.now)
+        if not 0 < ack_delay <= TAU:
+            raise ValueError("delay model produced an invalid ack delay")
+        self.queue.schedule(ack_delay, lambda: self._ack(u, v, payload))
+        self.processes[v].on_message(u, payload)
+
+    def _ack(self, u: NodeId, v: NodeId, payload: Payload) -> None:
+        link = self._links[(u, v)]
+        link.busy = False
+        self.processes[u].on_delivered(v, payload)
+        if link.outbox:
+            self._inject(u, v, link)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_time: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> AsyncResult:
+        for v in sorted(self.graph.nodes):
+            process = self.processes[v]
+            self.queue.schedule(0.0, process.on_start)
+        stop_reason = self.queue.run(max_time=max_time, max_events=max_events)
+        return AsyncResult(
+            time_to_output=self._time_to_output,
+            time_to_quiescence=self.now,
+            messages=self.messages,
+            acks=self.acks if self.count_acks else 0,
+            outputs=dict(self.outputs),
+            output_time=dict(self.output_time),
+            events_fired=self.queue.fired,
+            stop_reason=stop_reason,
+        )
+
+
+def run_asynchronous(
+    graph: Graph,
+    process_factory: Callable[[ProcessContext], Process],
+    delay_model: DelayModel,
+    max_time: Optional[float] = None,
+    max_events: Optional[int] = 50_000_000,
+) -> AsyncResult:
+    """Convenience wrapper: build the runtime and run to quiescence."""
+    runtime = AsyncRuntime(graph, process_factory, delay_model)
+    return runtime.run(max_time=max_time, max_events=max_events)

@@ -1,0 +1,181 @@
+"""Adversarial message-delay models.
+
+The asynchronous model (Section 1.1) lets an adversary pick every message's
+delay in ``(0, tau]`` with ``tau = 1`` after normalization.  Correctness of
+the synchronizer must hold for *every* delay assignment, so the test-suite
+runs each protocol under the whole family below.  Every model is a
+deterministic function of (edge, direction, per-link sequence number, seed) —
+rerunning a simulation reproduces it exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import struct
+from typing import Dict, Iterable, Optional, Protocol, Tuple
+
+from .graph import Edge, NodeId, edge_key
+
+TAU = 1.0
+_MIN_DELAY = 1e-6
+
+
+def _unit_hash(*parts: object) -> float:
+    """Deterministic pseudo-random float in (0, 1] from the hashed parts."""
+    digest = hashlib.blake2b(repr(parts).encode(), digest_size=8).digest()
+    value = struct.unpack(">Q", digest)[0]
+    return (value + 1) / 2.0**64
+
+
+class DelayModel(Protocol):
+    """Callable assigning a delay in ``(0, TAU]`` to one message injection."""
+
+    def __call__(self, u: NodeId, v: NodeId, seq: int, now: float) -> float:
+        """Delay for the ``seq``-th message injected on the link u -> v."""
+
+
+class ConstantDelay:
+    """Every message takes exactly ``value`` time units (default: the bound)."""
+
+    def __init__(self, value: float = TAU) -> None:
+        if not 0 < value <= TAU:
+            raise ValueError(f"delay must be in (0, {TAU}], got {value}")
+        self.value = value
+
+    def __call__(self, u: NodeId, v: NodeId, seq: int, now: float) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"ConstantDelay({self.value})"
+
+
+class UniformDelay:
+    """Hash-based i.i.d.-looking delays uniform in ``[low, high]``."""
+
+    def __init__(self, seed: int, low: float = _MIN_DELAY, high: float = TAU) -> None:
+        if not 0 < low <= high <= TAU:
+            raise ValueError("need 0 < low <= high <= TAU")
+        self.seed = seed
+        self.low = low
+        self.high = high
+
+    def __call__(self, u: NodeId, v: NodeId, seq: int, now: float) -> float:
+        unit = _unit_hash("uniform", self.seed, u, v, seq)
+        return self.low + (self.high - self.low) * unit
+
+    def __repr__(self) -> str:
+        return f"UniformDelay(seed={self.seed}, low={self.low}, high={self.high})"
+
+
+class BimodalDelay:
+    """Most messages are fast; a hashed fraction hit the full bound.
+
+    This is the classic adversary against naive asynchronous BFS: fast
+    detours beat slow direct edges, so any protocol that trusts arrival
+    order computes wrong distances.
+    """
+
+    def __init__(self, seed: int, slow_fraction: float = 0.2, fast: float = 0.05) -> None:
+        if not 0 <= slow_fraction <= 1:
+            raise ValueError("slow_fraction must be in [0, 1]")
+        self.seed = seed
+        self.slow_fraction = slow_fraction
+        self.fast = fast
+
+    def __call__(self, u: NodeId, v: NodeId, seq: int, now: float) -> float:
+        if _unit_hash("bimodal-pick", self.seed, u, v, seq) <= self.slow_fraction:
+            return TAU
+        return self.fast * _unit_hash("bimodal-fast", self.seed, u, v, seq)
+
+    def __repr__(self) -> str:
+        return f"BimodalDelay(seed={self.seed}, slow_fraction={self.slow_fraction})"
+
+
+class SlowEdgesDelay:
+    """A chosen edge set is maximally slow; everything else is fast.
+
+    With ``edges=None`` a hashed half of the edges is slow — an adversary
+    that consistently starves entire regions of the graph.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        edges: Optional[Iterable[Edge]] = None,
+        fast: float = 0.01,
+    ) -> None:
+        self.seed = seed
+        self.fast = fast
+        self._edges: Optional[frozenset] = (
+            frozenset(edge_key(*e) for e in edges) if edges is not None else None
+        )
+
+    def _is_slow(self, u: NodeId, v: NodeId) -> bool:
+        key = edge_key(u, v)
+        if self._edges is not None:
+            return key in self._edges
+        return _unit_hash("slow-edge", self.seed, key) < 0.5
+
+    def __call__(self, u: NodeId, v: NodeId, seq: int, now: float) -> float:
+        if self._is_slow(u, v):
+            return TAU
+        return max(_MIN_DELAY, self.fast * _unit_hash("slow-fast", self.seed, u, v, seq))
+
+    def __repr__(self) -> str:
+        return f"SlowEdgesDelay(seed={self.seed})"
+
+
+class AlternatingDelay:
+    """Delay flips between near-zero and the bound per message on each link.
+
+    Maximizes reordering pressure *between* links while keeping each link
+    FIFO (the model delivers per-link messages in injection order anyway,
+    matching the acknowledgment discipline of Appendix B).
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+
+    def __call__(self, u: NodeId, v: NodeId, seq: int, now: float) -> float:
+        phase = _unit_hash("alt-phase", self.seed, u, v) < 0.5
+        fast_turn = (seq % 2 == 0) == phase
+        return 0.01 if fast_turn else TAU
+
+    def __repr__(self) -> str:
+        return f"AlternatingDelay(seed={self.seed})"
+
+
+class DirectionalSkewDelay:
+    """One direction of every link is fast, the other slow.
+
+    Stresses the convergecast-vs-broadcast asymmetry inside cluster trees:
+    e.g. registration waves move quickly toward roots but Go-Aheads crawl
+    back down (or vice versa).
+    """
+
+    def __init__(self, seed: int, slow_up: bool = True) -> None:
+        self.seed = seed
+        self.slow_up = slow_up
+
+    def __call__(self, u: NodeId, v: NodeId, seq: int, now: float) -> float:
+        toward_higher_id = v > u
+        slow = toward_higher_id == self.slow_up
+        return TAU if slow else 0.02
+
+    def __repr__(self) -> str:
+        return f"DirectionalSkewDelay(seed={self.seed}, slow_up={self.slow_up})"
+
+
+def standard_adversaries(seed: int = 0) -> Tuple[DelayModel, ...]:
+    """The delay models every correctness test sweeps over."""
+    return (
+        ConstantDelay(),
+        ConstantDelay(0.25),
+        UniformDelay(seed),
+        BimodalDelay(seed),
+        SlowEdgesDelay(seed),
+        AlternatingDelay(seed),
+        DirectionalSkewDelay(seed, slow_up=True),
+        DirectionalSkewDelay(seed, slow_up=False),
+    )

@@ -1,0 +1,80 @@
+"""A minimal deterministic discrete-event scheduler.
+
+Events fire in (time, sequence) order; the sequence number is assigned at
+scheduling time, so simultaneous events fire in the order they were created.
+This makes every simulation a pure function of (graph, protocol, delay model).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+Callback = Callable[[], None]
+
+
+class EventQueue:
+    """Priority queue of (time, seq, callback) with deterministic tie-breaks."""
+
+    __slots__ = ("_heap", "_seq", "_now", "_fired")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callback]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def fired(self) -> int:
+        return self._fired
+
+    def schedule(self, delay: float, callback: Callback) -> None:
+        """Schedule ``callback`` at ``now + delay`` (delay must be >= 0)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(self._heap, (self._now + delay, self._seq, callback))
+        self._seq += 1
+
+    def schedule_at(self, time: float, callback: Callback) -> None:
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def step(self) -> bool:
+        """Fire the earliest event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time, _, callback = heapq.heappop(self._heap)
+        self._now = time
+        self._fired += 1
+        callback()
+        return True
+
+    def run(
+        self,
+        max_time: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> str:
+        """Run until quiescence, the time horizon, or the event budget.
+
+        Returns one of ``"quiescent"``, ``"max_time"``, ``"max_events"``.
+        """
+        budget = max_events
+        while self._heap:
+            if max_time is not None and self._heap[0][0] > max_time:
+                return "max_time"
+            if budget is not None:
+                if budget == 0:
+                    return "max_events"
+                budget -= 1
+            self.step()
+        return "quiescent"

@@ -1,0 +1,132 @@
+"""Synchronous CONGEST round simulator for event-driven programs.
+
+Implements the synchronous message-passing model of Section 1.1 with the
+event-driven interpretation of Section 5.1: at pulse ``p`` exactly the nodes
+that received pulse-``p-1`` messages or sent pulse-``p-1`` messages are
+activated, receive the full batch of same-round arrivals, and may send the
+pulse-``p`` messages.
+
+The runtime reports the two quantities the paper's bounds are stated in:
+
+* time complexity ``T(A)`` — rounds until the last node produces its output
+  (the "time to output" definition of Appendix B);
+* message complexity ``M(A)`` — total messages sent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from .graph import Graph, NodeId
+from .program import ArrivedBatch, NodeProgram, Payload, ProgramSpec, PulseApi
+
+
+@dataclass
+class SyncResult:
+    """Outcome of one synchronous execution."""
+
+    rounds_to_output: int
+    rounds_total: int
+    messages: int
+    outputs: Dict[NodeId, Any]
+    output_round: Dict[NodeId, int]
+    pulse_messages: List[Tuple[int, NodeId, NodeId, Payload]] = field(repr=False, default_factory=list)
+
+    @property
+    def time_complexity(self) -> int:
+        return self.rounds_to_output
+
+    @property
+    def message_complexity(self) -> int:
+        return self.messages
+
+
+class SyncRuntime:
+    """Runs one :class:`ProgramSpec` in lockstep rounds."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        spec: ProgramSpec,
+        record_messages: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.spec = spec
+        self.record_messages = record_messages
+        self._infos = spec.make_infos(graph)
+        self.programs: Dict[NodeId, NodeProgram] = {
+            v: spec.node_factory(self._infos[v]) for v in graph.nodes
+        }
+
+    def run(self, max_rounds: int = 1_000_000) -> SyncResult:
+        graph = self.graph
+        outputs: Dict[NodeId, Any] = {}
+        output_round: Dict[NodeId, int] = {}
+        message_log: List[Tuple[int, NodeId, NodeId, Payload]] = []
+        messages = 0
+        rounds_to_output = 0
+
+        # Pulse 0: initiators act.
+        in_flight: Dict[NodeId, List[Tuple[NodeId, Payload]]] = {}
+        sent_last: Set[NodeId] = set()
+        for v in sorted(self.spec.initiators(graph)):
+            api = PulseApi(self._infos[v])
+            self.programs[v].on_start(api)
+            sends, has_output, value = api.collect()
+            if has_output:
+                outputs[v] = value
+                output_round[v] = 0
+            if sends:
+                sent_last.add(v)
+            for to, payload in sends:
+                in_flight.setdefault(to, []).append((v, payload))
+                messages += 1
+                if self.record_messages:
+                    message_log.append((0, v, to, payload))
+
+        pulse = 0
+        while in_flight or sent_last:
+            pulse += 1
+            if pulse > max_rounds:
+                raise RuntimeError(
+                    f"synchronous execution of {self.spec.name!r} exceeded"
+                    f" {max_rounds} rounds"
+                )
+            triggered = set(in_flight) | sent_last
+            arrivals = in_flight
+            in_flight = {}
+            sent_last = set()
+            for v in sorted(triggered):
+                batch: ArrivedBatch = tuple(sorted(arrivals.get(v, ())))
+                api = PulseApi(self._infos[v])
+                self.programs[v].on_pulse(api, batch)
+                sends, has_output, value = api.collect()
+                if has_output:
+                    outputs[v] = value
+                    output_round[v] = pulse
+                    rounds_to_output = max(rounds_to_output, pulse)
+                if sends:
+                    sent_last.add(v)
+                for to, payload in sends:
+                    in_flight.setdefault(to, []).append((v, payload))
+                    messages += 1
+                    if self.record_messages:
+                        message_log.append((pulse, v, to, payload))
+
+        rounds_to_output = max(output_round.values(), default=0)
+        return SyncResult(
+            rounds_to_output=rounds_to_output,
+            rounds_total=pulse,
+            messages=messages,
+            outputs=outputs,
+            output_round=output_round,
+            pulse_messages=message_log,
+        )
+
+
+def run_synchronous(
+    graph: Graph, spec: ProgramSpec, record_messages: bool = False
+) -> SyncResult:
+    """Convenience wrapper: build the runtime and run to quiescence."""
+    return SyncRuntime(graph, spec, record_messages=record_messages).run()

@@ -1,0 +1,103 @@
+"""Tests for the analysis helpers (fits and tables)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    Series,
+    fit_polylog_exponent,
+    fit_power_law,
+    format_table,
+    growth_ratios,
+)
+
+
+class TestPowerLaw:
+    def test_exact_recovery(self):
+        xs = [4, 8, 16, 32, 64]
+        ys = [3 * x ** 1.5 for x in xs]
+        exponent, coefficient = fit_power_law(xs, ys)
+        assert abs(exponent - 1.5) < 1e-9
+        assert abs(coefficient - 3.0) < 1e-9
+
+    def test_constant_series(self):
+        exponent, _ = fit_power_law([2, 4, 8], [5, 5, 5])
+        assert abs(exponent) < 1e-9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 3])
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+    def test_rejects_degenerate_x(self):
+        with pytest.raises(ValueError):
+            fit_power_law([3, 3], [1, 2])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        a=st.floats(min_value=-2, max_value=2),
+        c=st.floats(min_value=0.1, max_value=100),
+    )
+    def test_property_recovery(self, a, c):
+        xs = [2.0, 4.0, 8.0, 16.0]
+        ys = [c * x ** a for x in xs]
+        exponent, coefficient = fit_power_law(xs, ys)
+        assert abs(exponent - a) < 1e-6
+        assert abs(coefficient - c) < 1e-4 * max(1, c)
+
+
+class TestPolylog:
+    def test_exact_recovery(self):
+        xs = [16, 64, 256, 1024]
+        ys = [7 * math.log2(x) ** 3 for x in xs]
+        k, c = fit_polylog_exponent(xs, ys)
+        assert abs(k - 3.0) < 1e-9
+        assert abs(c - 7.0) < 1e-6
+
+    def test_rejects_small_x(self):
+        with pytest.raises(ValueError):
+            fit_polylog_exponent([2, 4], [1, 2])
+
+
+class TestGrowthRatios:
+    def test_basic(self):
+        assert growth_ratios([1, 2, 6]) == [2.0, 3.0]
+
+    def test_short_rejected(self):
+        with pytest.raises(ValueError):
+            growth_ratios([1])
+
+
+class TestSeries:
+    def test_add_and_column(self):
+        s = Series("t", ["a", "b"])
+        s.add(1, 2)
+        s.add(3, 4)
+        assert s.column("a") == [1, 3]
+        assert s.column("b") == [2, 4]
+
+    def test_wrong_arity_rejected(self):
+        s = Series("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            s.add(1)
+
+    def test_render_alignment(self):
+        s = Series("demo", ["name", "value"])
+        s.add("x", 1.25)
+        s.add("longer", 10)
+        out = s.render()
+        assert "== demo ==" in out
+        assert "1.25" in out and "longer" in out
+
+    def test_format_table_empty(self):
+        out = format_table("empty", ["a"], [])
+        assert "empty" in out
+
+    def test_float_formatting(self):
+        out = format_table("f", ["v"], [[2.0], [2.345]])
+        assert " 2" in out and "2.35" in out

@@ -1,0 +1,183 @@
+"""Tests for the asynchronous runtime: ack discipline, priorities, metrics."""
+
+import pytest
+
+from repro.net import (
+    AsyncRuntime,
+    ConstantDelay,
+    Process,
+    UniformDelay,
+    run_asynchronous,
+    standard_adversaries,
+    topology,
+)
+
+
+class Echo(Process):
+    """Node 0 sends 'ping' to all neighbors; they output the sender."""
+
+    def on_start(self):
+        if self.ctx.node_id == 0:
+            for v in self.ctx.neighbors:
+                self.ctx.send(v, ("ping",))
+
+    def on_message(self, sender, payload):
+        self.ctx.set_output(("got", sender))
+
+
+class Burst(Process):
+    """Node 0 fires `count` messages at node 1 at time zero."""
+
+    count = 5
+
+    def on_start(self):
+        if self.ctx.node_id == 0:
+            for i in range(self.count):
+                self.ctx.send(1, ("burst", i))
+
+    def on_message(self, sender, payload):
+        arrivals = getattr(self, "arrivals", [])
+        arrivals.append((self.ctx.now, payload))
+        self.arrivals = arrivals
+        self.ctx.set_output(list(arrivals))
+
+
+class PriorityBurst(Process):
+    """Sends interleaved low/high priority messages; receiver records order."""
+
+    def on_start(self):
+        if self.ctx.node_id == 0:
+            # Stage 2 first so the outbox must reorder: stage 1 must win.
+            for i in range(3):
+                self.ctx.send(1, ("stage2", i), priority=(2, i))
+            for i in range(3):
+                self.ctx.send(1, ("stage1", i), priority=(1, i))
+
+    def on_message(self, sender, payload):
+        order = getattr(self, "order", [])
+        order.append(payload)
+        self.order = order
+        self.ctx.set_output(order)
+
+
+class TestAckDiscipline:
+    def test_one_in_flight_serializes_bursts(self):
+        """5 messages x 1.0 delay each on one link => last arrives at t=5."""
+        g = topology.path_graph(2)
+        result = run_asynchronous(g, Burst, ConstantDelay(1.0))
+        arrivals = result.outputs[1]
+        times = [t for t, _ in arrivals]
+        # Message k leaves only after ack of k-1: 1, 3, 5, 7, 9.
+        assert times == [1.0, 3.0, 5.0, 7.0, 9.0]
+
+    def test_fifo_within_priority(self):
+        g = topology.path_graph(2)
+        result = run_asynchronous(g, Burst, UniformDelay(seed=3))
+        payloads = [p for _, p in result.outputs[1]]
+        assert payloads == [("burst", i) for i in range(5)]
+
+    def test_ack_counting(self):
+        g = topology.path_graph(2)
+        result = run_asynchronous(g, Burst, ConstantDelay(1.0))
+        assert result.messages == 5
+        assert result.acks == 5
+        assert result.messages_with_acks == 10
+
+
+class TestPriorities:
+    def test_lower_stage_preempts_outbox(self):
+        g = topology.path_graph(2)
+        result = run_asynchronous(g, PriorityBurst, ConstantDelay(1.0))
+        order = result.outputs[1]
+        # First message (stage2, 0) is already in flight when stage1 arrives;
+        # after that the outbox drains stage 1 before stage 2.
+        assert order[0] == ("stage2", 0)
+        assert order[1:4] == [("stage1", 0), ("stage1", 1), ("stage1", 2)]
+        assert order[4:] == [("stage2", 1), ("stage2", 2)]
+
+
+class TestMetricsAndOutputs:
+    def test_time_to_output_vs_quiescence(self):
+        g = topology.path_graph(3)
+
+        class OutputEarly(Process):
+            def on_start(self):
+                if self.ctx.node_id == 0:
+                    self.ctx.set_output("done")
+                    self.ctx.send(1, ("tail",))
+
+            def on_message(self, sender, payload):
+                if self.ctx.node_id == 1:
+                    self.ctx.send(2, ("tail",))
+
+        result = run_asynchronous(g, OutputEarly, ConstantDelay(1.0))
+        assert result.time_to_output == 0.0
+        assert result.time_to_quiescence >= 2.0
+
+    def test_send_to_non_neighbor_rejected(self):
+        g = topology.path_graph(3)
+
+        class Bad(Process):
+            def on_start(self):
+                if self.ctx.node_id == 0:
+                    self.ctx.send(2, ("skip",))
+
+            def on_message(self, sender, payload):
+                pass
+
+        with pytest.raises(ValueError, match="no link"):
+            run_asynchronous(g, Bad, ConstantDelay(1.0))
+
+    def test_stop_reason_quiescent(self):
+        g = topology.path_graph(2)
+        result = run_asynchronous(g, Echo, ConstantDelay(1.0))
+        assert result.stop_reason == "quiescent"
+        assert result.outputs[1] == ("got", 0)
+
+    def test_max_events_guard(self):
+        g = topology.path_graph(2)
+
+        class PingPong(Process):
+            def on_start(self):
+                if self.ctx.node_id == 0:
+                    self.ctx.send(1, ("ping",))
+
+            def on_message(self, sender, payload):
+                self.ctx.send(sender, ("ping",))
+
+        result = run_asynchronous(g, PingPong, ConstantDelay(1.0), max_events=100)
+        assert result.stop_reason == "max_events"
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("model", standard_adversaries(7), ids=repr)
+    def test_identical_reruns(self, model):
+        g = topology.grid_graph(3, 3)
+
+        class Gossip(Process):
+            def on_start(self):
+                self.best = self.ctx.node_id
+                for v in self.ctx.neighbors:
+                    self.ctx.send(v, self.best)
+
+            def on_message(self, sender, value):
+                if value > self.best:
+                    self.best = value
+                    self.ctx.set_output(value)
+                    for v in self.ctx.neighbors:
+                        self.ctx.send(v, value)
+
+        first = run_asynchronous(g, Gossip, model)
+        second = run_asynchronous(g, Gossip, model)
+        assert first.outputs == second.outputs
+        assert first.messages == second.messages
+        assert first.time_to_quiescence == second.time_to_quiescence
+
+    def test_delay_bound_enforced(self):
+        g = topology.path_graph(2)
+
+        def bad_delay(u, v, seq, now):
+            return 2.0
+
+        with pytest.raises(ValueError, match="outside"):
+            run_asynchronous(g, Echo, bad_delay)

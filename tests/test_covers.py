@@ -1,0 +1,226 @@
+"""Tests for sparse covers: data structures, AP construction, validation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.covers import (
+    ClusterTree,
+    LayeredCover,
+    SparseCover,
+    ap_membership_bound,
+    bfs_cluster_tree,
+    build_ap_cover,
+    build_ap_layered_cover,
+    build_cover,
+    build_layered_cover,
+    build_trivial_cover,
+    required_top_level,
+    steiner_tree_from_paths,
+    validate_cover,
+)
+from repro.net import topology
+
+
+class TestClusterTree:
+    def test_bfs_tree_structure(self):
+        g = topology.grid_graph(4, 4)
+        tree = bfs_cluster_tree(g, 0, members=range(16), root=0)
+        tree.validate(g)
+        assert tree.height == g.eccentricity(0)
+        assert tree.members == frozenset(range(16))
+
+    def test_pruning_drops_memberless_branches(self):
+        g = topology.star_graph(6)
+        tree = bfs_cluster_tree(g, 0, members=[0, 1], root=0)
+        assert tree.tree_nodes == frozenset({0, 1})
+
+    def test_path_to_root(self):
+        g = topology.path_graph(5)
+        tree = bfs_cluster_tree(g, 0, members=range(5), root=0)
+        assert tree.path_to_root(4) == [4, 3, 2, 1, 0]
+
+    def test_allowed_restriction(self):
+        g = topology.cycle_graph(6)
+        tree = bfs_cluster_tree(
+            g, 0, members=[0, 1, 2], root=0, allowed=frozenset({0, 1, 2})
+        )
+        tree.validate(g)
+        assert tree.height == 2  # cannot shortcut around the cycle
+
+    def test_unreachable_member_rejected(self):
+        g = topology.path_graph(4)
+        with pytest.raises(ValueError, match="unreachable"):
+            bfs_cluster_tree(g, 0, members=[0, 3], root=0, allowed=frozenset({0, 3}))
+
+    def test_empty_members_rejected(self):
+        g = topology.path_graph(3)
+        with pytest.raises(ValueError):
+            bfs_cluster_tree(g, 0, members=[])
+
+    def test_validate_rejects_non_edge(self):
+        g = topology.path_graph(4)
+        bad = ClusterTree(0, 0, frozenset({0, 2}), {0: None, 2: 0})
+        with pytest.raises(ValueError, match="not in graph"):
+            bad.validate(g)
+
+    def test_validate_rejects_missing_member(self):
+        g = topology.path_graph(4)
+        bad = ClusterTree(0, 0, frozenset({0, 3}), {0: None, 1: 0})
+        with pytest.raises(ValueError, match="not in tree"):
+            bad.validate(g)
+
+    def test_steiner_tree_from_paths(self):
+        g = topology.path_graph(5)
+        tree = steiner_tree_from_paths(
+            g, 7, root=0, members=[0, 4], attach_paths=[[0, 1, 2, 3, 4]]
+        )
+        tree.validate(g)
+        assert 2 in tree.tree_nodes and 2 not in tree.members
+
+    def test_steiner_tree_bad_path(self):
+        g = topology.path_graph(5)
+        with pytest.raises(ValueError, match="does not start"):
+            steiner_tree_from_paths(g, 0, root=0, members=[0], attach_paths=[[3, 4]])
+
+
+class TestTrivialCover:
+    @pytest.mark.parametrize("d", [1, 2, 4])
+    def test_valid_for_every_radius(self, d):
+        g = topology.grid_graph(4, 4)
+        cover = build_trivial_cover(g, d)
+        validate_cover(g, cover, max_membership=1)
+
+    def test_root_is_center(self):
+        g = topology.path_graph(9)
+        cover = build_trivial_cover(g, 2)
+        assert cover.clusters[0].root == 4
+
+
+class TestApCover:
+    @pytest.mark.parametrize("family", ["path", "cycle", "grid", "tree", "er_sparse", "barbell"])
+    @pytest.mark.parametrize("d", [1, 2, 4])
+    def test_definition_2_1(self, family, d):
+        g = topology.make_topology(family, 30, seed=3)
+        cover = build_ap_cover(g, d)
+        validate_cover(
+            g,
+            cover,
+            max_membership=ap_membership_bound(g.num_nodes),
+            max_stretch=1 + 2 * math.log2(g.num_nodes) + 2,
+        )
+
+    def test_edge_load_bounded_by_membership(self):
+        g = topology.grid_graph(6, 6)
+        cover = build_ap_cover(g, 2)
+        assert cover.max_edge_load <= ap_membership_bound(g.num_nodes)
+
+    def test_deterministic(self):
+        g = topology.erdos_renyi_graph(25, 0.1, seed=9)
+        a = build_ap_cover(g, 2)
+        b = build_ap_cover(g, 2)
+        assert [c.members for c in a.clusters] == [c.members for c in b.clusters]
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            build_ap_cover(topology.path_graph(4), 0)
+
+    def test_rejects_disconnected(self):
+        from repro.net import Graph
+
+        with pytest.raises(ValueError, match="connected"):
+            build_ap_cover(Graph(4, [(0, 1), (2, 3)]), 1)
+
+    def test_single_cluster_when_radius_covers_graph(self):
+        g = topology.path_graph(6)
+        cover = build_ap_cover(g, 6)
+        assert len(cover.clusters) == 1
+
+
+class TestLayeredCover:
+    def test_levels_present(self):
+        g = topology.grid_graph(5, 5)
+        layered = build_ap_layered_cover(g, 8)
+        assert set(layered.levels) == {0, 1, 2, 3}
+        assert layered.covers_radius(8)
+        for j, cover in layered.levels.items():
+            assert cover.radius == 1 << j
+            validate_cover(g, cover)
+
+    def test_level_clamps_below_zero(self):
+        g = topology.path_graph(6)
+        layered = build_ap_layered_cover(g, 2)
+        assert layered.level(-3) is layered.levels[0]
+
+    def test_required_top_level(self):
+        assert required_top_level(1) == 0
+        assert required_top_level(2) == 1
+        assert required_top_level(5) == 3
+        with pytest.raises(ValueError):
+            required_top_level(0)
+
+
+class TestBuilderFacade:
+    @pytest.mark.parametrize("builder", ["ap", "trivial", "rg"])
+    def test_build_cover(self, builder):
+        g = topology.grid_graph(4, 4)
+        cover = build_cover(g, 2, builder=builder)
+        validate_cover(g, cover)
+
+    @pytest.mark.parametrize("builder", ["ap", "trivial"])
+    def test_build_layered(self, builder):
+        g = topology.grid_graph(4, 4)
+        layered = build_layered_cover(g, 4, builder=builder)
+        for cover in layered.levels.values():
+            validate_cover(g, cover)
+
+    def test_unknown_builder(self):
+        with pytest.raises(ValueError):
+            build_cover(topology.path_graph(4), 1, builder="nope")
+
+
+class TestSparseCoverHelpers:
+    def test_duplicate_ids_rejected(self):
+        g = topology.path_graph(4)
+        t = bfs_cluster_tree(g, 5, members=range(4), root=0)
+        with pytest.raises(ValueError, match="duplicate"):
+            SparseCover.from_clusters(1, [t, t], {v: 5 for v in range(4)})
+
+    def test_cluster_lookup(self):
+        g = topology.path_graph(4)
+        cover = build_trivial_cover(g, 1)
+        assert cover.cluster(0).members == frozenset(range(4))
+        with pytest.raises(KeyError):
+            cover.cluster(99)
+
+    def test_validation_catches_bad_home(self):
+        g = topology.path_graph(6)
+        small = bfs_cluster_tree(g, 0, members=[0, 1], root=0)
+        cover = SparseCover.from_clusters(
+            2, [small], {v: 0 for v in g.nodes}
+        )
+        with pytest.raises(ValueError, match="misses ball"):
+            validate_cover(g, cover)
+
+    def test_tree_participants_includes_steiner(self):
+        g = topology.path_graph(5)
+        tree = steiner_tree_from_paths(
+            g, 0, root=0, members=[0, 4], attach_paths=[[0, 1, 2, 3, 4]]
+        )
+        cover = SparseCover.from_clusters(1, [tree], {0: 0, 4: 0})
+        assert cover.tree_participants(2) == (0,)
+        assert cover.clusters_of.get(2) is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=28),
+    p=st.floats(min_value=0.0, max_value=0.3),
+    seed=st.integers(min_value=0, max_value=500),
+    d=st.integers(min_value=1, max_value=3),
+)
+def test_ap_cover_property(n, p, seed, d):
+    g = topology.erdos_renyi_graph(n, p, seed)
+    cover = build_ap_cover(g, d)
+    validate_cover(g, cover, max_membership=ap_membership_bound(n))

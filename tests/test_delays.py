@@ -1,0 +1,116 @@
+"""Tests for the adversarial delay models."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net import (
+    TAU,
+    AlternatingDelay,
+    BimodalDelay,
+    ConstantDelay,
+    DirectionalSkewDelay,
+    SlowEdgesDelay,
+    UniformDelay,
+    standard_adversaries,
+)
+
+ALL_MODELS = standard_adversaries(seed=11)
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=[repr(m) for m in ALL_MODELS])
+class TestBoundsAndDeterminism:
+    def test_delays_within_bound(self, model):
+        for u, v in [(0, 1), (3, 2), (7, 9)]:
+            for seq in range(1, 30):
+                d = model(u, v, seq, now=float(seq))
+                assert 0 < d <= TAU
+
+    def test_deterministic(self, model):
+        first = [model(0, 1, seq, 0.0) for seq in range(1, 20)]
+        second = [model(0, 1, seq, 0.0) for seq in range(1, 20)]
+        assert first == second
+
+
+class TestConstantDelay:
+    def test_value(self):
+        assert ConstantDelay(0.5)(0, 1, 1, 0.0) == 0.5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ConstantDelay(0.0)
+        with pytest.raises(ValueError):
+            ConstantDelay(1.5)
+
+
+class TestUniformDelay:
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            UniformDelay(seed=0, low=0.8, high=0.2)
+
+    def test_seed_changes_sequence(self):
+        a = [UniformDelay(seed=1)(0, 1, s, 0.0) for s in range(1, 30)]
+        b = [UniformDelay(seed=2)(0, 1, s, 0.0) for s in range(1, 30)]
+        assert a != b
+
+    def test_spreads_over_range(self):
+        model = UniformDelay(seed=3)
+        values = [model(0, 1, s, 0.0) for s in range(1, 200)]
+        assert min(values) < 0.2
+        assert max(values) > 0.8
+
+
+class TestBimodal:
+    def test_extreme_fractions(self):
+        all_slow = BimodalDelay(seed=0, slow_fraction=1.0)
+        assert all(all_slow(0, 1, s, 0.0) == TAU for s in range(1, 10))
+        all_fast = BimodalDelay(seed=0, slow_fraction=0.0)
+        assert all(all_fast(0, 1, s, 0.0) < 0.1 for s in range(1, 10))
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            BimodalDelay(seed=0, slow_fraction=1.5)
+
+
+class TestSlowEdges:
+    def test_explicit_edge_set(self):
+        model = SlowEdgesDelay(seed=0, edges=[(1, 0)])
+        assert model(0, 1, 1, 0.0) == TAU
+        assert model(1, 0, 1, 0.0) == TAU
+        assert model(2, 3, 1, 0.0) < 0.1
+
+    def test_hashed_half_is_stable_per_edge(self):
+        model = SlowEdgesDelay(seed=5)
+        slow_now = model(4, 9, 1, 0.0) == TAU
+        assert (model(9, 4, 7, 3.0) == TAU) == slow_now
+
+
+class TestDirectionalSkew:
+    def test_directions_differ(self):
+        model = DirectionalSkewDelay(seed=0, slow_up=True)
+        up = model(2, 7, 1, 0.0)
+        down = model(7, 2, 1, 0.0)
+        assert up == TAU and down < TAU
+
+
+class TestAlternating:
+    def test_alternates_per_link(self):
+        model = AlternatingDelay(seed=0)
+        values = {model(0, 1, s, 0.0) for s in range(1, 5)}
+        assert values == {0.01, TAU}
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    u=st.integers(min_value=0, max_value=50),
+    v=st.integers(min_value=0, max_value=50),
+    seq=st.integers(min_value=-1000, max_value=1000),
+    now=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_every_model_respects_the_bound(u, v, seq, now, seed):
+    if u == v:
+        v = u + 1
+    for model in standard_adversaries(seed):
+        d = model(u, v, seq, now)
+        assert 0 < d <= TAU

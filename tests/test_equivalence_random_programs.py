@@ -1,0 +1,107 @@
+"""Adversarial property test: random event-driven programs through every
+synchronizer must replay the synchronous execution exactly (Theorem 5.2).
+
+A seeded :class:`RandomReactionProgram` reacts to each pulse batch with a
+deterministic hash of (node id, batch): it picks a pseudo-random subset of
+neighbors and payload values, with a TTL so executions terminate.  This
+explores message patterns no hand-written workload covers — bursty fan-outs,
+silent rounds, asymmetric chains — and any divergence between the
+synchronous and synchronized executions fails loudly.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.baselines import run_alpha, run_beta, run_gamma
+from repro.core import run_synchronized
+from repro.net import (
+    NodeProgram,
+    ProgramSpec,
+    UniformDelay,
+    fixed_initiators,
+    run_synchronous,
+    standard_adversaries,
+    topology,
+)
+
+
+def _hash(*parts) -> int:
+    digest = hashlib.blake2b(repr(parts).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class RandomReactionProgram(NodeProgram):
+    """Deterministic pseudo-random reactions with a TTL budget."""
+
+    seed = 0
+    ttl = 6
+
+    def __init__(self, info):
+        super().__init__(info)
+        self.log = []
+
+    def _react(self, api, token):
+        ttl, value = token
+        self.log.append(value)
+        api.set_output(tuple(self.log))
+        if ttl <= 0:
+            return
+        h = _hash(self.seed, self.info.node_id, value, ttl)
+        neighbors = self.info.neighbors
+        # Pseudo-randomly pick a subset (possibly empty) of neighbors.
+        chosen = [v for i, v in enumerate(neighbors) if (h >> i) & 1]
+        for v in chosen:
+            api.send(v, (ttl - 1, _hash(self.seed, value, v) % 997))
+
+    def on_start(self, api):
+        self._react(api, (self.ttl, _hash(self.seed, self.info.node_id) % 997))
+
+    def on_pulse(self, api, arrived):
+        if not arrived:
+            return
+        # Fold the whole batch into one deterministic token.
+        ttl = max(t for _, (t, _) in arrived)
+        folded = _hash(self.seed, tuple(v for _, (_, v) in arrived)) % 997
+        self._react(api, (ttl, folded))
+
+
+def random_spec(seed: int, initiators) -> ProgramSpec:
+    program = type(
+        f"RandomProgram{seed}", (RandomReactionProgram,), {"seed": seed}
+    )
+    return ProgramSpec(f"random-{seed}", program, fixed_initiators(initiators))
+
+
+FAMILIES = ["path", "grid", "er_sparse", "tree"]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_random_program_equivalence_main(family, seed):
+    g = topology.make_topology(family, 14, seed=seed)
+    spec = random_spec(seed, {0, seed % g.num_nodes})
+    sync = run_synchronous(g, spec)
+    model = standard_adversaries(seed)[seed % 8]
+    result = run_synchronized(g, spec, model)
+    assert result.outputs == sync.outputs, (family, seed)
+
+
+@pytest.mark.parametrize("seed", [6, 7, 8])
+def test_random_program_equivalence_baselines(seed):
+    g = topology.make_topology("grid", 12, seed=seed)
+    spec = random_spec(seed, {0, 5})
+    sync = run_synchronous(g, spec)
+    for runner in (run_alpha, run_beta, run_gamma):
+        result = runner(g, spec, UniformDelay(seed=seed))
+        assert result.outputs == sync.outputs, runner.__name__
+
+
+@pytest.mark.parametrize("seed", [9, 10])
+def test_random_program_many_adversaries(seed):
+    g = topology.make_topology("barbell", 14, seed=seed)
+    spec = random_spec(seed, {0})
+    sync = run_synchronous(g, spec)
+    for model in standard_adversaries(seed):
+        result = run_synchronized(g, spec, model)
+        assert result.outputs == sync.outputs, repr(model)

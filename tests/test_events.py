@@ -1,0 +1,76 @@
+"""Tests for the deterministic event queue."""
+
+import pytest
+
+from repro.net import EventQueue
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(2.0, lambda: fired.append("b"))
+        q.schedule(1.0, lambda: fired.append("a"))
+        q.schedule(3.0, lambda: fired.append("c"))
+        assert q.run() == "quiescent"
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_creation_order(self):
+        q = EventQueue()
+        fired = []
+        for i in range(10):
+            q.schedule(1.0, lambda i=i: fired.append(i))
+        q.run()
+        assert fired == list(range(10))
+
+    def test_now_advances(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(0.5, lambda: seen.append(q.now))
+        q.schedule(1.5, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [0.5, 1.5]  # both scheduled at time 0
+
+    def test_nested_scheduling(self):
+        q = EventQueue()
+        fired = []
+
+        def first():
+            fired.append(("first", q.now))
+            q.schedule(1.0, lambda: fired.append(("second", q.now)))
+
+        q.schedule(1.0, first)
+        q.run()
+        assert fired == [("first", 1.0), ("second", 2.0)]
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: q.schedule_at(1.0, lambda: None))
+        with pytest.raises(ValueError):
+            q.run()
+
+
+class TestRunLimits:
+    def test_max_time_stops_before_event(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append(1))
+        q.schedule(10.0, lambda: fired.append(2))
+        assert q.run(max_time=5.0) == "max_time"
+        assert fired == [1]
+        assert q.pending == 1
+
+    def test_max_events(self):
+        q = EventQueue()
+        for _ in range(5):
+            q.schedule(1.0, lambda: None)
+        assert q.run(max_events=3) == "max_events"
+        assert q.fired == 3
+
+    def test_step_on_empty(self):
+        assert EventQueue().step() is False

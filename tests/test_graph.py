@@ -1,0 +1,216 @@
+"""Unit and property tests for repro.net.graph."""
+
+import pytest
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.net import Graph, edge_key, topology, validate_tree
+from repro.net.graph import INFINITY
+
+
+def to_networkx(graph: Graph) -> "nx.Graph":
+    g = nx.Graph()
+    g.add_nodes_from(graph.nodes)
+    g.add_edges_from(graph.edges)
+    return g
+
+
+class TestEdgeKey:
+    def test_orders_endpoints(self):
+        assert edge_key(5, 2) == (2, 5)
+        assert edge_key(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            edge_key(3, 3)
+
+
+class TestGraphBasics:
+    def test_duplicate_edges_collapse(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+        assert g.neighbors(0) == (1,)
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 2)])
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValueError):
+            Graph(0, [])
+
+    def test_neighbors_sorted(self):
+        g = Graph(4, [(2, 0), (0, 3), (1, 0)])
+        assert g.neighbors(0) == (1, 2, 3)
+
+    def test_degree(self):
+        g = topology.star_graph(5)
+        assert g.degree(0) == 4
+        assert all(g.degree(v) == 1 for v in range(1, 5))
+
+    def test_has_edge(self):
+        g = topology.path_graph(3)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+
+class TestWeights:
+    def test_default_weight_is_one(self):
+        g = topology.path_graph(3)
+        assert g.weight(0, 1) == 1.0
+
+    def test_explicit_weights(self):
+        g = Graph(3, [(0, 1), (1, 2)], {(0, 1): 2.5})
+        assert g.weight(1, 0) == 2.5
+        assert g.weight(1, 2) == 1.0
+
+    def test_weight_for_non_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(3, [(0, 1)], {(1, 2): 1.0})
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(3, [(0, 1)], {(0, 1): 0.0})
+
+    def test_with_random_weights_unique(self):
+        g = topology.with_random_weights(topology.grid_graph(4, 4), seed=7)
+        values = list(g.weights.values())
+        assert len(set(values)) == len(values)
+
+
+class TestDistances:
+    def test_path_distances(self):
+        g = topology.path_graph(5)
+        assert g.bfs_distances(0) == (0, 1, 2, 3, 4)
+
+    def test_multi_source(self):
+        g = topology.path_graph(5)
+        assert g.bfs_distances({0, 4}) == (0, 1, 2, 1, 0)
+
+    def test_unreachable_is_infinite(self):
+        g = Graph(3, [(0, 1)])
+        assert g.bfs_distances(0)[2] == INFINITY
+
+    def test_requires_a_source(self):
+        g = topology.path_graph(3)
+        with pytest.raises(ValueError):
+            g.bfs_distances(set())
+
+    def test_source_out_of_range(self):
+        g = topology.path_graph(3)
+        with pytest.raises(ValueError):
+            g.bfs_distances(7)
+
+    def test_ball(self):
+        g = topology.path_graph(7)
+        assert g.ball(3, 1) == frozenset({2, 3, 4})
+
+    def test_diameter_known_values(self):
+        assert topology.path_graph(10).diameter() == 9
+        assert topology.cycle_graph(10).diameter() == 5
+        assert topology.star_graph(10).diameter() == 2
+        assert topology.complete_graph(6).diameter() == 1
+        assert topology.grid_graph(3, 4).diameter() == 5
+        assert topology.hypercube_graph(4).diameter() == 4
+
+    def test_diameter_rejects_disconnected(self):
+        with pytest.raises(ValueError):
+            Graph(3, [(0, 1)]).diameter()
+
+    def test_radius_center_of_path(self):
+        radius, center = topology.path_graph(9).radius_center()
+        assert radius == 4
+        assert center == 4
+
+    def test_bfs_tree_depths_match_distances(self):
+        g = topology.grid_graph(5, 5)
+        parent = g.bfs_tree(0)
+        dist = g.bfs_distances(0)
+        for v in g.nodes:
+            depth = 0
+            cur = v
+            while parent[cur] is not None:
+                cur = parent[cur]
+                depth += 1
+            assert depth == dist[v]
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("family", ["grid", "er_sparse", "regular", "tree"])
+    def test_single_source_distances(self, family):
+        g = topology.make_topology(family, 40, seed=3)
+        nxg = to_networkx(g)
+        expected = nx.single_source_shortest_path_length(nxg, 0)
+        got = g.bfs_distances(0)
+        for v in g.nodes:
+            assert got[v] == expected.get(v, INFINITY)
+
+    def test_diameter_matches(self):
+        g = topology.erdos_renyi_graph(30, 0.15, seed=5)
+        assert g.diameter() == nx.diameter(to_networkx(g))
+
+
+class TestInducedSubgraph:
+    def test_subgraph_structure(self):
+        g = topology.cycle_graph(6)
+        sub, remap = g.induced_subgraph([0, 1, 2, 3])
+        assert sub.num_nodes == 4
+        assert sub.num_edges == 3  # the cycle edge 5-0 and 3-4-5 drop out
+        assert remap[0] == 0 and remap[3] == 3
+
+    def test_subgraph_keeps_weights(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], {(1, 2): 9.0})
+        sub, remap = g.induced_subgraph([1, 2])
+        assert sub.weight(remap[1] if remap[1] < remap[2] else remap[2],
+                          max(remap[1], remap[2])) == 9.0
+
+    def test_empty_subgraph_rejected(self):
+        with pytest.raises(ValueError):
+            topology.path_graph(3).induced_subgraph([])
+
+
+class TestValidateTree:
+    def test_accepts_bfs_tree(self):
+        g = topology.grid_graph(4, 4)
+        validate_tree(16, g.bfs_tree(0), 0)
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ValueError):
+            validate_tree(2, {0: 1, 1: 0}, 0)
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            validate_tree(3, {0: None, 1: 0}, 0)
+
+    def test_rejects_rooted_root(self):
+        with pytest.raises(ValueError):
+            validate_tree(2, {0: 1, 1: None}, 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=25),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_random_tree_is_tree(n, seed):
+    g = topology.random_tree(n, seed)
+    assert g.num_edges == n - 1
+    assert g.is_connected()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=20),
+    p=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=1_000),
+    source=st.integers(min_value=0, max_value=19),
+)
+def test_er_distances_match_networkx(n, p, seed, source):
+    source %= n
+    g = topology.erdos_renyi_graph(n, p, seed)
+    nxg = to_networkx(g)
+    expected = nx.single_source_shortest_path_length(nxg, source)
+    got = g.bfs_distances(source)
+    for v in g.nodes:
+        assert got[v] == expected.get(v, INFINITY)

@@ -1,0 +1,111 @@
+"""Tests for the naive (ablation) registration scheme — correctness + congestion."""
+
+import pytest
+
+from repro.core.registration import RegistrationModule, cluster_views_for
+from repro.core.registration_naive import NaiveRegistrationModule
+from repro.covers import bfs_cluster_tree
+from repro.net import AsyncRuntime, ConstantDelay, Graph, Process, UniformDelay, topology
+
+
+def broom(k):
+    edges = [(0, 1)] + [(1, 2 + i) for i in range(k)]
+    return Graph(k + 2, edges)
+
+
+def run(module_cls, graph, tree, registrants, model):
+    finished = {}
+    registered_at = {}
+    dereg_at = {}
+
+    class Driver(Process):
+        def __init__(self, ctx):
+            super().__init__(ctx)
+            views = cluster_views_for({0: tree}, ctx.node_id)
+            self.mod = module_cls(
+                ctx.node_id, views,
+                lambda to, p, pr: ctx.send(to, p, pr if isinstance(pr, tuple) else (pr,)),
+                self._registered, self._go, lambda tag: (0,),
+            )
+
+        def _registered(self, c, t):
+            registered_at[self.ctx.node_id] = self.ctx.now
+            self.ctx.schedule_environment_event(
+                0.5, lambda: (dereg_at.__setitem__(self.ctx.node_id, self.ctx.now),
+                              self.mod.deregister(c, t)),
+            )
+
+        def _go(self, c, t):
+            finished[self.ctx.node_id] = self.ctx.now
+            self.ctx.set_output("free")
+
+        def on_start(self):
+            if self.ctx.node_id in registrants:
+                self.mod.register(0, 1)
+
+        def on_message(self, sender, payload):
+            assert self.mod.handle(sender, payload)
+
+    runtime = AsyncRuntime(graph, Driver, model)
+    result = runtime.run(max_events=20_000_000)
+    assert result.stop_reason == "quiescent"
+    return finished, registered_at, dereg_at, result
+
+
+class TestNaiveCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_everyone_freed(self, seed):
+        g = topology.random_tree(12, seed=seed)
+        tree = bfs_cluster_tree(g, 0, members=g.nodes, root=0)
+        registrants = set(range(1, 9))
+        finished, *_ = run(
+            NaiveRegistrationModule, g, tree, registrants, UniformDelay(seed=seed)
+        )
+        assert set(finished) == registrants
+
+    def test_guarantee_1_holds_for_naive_too(self):
+        g = topology.path_graph(8)
+        tree = bfs_cluster_tree(g, 0, members=g.nodes, root=0)
+        registrants = set(range(2, 8))
+        finished, registered_at, dereg_at, _ = run(
+            NaiveRegistrationModule, g, tree, registrants, UniformDelay(seed=4)
+        )
+        for v, t_go in finished.items():
+            for u, reg_t in registered_at.items():
+                if reg_t < dereg_at[v]:
+                    assert dereg_at[u] <= t_go
+
+    def test_api_errors(self):
+        from repro.core.registration import ClusterView
+
+        module = NaiveRegistrationModule(
+            0, {0: ClusterView(0, None, (1,))}, lambda *a: None,
+            lambda *a: None, lambda *a: None, lambda tag: (0,),
+        )
+        module.register(0, 1)
+        with pytest.raises(ValueError, match="double"):
+            module.register(0, 1)
+        with pytest.raises(ValueError, match="before registration"):
+            module.deregister(0, 2)
+        assert module.handle(1, ("other",)) is False
+
+
+class TestCongestionGap:
+    def test_naive_is_linear_ours_is_constant(self):
+        """The Section 3.2 congestion bug, quantitatively."""
+        times = {}
+        for k in (8, 64):
+            g = broom(k)
+            tree = bfs_cluster_tree(g, 0, members=g.nodes, root=0)
+            registrants = set(range(2, k + 2))
+            naive_fin, *_ = run(
+                NaiveRegistrationModule, g, tree, registrants, ConstantDelay(1.0)
+            )
+            ours_fin, *_ = run(
+                RegistrationModule, g, tree, registrants, ConstantDelay(1.0)
+            )
+            times[k] = (max(naive_fin.values()), max(ours_fin.values()))
+        naive_growth = times[64][0] / times[8][0]
+        ours_growth = times[64][1] / times[8][1]
+        assert naive_growth >= 6  # ~linear in registrants
+        assert ours_growth <= 1.5  # ~constant

@@ -1,0 +1,71 @@
+"""Tests for CoverRegistry — the node-local cover views."""
+
+import pytest
+
+from repro.core import CoverRegistry
+from repro.covers import build_ap_layered_cover, build_trivial_cover
+from repro.covers.cover import LayeredCover
+from repro.net import topology
+
+
+@pytest.fixture
+def registry():
+    g = topology.grid_graph(4, 4)
+    return g, CoverRegistry(build_ap_layered_cover(g, 4))
+
+
+class TestRegistry:
+    def test_global_ids_unique_across_levels(self, registry):
+        g, reg = registry
+        seen = set()
+        for level in (0, 1, 2):
+            for cid in reg.clusters_at_level(level):
+                assert cid not in seen
+                seen.add(cid)
+                assert reg.cluster(cid).level == level
+
+    def test_member_clusters_cover_every_node(self, registry):
+        g, reg = registry
+        for level in (0, 1, 2):
+            for v in g.nodes:
+                cids = reg.member_clusters(v, level)
+                assert cids, (v, level)
+                for cid in cids:
+                    assert v in reg.cluster(cid).tree.members
+
+    def test_views_include_steiner_participants(self, registry):
+        g, reg = registry
+        for v in g.nodes:
+            views = reg.views_of(v)
+            for cid, view in views.items():
+                tree = reg.cluster(cid).tree
+                assert v in tree.parent
+                assert view.parent == tree.parent[v]
+
+    def test_clamp_level(self, registry):
+        _, reg = registry
+        assert reg.clamp_level(-5) == 0
+        assert reg.clamp_level(99) == reg.top_level
+        assert reg.clamp_level(1) == 1
+
+    def test_tree_clusters_filter_by_level(self, registry):
+        g, reg = registry
+        for v in g.nodes:
+            for level in (0, 1, 2):
+                for cid in reg.tree_clusters_of(v, level):
+                    assert reg.cluster(cid).level == level
+                    assert v in reg.cluster(cid).tree.parent
+
+    def test_is_member(self, registry):
+        g, reg = registry
+        cid = reg.member_clusters(0, 1)[0]
+        assert reg.is_member(0, cid)
+
+    def test_views_consistent_parent_child(self, registry):
+        """If u's view lists child c, then c's view lists parent u."""
+        g, reg = registry
+        for v in g.nodes:
+            for cid, view in reg.views_of(v).items():
+                for c in view.children:
+                    child_view = reg.views_of(c)[cid]
+                    assert child_view.parent == v

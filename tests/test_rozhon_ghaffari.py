@@ -1,0 +1,113 @@
+"""Tests for the Rozhoň–Ghaffari decomposition and its d-cover (Thm 4.20/4.21)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.covers import (
+    build_rg_cover,
+    build_rg_decomposition,
+    build_rg_layered_cover,
+    validate_cover,
+)
+from repro.net import topology
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("family", ["path", "cycle", "grid", "tree", "er_sparse"])
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_structure(self, family, k):
+        g = topology.make_topology(family, 26, seed=4)
+        decomposition = build_rg_decomposition(g, k)
+        decomposition.validate(g)
+
+    def test_color_count_logarithmic(self):
+        g = topology.grid_graph(6, 6)
+        decomposition = build_rg_decomposition(g, 2)
+        assert decomposition.num_colors <= math.ceil(math.log2(g.num_nodes)) + 1
+
+    def test_every_node_colored_once(self):
+        g = topology.erdos_renyi_graph(30, 0.1, seed=7)
+        decomposition = build_rg_decomposition(g, 2)
+        seen = set()
+        for _, cluster in decomposition.all_clusters():
+            assert not (seen & cluster.members)
+            seen |= cluster.members
+        assert seen == set(g.nodes)
+
+    def test_weak_diameter_bound(self):
+        g = topology.grid_graph(6, 6)
+        k = 2
+        decomposition = build_rg_decomposition(g, k)
+        n = g.num_nodes
+        bound = k * math.ceil(math.log2(n)) ** 3 * 20  # generous O(k log^3 n)
+        for _, cluster in decomposition.all_clusters():
+            assert cluster.height <= bound
+
+    def test_deterministic(self):
+        g = topology.erdos_renyi_graph(24, 0.12, seed=5)
+        a = build_rg_decomposition(g, 2)
+        b = build_rg_decomposition(g, 2)
+        assert [
+            [c.members for c in color] for color in a.color_classes
+        ] == [[c.members for c in color] for color in b.color_classes]
+
+    def test_cost_accounting_positive(self):
+        g = topology.grid_graph(5, 5)
+        decomposition = build_rg_decomposition(g, 2)
+        assert decomposition.cost.rounds > 0
+        assert decomposition.cost.messages > 0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            build_rg_decomposition(topology.path_graph(4), 0)
+        from repro.net import Graph
+
+        with pytest.raises(ValueError, match="connected"):
+            build_rg_decomposition(Graph(4, [(0, 1), (2, 3)]), 1)
+
+    def test_single_node_graph(self):
+        from repro.net import Graph
+
+        g = Graph(1, [])
+        decomposition = build_rg_decomposition(g, 1)
+        assert decomposition.num_colors == 1
+        assert decomposition.color_classes[0][0].members == frozenset({0})
+
+
+class TestRgCover:
+    @pytest.mark.parametrize("family", ["path", "grid", "tree"])
+    @pytest.mark.parametrize("d", [1, 2])
+    def test_definition_2_1(self, family, d):
+        g = topology.make_topology(family, 24, seed=2)
+        cover, cost = build_rg_cover(g, d)
+        validate_cover(g, cover)
+        assert cost.rounds > 0
+
+    def test_membership_logarithmic(self):
+        g = topology.grid_graph(5, 5)
+        cover, _ = build_rg_cover(g, 2)
+        # One cluster per color: membership <= number of colors.
+        assert cover.max_membership <= math.ceil(math.log2(g.num_nodes)) + 1
+
+    def test_layered(self):
+        g = topology.grid_graph(4, 4)
+        layered, cost = build_rg_layered_cover(g, 4)
+        assert set(layered.levels) == {0, 1, 2}
+        for cover in layered.levels.values():
+            validate_cover(g, cover)
+        assert cost.rounds > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=20),
+    p=st.floats(min_value=0.0, max_value=0.3),
+    seed=st.integers(min_value=0, max_value=200),
+    k=st.integers(min_value=1, max_value=3),
+)
+def test_decomposition_property(n, p, seed, k):
+    g = topology.erdos_renyi_graph(n, p, seed)
+    decomposition = build_rg_decomposition(g, k)
+    decomposition.validate(g)

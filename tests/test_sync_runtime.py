@@ -1,0 +1,186 @@
+"""Tests for the synchronous CONGEST round simulator."""
+
+import pytest
+
+from repro.net import (
+    NodeProgram,
+    ProgramSpec,
+    all_nodes_initiate,
+    run_synchronous,
+    single_initiator,
+    topology,
+)
+
+
+class FloodMax(NodeProgram):
+    """Every node floods the max id it has seen; outputs its final value.
+
+    Event-driven: a node re-broadcasts only when its known max improves.
+    """
+
+    def __init__(self, info):
+        super().__init__(info)
+        self.best = info.node_id
+
+    def on_start(self, api):
+        api.set_output(self.best)
+        for v in self.info.neighbors:
+            api.send(v, self.best)
+
+    def on_pulse(self, api, arrived):
+        improved = False
+        for _, value in arrived:
+            if value > self.best:
+                self.best = value
+                improved = True
+        if improved:
+            api.set_output(self.best)
+            for v in self.info.neighbors:
+                api.send(v, self.best)
+
+
+FLOOD_MAX = ProgramSpec("flood-max", FloodMax, all_nodes_initiate)
+
+
+class SyncBfsFlood(NodeProgram):
+    """Plain synchronous BFS: join proposals ripple outward one hop per round."""
+
+    def __init__(self, info):
+        super().__init__(info)
+        self.dist = None
+
+    def on_start(self, api):
+        self.dist = 0
+        api.set_output(0)
+        for v in self.info.neighbors:
+            api.send(v, 0)
+
+    def on_pulse(self, api, arrived):
+        if self.dist is None and arrived:
+            self.dist = arrived[0][1] + 1
+            api.set_output(self.dist)
+            for v in self.info.neighbors:
+                api.send(v, self.dist)
+
+
+def bfs_spec(source):
+    return ProgramSpec("sync-bfs", SyncBfsFlood, single_initiator(source))
+
+
+class DoubleSendProgram(NodeProgram):
+    def on_start(self, api):
+        api.send(self.info.neighbors[0], "x")
+        api.send(self.info.neighbors[0], "y")
+
+
+class TestFloodMax:
+    @pytest.mark.parametrize("family", ["path", "grid", "er_sparse", "star"])
+    def test_all_learn_max(self, family):
+        g = topology.make_topology(family, 20, seed=2)
+        result = run_synchronous(g, FLOOD_MAX)
+        assert result.outputs == {v: g.num_nodes - 1 for v in g.nodes}
+
+    def test_time_is_eccentricity_of_max(self):
+        g = topology.path_graph(10)
+        result = run_synchronous(g, FLOOD_MAX)
+        # Max id 9 sits at one end; its value must cross the whole path.
+        assert result.rounds_to_output == 9
+
+    def test_message_bound(self):
+        g = topology.path_graph(10)
+        result = run_synchronous(g, FLOOD_MAX)
+        # On a path, node i improves up to n-1-i times, 2 sends each,
+        # plus the initial broadcast: Theta(n^2) total.
+        n = g.num_nodes
+        assert result.messages <= 2 * n * n
+
+
+class TestSyncBfs:
+    @pytest.mark.parametrize("family", ["path", "cycle", "grid", "tree", "barbell"])
+    def test_distances(self, family):
+        g = topology.make_topology(family, 25, seed=1)
+        result = run_synchronous(g, bfs_spec(0))
+        expected = g.bfs_distances(0)
+        for v in g.nodes:
+            assert result.outputs[v] == expected[v]
+
+    def test_round_count_equals_eccentricity(self):
+        g = topology.path_graph(12)
+        result = run_synchronous(g, bfs_spec(0))
+        assert result.rounds_to_output == 11
+
+    def test_messages_are_two_per_edge(self):
+        g = topology.grid_graph(4, 4)
+        result = run_synchronous(g, bfs_spec(0))
+        # Every node sends to every neighbor exactly once.
+        assert result.messages == 2 * g.num_edges
+
+
+class TestRuntimeDiscipline:
+    def test_double_send_rejected(self):
+        g = topology.path_graph(3)
+        spec = ProgramSpec("double", DoubleSendProgram, all_nodes_initiate)
+        with pytest.raises(ValueError, match="sent twice"):
+            run_synchronous(g, spec)
+
+    def test_max_rounds_guard(self):
+        class Ping(NodeProgram):
+            def on_start(self, api):
+                api.send(self.info.neighbors[0], 0)
+
+            def on_pulse(self, api, arrived):
+                for sender, value in arrived:
+                    api.send(sender, value + 1)
+
+        g = topology.path_graph(2)
+        from repro.net import SyncRuntime
+
+        with pytest.raises(RuntimeError, match="exceeded"):
+            SyncRuntime(g, ProgramSpec("ping", Ping, all_nodes_initiate)).run(max_rounds=50)
+
+    def test_sender_only_trigger(self):
+        """A node that sent at pulse p-1 but received nothing is still pulsed."""
+
+        class TwoStep(NodeProgram):
+            def __init__(self, info):
+                super().__init__(info)
+                self.steps = 0
+
+            def on_start(self, api):
+                if self.info.node_id == 0:
+                    api.send(self.info.neighbors[0], "a")
+
+            def on_pulse(self, api, arrived):
+                self.steps += 1
+                if self.info.node_id == 0 and self.steps == 1:
+                    assert arrived == ()
+                    api.set_output("sender-pulsed")
+
+        g = topology.path_graph(2)
+        result = run_synchronous(
+            g, ProgramSpec("two-step", TwoStep, all_nodes_initiate)
+        )
+        assert result.outputs[0] == "sender-pulsed"
+
+    def test_arrivals_sorted_by_sender(self):
+        class Recorder(NodeProgram):
+            def on_start(self, api):
+                if self.info.node_id != 1:
+                    api.send(1, self.info.node_id)
+
+            def on_pulse(self, api, arrived):
+                if self.info.node_id == 1 and arrived:
+                    api.set_output([s for s, _ in arrived])
+
+        g = topology.star_graph(6)  # center 0; re-wire so node 1 is the hub
+        g = topology.complete_graph(5)
+        result = run_synchronous(
+            g, ProgramSpec("recorder", Recorder, all_nodes_initiate)
+        )
+        assert result.outputs[1] == [0, 2, 3, 4]
+
+    def test_record_messages(self):
+        g = topology.path_graph(3)
+        result = run_synchronous(g, bfs_spec(0), record_messages=True)
+        assert (0, 0, 1, 0) in result.pulse_messages
+        assert (1, 1, 2, 1) in result.pulse_messages

@@ -1,0 +1,150 @@
+"""Tests for the general deterministic synchronizer (Section 5).
+
+The theorem being checked (Theorem 5.2): the asynchronous execution produces
+exactly the messages/outputs of the synchronous one, for every event-driven
+program, under every adversary.
+"""
+
+import pytest
+
+from repro.apps.programs import (
+    bfs_spec,
+    broadcast_echo_spec,
+    flood_max_spec,
+    neighbor_sum_spec,
+    path_token_spec,
+    pulse_wave_spec,
+    standard_programs,
+)
+from repro.core import pulse_bound_for, registry_for_threshold, run_synchronized
+from repro.net import (
+    ConstantDelay,
+    NodeProgram,
+    ProgramSpec,
+    all_nodes_initiate,
+    run_synchronous,
+    standard_adversaries,
+    topology,
+)
+
+ADVERSARIES = standard_adversaries(seed=41)
+FAMILIES = ["path", "grid", "er_sparse", "tree", "barbell"]
+
+
+class TestTheorem52Equivalence:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_all_programs_all_adversaries(self, family):
+        g = topology.make_topology(family, 16, seed=1)
+        for spec in standard_programs(g):
+            sync = run_synchronous(g, spec)
+            for model in ADVERSARIES[:4]:
+                result = run_synchronized(g, spec, model)
+                assert result.outputs == sync.outputs, (family, spec.name, repr(model))
+
+    @pytest.mark.parametrize("model", ADVERSARIES, ids=repr)
+    def test_deep_program_every_adversary(self, model):
+        g = topology.path_graph(14)
+        spec = broadcast_echo_spec(0)
+        sync = run_synchronous(g, spec)
+        result = run_synchronized(g, spec, model)
+        assert result.outputs == sync.outputs
+
+    def test_pulse_wave(self):
+        g = topology.grid_graph(4, 4)
+        spec = pulse_wave_spec()
+        sync = run_synchronous(g, spec)
+        result = run_synchronized(g, spec, ADVERSARIES[5])
+        assert result.outputs == sync.outputs
+
+    def test_single_node(self):
+        from repro.net import Graph
+
+        class Lonely(NodeProgram):
+            def on_start(self, api):
+                api.set_output("done")
+
+        g = Graph(1, [])
+        spec = ProgramSpec("lonely", Lonely, all_nodes_initiate)
+        result = run_synchronized(g, spec, ConstantDelay(1.0), max_pulse=2)
+        assert result.outputs == {0: "done"}
+
+
+class TestOverheads:
+    def test_message_overhead_polylog_shape(self):
+        """Theorem 5.3: M(A') within polylog of M(A) + m."""
+        import math
+
+        for n in (16, 32):
+            g = topology.cycle_graph(n)
+            spec = bfs_spec(0)
+            sync = run_synchronous(g, spec)
+            result = run_synchronized(g, spec, ConstantDelay(1.0))
+            budget = (sync.messages + g.num_edges) * 60 * math.log2(n) ** 2
+            assert result.messages <= budget
+
+    def test_time_overhead_polylog_shape(self):
+        import math
+
+        g = topology.path_graph(24)
+        spec = bfs_spec(0)
+        sync = run_synchronous(g, spec)
+        result = run_synchronized(g, spec, ConstantDelay(1.0))
+        assert result.time_to_output <= 60 * sync.rounds_to_output * math.log2(
+            g.num_nodes
+        ) ** 2
+
+    def test_registry_and_bound_reuse(self):
+        g = topology.grid_graph(4, 4)
+        spec = flood_max_spec()
+        bound = pulse_bound_for(g, spec)
+        registry = registry_for_threshold(g, bound)
+        result = run_synchronized(
+            g, spec, ADVERSARIES[1], registry=registry, max_pulse=bound
+        )
+        assert result.outputs == run_synchronous(g, spec).outputs
+
+
+class TestContractEnforcement:
+    def test_non_event_driven_program_rejected(self):
+        """A program that sends without a trigger breaks the model (App. B)."""
+
+        class Rogue(NodeProgram):
+            def __init__(self, info):
+                super().__init__(info)
+                self.fired = False
+
+            def on_start(self, api):
+                api.send(self.info.neighbors[0], "a")
+
+            def on_pulse(self, api, arrived):
+                # Sends at every pulse whether or not triggered — but the
+                # runtime only pulses triggered nodes, so this stays legal.
+                if arrived and not self.fired:
+                    self.fired = True
+                    api.send(self.info.neighbors[0], "b")
+
+        g = topology.path_graph(3)
+        spec = ProgramSpec("ok", Rogue, all_nodes_initiate)
+        result = run_synchronized(g, spec, ConstantDelay(1.0))
+        assert result.stop_reason == "quiescent"
+
+    def test_max_pulse_must_be_power_of_two(self):
+        g = topology.path_graph(4)
+        with pytest.raises(ValueError, match="power of two"):
+            run_synchronized(g, bfs_spec(0), ConstantDelay(1.0), max_pulse=3)
+
+    def test_pulse_bound_exceeded_raises(self):
+        g = topology.path_graph(10)
+        with pytest.raises(RuntimeError, match="pulse bound"):
+            run_synchronized(g, bfs_spec(0), ConstantDelay(1.0), max_pulse=2)
+
+
+class TestDeterminism:
+    def test_identical_reruns(self):
+        g = topology.grid_graph(4, 4)
+        spec = neighbor_sum_spec()
+        a = run_synchronized(g, spec, ADVERSARIES[2])
+        b = run_synchronized(g, spec, ADVERSARIES[2])
+        assert a.outputs == b.outputs
+        assert a.messages == b.messages
+        assert a.time_to_quiescence == b.time_to_quiescence

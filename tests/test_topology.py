@@ -1,0 +1,130 @@
+"""Tests for the deterministic topology generators."""
+
+import pytest
+
+from repro.net import topology
+from repro.net.topology import TOPOLOGY_FAMILIES, make_topology
+
+
+class TestExactFamilies:
+    def test_path(self):
+        g = topology.path_graph(6)
+        assert (g.num_nodes, g.num_edges) == (6, 5)
+        assert g.diameter() == 5
+
+    def test_cycle(self):
+        g = topology.cycle_graph(8)
+        assert (g.num_nodes, g.num_edges) == (8, 8)
+        assert all(g.degree(v) == 2 for v in g.nodes)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            topology.cycle_graph(2)
+
+    def test_star(self):
+        g = topology.star_graph(7)
+        assert g.num_edges == 6
+        assert g.degree(0) == 6
+
+    def test_complete(self):
+        g = topology.complete_graph(5)
+        assert g.num_edges == 10
+
+    def test_grid(self):
+        g = topology.grid_graph(3, 5)
+        assert g.num_nodes == 15
+        assert g.num_edges == 3 * 4 + 2 * 5
+        assert g.diameter() == 2 + 4
+
+    def test_torus_regular(self):
+        g = topology.torus_graph(4, 5)
+        assert g.num_nodes == 20
+        assert all(g.degree(v) == 4 for v in g.nodes)
+
+    def test_torus_too_small(self):
+        with pytest.raises(ValueError):
+            topology.torus_graph(2, 5)
+
+    def test_balanced_tree(self):
+        g = topology.balanced_tree(2, 3)
+        assert g.num_nodes == 15
+        assert g.num_edges == 14
+        assert g.diameter() == 6
+
+    def test_balanced_tree_height_zero(self):
+        g = topology.balanced_tree(3, 0)
+        assert g.num_nodes == 1
+
+    def test_caterpillar(self):
+        g = topology.caterpillar_graph(4, 2)
+        assert g.num_nodes == 4 + 8
+        assert g.num_edges == 3 + 8
+
+    def test_hypercube(self):
+        g = topology.hypercube_graph(3)
+        assert g.num_nodes == 8
+        assert all(g.degree(v) == 3 for v in g.nodes)
+        assert g.diameter() == 3
+
+    def test_barbell(self):
+        g = topology.barbell_graph(4, 3)
+        assert g.num_nodes == 11
+        assert g.is_connected()
+        # Bridge dominates the diameter: 1 + (bridge_length + 1) + 1.
+        assert g.diameter() == 1 + 4 + 1
+
+    def test_lollipop(self):
+        g = topology.lollipop_graph(4, 5)
+        assert g.num_nodes == 9
+        assert g.is_connected()
+
+
+class TestRandomFamilies:
+    def test_random_tree_deterministic(self):
+        a = topology.random_tree(20, seed=1)
+        b = topology.random_tree(20, seed=1)
+        c = topology.random_tree(20, seed=2)
+        assert a.edges == b.edges
+        assert a.edges != c.edges
+
+    def test_er_connected_and_deterministic(self):
+        a = topology.erdos_renyi_graph(30, 0.05, seed=4)
+        b = topology.erdos_renyi_graph(30, 0.05, seed=4)
+        assert a.edges == b.edges
+        assert a.is_connected()
+
+    def test_er_p_zero_is_tree(self):
+        g = topology.erdos_renyi_graph(15, 0.0, seed=0)
+        assert g.num_edges == 14
+        assert g.is_connected()
+
+    def test_random_regular_connected(self):
+        g = topology.random_regular_graph(24, 4, seed=9)
+        assert g.is_connected()
+        # Near-regular: the skeleton may push a node above d.
+        assert max(g.degree(v) for v in g.nodes) <= 4 + 2
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(ValueError):
+            topology.random_regular_graph(5, 3, seed=0)
+
+    def test_geometric_connected(self):
+        g = topology.random_geometric_like_graph(25, 0.3, seed=2)
+        assert g.is_connected()
+
+
+class TestMakeTopology:
+    @pytest.mark.parametrize("family", TOPOLOGY_FAMILIES)
+    def test_families_build_connected(self, family):
+        g = make_topology(family, 24, seed=1)
+        assert g.is_connected()
+        assert g.num_nodes >= 8
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            make_topology("nope", 10)
+
+    def test_deterministic(self):
+        a = make_topology("er_sparse", 30, seed=5)
+        b = make_topology("er_sparse", 30, seed=5)
+        assert a.edges == b.edges
