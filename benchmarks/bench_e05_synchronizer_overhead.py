@@ -18,20 +18,35 @@ from repro.apps.programs import bfs_spec, broadcast_echo_spec, flood_max_spec
 from repro.core import run_synchronized
 from repro.net import run_synchronous, topology
 
+# Per-program sweep sizes: the rebuilt event engine (see DESIGN.md §6)
+# makes n=256 routine for single-initiator programs; flood-max (every node
+# initiates, Theta(n^2) messages on a cycle) is capped at 128 to stay inside
+# the CI budget.
 PROGRAMS = [
-    ("sync-bfs", lambda: bfs_spec(0)),
-    ("broadcast-echo", lambda: broadcast_echo_spec(0)),
-    ("flood-max", flood_max_spec),
+    ("sync-bfs", lambda: bfs_spec(0), (32, 64, 128, 256)),
+    ("broadcast-echo", lambda: broadcast_echo_spec(0), (32, 64, 128, 256)),
+    ("flood-max", flood_max_spec, (32, 64, 128)),
 ]
 
+#: Topology families swept at n≈256 for the BFS program (the paper's
+#: overheads are topology-uniform; expanders exercise the low-diameter
+#: regime, grids the high-diameter one).
+FAMILIES = {
+    "cycle": lambda n: topology.cycle_graph(n),
+    "grid": lambda n: topology.grid_graph(
+        max(2, round(n ** 0.5)), max(2, round(n ** 0.5))
+    ),
+    "expander": lambda n: topology.random_regular_graph(n, 4, seed=1),
+}
 
-def _sweep(spec_name, spec_factory):
+
+def _sweep(spec_name, spec_factory, sizes, family="cycle"):
     series = Series(
-        f"E5: synchronizer overheads for {spec_name} (Thm 5.3)",
+        f"E5: synchronizer overheads for {spec_name} on {family} (Thm 5.3)",
         ["n", "T(A)", "M(A)", "T(A')", "M(A')", "time_overhead", "msg_overhead"],
     )
-    for n in (16, 32, 64):
-        g = topology.cycle_graph(n)
+    for n in sizes:
+        g = FAMILIES[family](n)
         spec = spec_factory()
         sync = run_synchronous(g, spec)
         result = run_synchronized(g, spec, BENCH_DELAYS)
@@ -39,7 +54,7 @@ def _sweep(spec_name, spec_factory):
         t_over = result.time_to_output / max(sync.rounds_to_output, 1)
         m_over = result.messages / (sync.messages + g.num_edges)
         series.add(
-            n,
+            g.num_nodes,
             sync.rounds_to_output,
             sync.messages,
             round(result.time_to_output, 1),
@@ -50,23 +65,48 @@ def _sweep(spec_name, spec_factory):
     return series
 
 
+# Threshold note: the paper's overheads are polylog, but a power-law fit
+# over 32..256 sees the local exponent of log^k(n), measured at ~0.70-0.87
+# for these programs.  A linear-overhead synchronizer (e.g. alpha's
+# per-pulse flooding) fits exponent ~1.0 on the same sweep, so thresholds
+# sit between the measured polylog slope and 1.0 to keep discrimination.
 def test_e05_bfs_overheads(benchmark):
     series = run_once(benchmark, lambda: _sweep(*PROGRAMS[0]))
     record(benchmark, series)
     ns = series.column("n")
-    assert power_exponent(ns, series.column("time_overhead")) < 0.8
-    assert power_exponent(ns, series.column("msg_overhead")) < 0.8
+    assert power_exponent(ns, series.column("time_overhead")) < 0.92
+    assert power_exponent(ns, series.column("msg_overhead")) < 0.78
 
 
 def test_e05_echo_overheads(benchmark):
     series = run_once(benchmark, lambda: _sweep(*PROGRAMS[1]))
     record(benchmark, series)
     ns = series.column("n")
-    assert power_exponent(ns, series.column("msg_overhead")) < 0.8
+    assert power_exponent(ns, series.column("msg_overhead")) < 0.88
 
 
 def test_e05_floodmax_overheads(benchmark):
     series = run_once(benchmark, lambda: _sweep(*PROGRAMS[2]))
+    record(benchmark, series)
+    ns = series.column("n")
+    assert power_exponent(ns, series.column("msg_overhead")) < 0.8
+
+
+def test_e05_bfs_grid_overheads(benchmark):
+    series = run_once(
+        benchmark, lambda: _sweep("sync-bfs", lambda: bfs_spec(0),
+                                  (64, 144, 256), family="grid")
+    )
+    record(benchmark, series)
+    ns = series.column("n")
+    assert power_exponent(ns, series.column("msg_overhead")) < 0.8
+
+
+def test_e05_bfs_expander_overheads(benchmark):
+    series = run_once(
+        benchmark, lambda: _sweep("sync-bfs", lambda: bfs_spec(0),
+                                  (64, 128, 256), family="expander")
+    )
     record(benchmark, series)
     ns = series.column("n")
     assert power_exponent(ns, series.column("msg_overhead")) < 0.8

@@ -126,7 +126,7 @@ def _sweep():
         ["n", "variant", "M_sync", "M_async", "time_async"],
     )
     ratios = {}
-    for n in (12, 24, 48):
+    for n in (12, 48, 96):
         g = topology.path_graph(n)
         event_spec = ProgramSpec("token-event", EventDrivenToken, all_nodes_initiate)
         clock_spec = ProgramSpec("token-clock", ClockBasedToken, all_nodes_initiate)
@@ -146,5 +146,5 @@ def test_e10_clock_penalty(benchmark):
     series, ratios = run_once(benchmark, _sweep)
     record(benchmark, series)
     # The clock-based variant pays a growing multiplicative penalty.
-    assert ratios[48] > 1.5
-    assert ratios[48] > ratios[12]
+    assert ratios[96] > 1.5
+    assert ratios[96] > ratios[12]

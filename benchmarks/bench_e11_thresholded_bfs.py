@@ -22,10 +22,10 @@ from repro.net import topology
 
 def _threshold_sweep():
     series = Series(
-        "E11: 2^t-thresholded BFS vs t (Thm 4.11/4.15)",
+        "E11: 2^t-thresholded BFS vs t on cycle(256) (Thm 4.11/4.15)",
         ["threshold", "messages", "msgs/m", "time", "time/2^t"],
     )
-    g = topology.cycle_graph(64)
+    g = topology.cycle_graph(256)
     for t in (1, 2, 3, 4, 5):
         theta = 1 << t
         outcome = run_thresholded_bfs(g, 0, theta, BENCH_DELAYS)
@@ -35,6 +35,31 @@ def _threshold_sweep():
             round(outcome.messages / g.num_edges, 1),
             round(outcome.result.time_to_output, 1),
             round(outcome.result.time_to_output / theta, 1),
+        )
+    return series
+
+
+def _family_sweep():
+    """Fixed threshold 2^3 across topology families at n≈256 (Thm 4.15: the
+    message bound is Õ(m), uniform over topologies)."""
+    series = Series(
+        "E11c: 2^3-thresholded BFS across families, n≈256",
+        ["family", "n", "m", "messages", "msgs/m", "time"],
+    )
+    graphs = [
+        ("cycle", topology.cycle_graph(256)),
+        ("grid", topology.grid_graph(16, 16)),
+        ("expander", topology.random_regular_graph(256, 4, seed=1)),
+    ]
+    for family, g in graphs:
+        outcome = run_thresholded_bfs(g, 0, 8, BENCH_DELAYS)
+        series.add(
+            family,
+            g.num_nodes,
+            g.num_edges,
+            outcome.messages,
+            round(outcome.messages / g.num_edges, 1),
+            round(outcome.result.time_to_output, 1),
         )
     return series
 
@@ -74,3 +99,12 @@ def test_e11_stage_scaling(benchmark):
     # Theorem 4.17: messages ~ linear in l (factor-8 range, allow 12x).
     assert msgs[-1] <= 12 * msgs[0]
     assert msgs[-1] >= 2 * msgs[0]
+
+
+def test_e11_family_scaling(benchmark):
+    series = run_once(benchmark, _family_sweep)
+    record(benchmark, series)
+    # Õ(m) messages: the per-edge cost stays within a polylog-ish band
+    # across families of the same size.
+    per_edge = series.column("msgs/m")
+    assert max(per_edge) <= 12 * min(per_edge)

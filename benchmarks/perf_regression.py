@@ -1,0 +1,228 @@
+"""Performance-regression harness for the discrete-event core.
+
+Measures wall time and throughput of the synchronizer stack on a fixed
+workload matrix and records them in ``BENCH_core.json`` next to this script,
+so every future change has a perf trajectory to beat.  Determinism is pinned
+alongside speed: each entry stores the message count and a digest of the
+node outputs, and ``--check`` fails on any mismatch (the engine must stay
+byte-for-byte reproducible, not merely fast).
+
+Usage:
+    python benchmarks/perf_regression.py            # run full matrix, print
+    python benchmarks/perf_regression.py --quick    # CI subset
+    python benchmarks/perf_regression.py --write    # refresh BENCH_core.json
+    python benchmarks/perf_regression.py --check    # fail on regression
+                                                    #   (>30% throughput drop
+                                                    #    or any determinism
+                                                    #    mismatch)
+
+Wall times on shared CI machines are noisy and CI runners are not the
+machine that wrote the baseline; the gate therefore (a) uses best-of-N
+messages/second (the most stable throughput proxy), (b) rescales the
+committed baseline by a host-speed calibration loop recorded alongside it
+(so a runner half as fast as the authoring host is held to half the
+absolute floor), and (c) keeps a generous threshold on top.  Exact fields
+(messages, outputs digest) are compared strictly — determinism does not get
+a noise allowance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.programs import bfs_spec  # noqa: E402
+from repro.core import run_synchronized, run_thresholded_bfs  # noqa: E402
+from repro.net import topology  # noqa: E402
+from repro.net.delays import UniformDelay  # noqa: E402
+
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_core.json"
+SEED = 2305  # arXiv number of the paper
+DEFAULT_THRESHOLD = 0.30  # fail --check when msgs/sec drops by more than this
+
+#: Wall time of ``run_synchronized(bfs_spec(0), cycle_graph(64), UniformDelay)``
+#: at the seed revision (commit 1863e4f), measured on the same host with the
+#: same best-of-N methodology used below.  The rebuilt engine is compared
+#: against this to document the speedup (messages and outputs are
+#: byte-identical between the two revisions).
+SEED_REFERENCE = {
+    "workload": "sync-bfs/cycle/64",
+    "wall_best": 0.0988,
+    "wall_median": 0.1018,
+    "messages": 8272,
+    # Interleaved A/B runs (seed worktree vs this tree, alternating in the
+    # same minute to cancel host-load drift) measured 3.4-3.9x at n=64 and
+    # ~4.3x at n=256.  The ratio computed per --write run below compares
+    # against wall clocks from different load windows and is noisier.
+    "speedup_interleaved_ab": "3.4-3.9x (n=64), ~4.3x (n=256)",
+}
+
+
+def _digest(outputs) -> str:
+    return hashlib.sha256(repr(sorted(outputs.items())).encode()).hexdigest()[:16]
+
+
+def _calibrate(reps: int = 3) -> float:
+    """Host-speed proxy (ops/sec): a fixed pure-Python workload shaped like
+    the event loop (dict/heap traffic plus float arithmetic), best of N."""
+    import heapq
+
+    def spin():
+        heap = []
+        d = {}
+        acc = 0.0
+        for i in range(60_000):
+            heapq.heappush(heap, ((i * 0.618) % 1.0, i))
+            d[i & 1023] = i
+            acc += (i * 0.6180339887498949) % 1.0
+            if i & 1:
+                heapq.heappop(heap)
+        return acc
+
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        spin()
+        best = min(best, time.perf_counter() - t0)
+    return 60_000 / best
+
+
+def _run_synchronized(graph):
+    return run_synchronized(graph, bfs_spec(0), UniformDelay(seed=SEED))
+
+
+def _run_tbfs(graph, threshold):
+    outcome = run_thresholded_bfs(graph, 0, threshold, UniformDelay(seed=SEED))
+    return outcome.result
+
+
+# (name, graph builder, runner) — ``quick`` entries run in CI.
+WORKLOADS = [
+    ("sync-bfs/cycle/64", lambda: topology.cycle_graph(64), _run_synchronized, True),
+    ("sync-bfs/grid/256", lambda: topology.grid_graph(16, 16), _run_synchronized, True),
+    ("sync-bfs/cycle/256", lambda: topology.cycle_graph(256), _run_synchronized, False),
+    ("sync-bfs/regular/256",
+     lambda: topology.random_regular_graph(256, 4, seed=1), _run_synchronized, False),
+    ("tbfs-16/cycle/256",
+     lambda: topology.cycle_graph(256), lambda g: _run_tbfs(g, 16), False),
+]
+
+
+def measure(quick: bool, reps: int = 5) -> dict:
+    results = {}
+    for name, build, runner, in_quick in WORKLOADS:
+        if quick and not in_quick:
+            continue
+        graph = build()
+        runner(graph)  # warm caches (covers, pulse bounds, infos)
+        walls = []
+        result = None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            result = runner(graph)
+            walls.append(time.perf_counter() - t0)
+        best = min(walls)
+        results[name] = {
+            "wall_best": round(best, 5),
+            "wall_median": round(statistics.median(walls), 5),
+            "messages": result.messages,
+            "events_fired": result.events_fired,
+            "msgs_per_sec": round(result.messages / best),
+            "outputs_digest": _digest(result.outputs),
+        }
+        print(f"{name:26s} best {best*1e3:8.1f} ms   "
+              f"{results[name]['msgs_per_sec']:>9,} msgs/s   "
+              f"{result.messages:>7} msgs   {results[name]['outputs_digest']}")
+    return results
+
+
+def check(current: dict, committed: dict, threshold: float) -> int:
+    # Rescale the committed floors by relative host speed, so the absolute
+    # msgs/sec recorded on the authoring machine transfers to slower (or
+    # faster) CI runners.
+    base_cal = committed.get("calibration_ops_per_sec")
+    if base_cal:
+        scale = _calibrate() / base_cal
+        print(f"host speed vs baseline host: x{scale:.2f}")
+    else:
+        scale = 1.0
+    failures = []
+    for name, entry in current.items():
+        base = committed.get("workloads", {}).get(name)
+        if base is None:
+            print(f"NOTE: {name} not in committed baseline, skipping")
+            continue
+        if entry["messages"] != base["messages"]:
+            failures.append(
+                f"{name}: message count changed {base['messages']} -> {entry['messages']}"
+            )
+        if entry["outputs_digest"] != base["outputs_digest"]:
+            failures.append(
+                f"{name}: outputs digest changed {base['outputs_digest']}"
+                f" -> {entry['outputs_digest']}"
+            )
+        floor = base["msgs_per_sec"] * scale * (1.0 - threshold)
+        if entry["msgs_per_sec"] < floor:
+            failures.append(
+                f"{name}: throughput regressed {base['msgs_per_sec']:,} ->"
+                f" {entry['msgs_per_sec']:,} msgs/s"
+                f" (host-scaled floor {floor:,.0f})"
+            )
+    if failures:
+        print("\nPERF REGRESSION CHECK FAILED:")
+        for f in failures:
+            print(" -", f)
+        return 1
+    print("\nperf regression check passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI subset")
+    parser.add_argument("--write", action="store_true", help="update BENCH_core.json")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against committed BENCH_core.json")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    parser.add_argument("--reps", type=int, default=5)
+    args = parser.parse_args()
+
+    current = measure(quick=args.quick, reps=args.reps)
+
+    if args.check:
+        if not BENCH_PATH.exists():
+            print("no committed BENCH_core.json; nothing to check against")
+            return 1
+        committed = json.loads(BENCH_PATH.read_text())
+        return check(current, committed, args.threshold)
+
+    if args.write:
+        acceptance = current.get(SEED_REFERENCE["workload"])
+        payload = {
+            "methodology": (
+                f"best of {args.reps} warm runs per workload; UniformDelay"
+                f" seed {SEED}; msgs_per_sec = messages / wall_best; --check"
+                " rescales floors by calibration_ops_per_sec of the host"
+            ),
+            "calibration_ops_per_sec": round(_calibrate()),
+            "seed_reference": SEED_REFERENCE,
+            "speedup_vs_seed_this_run": (
+                round(SEED_REFERENCE["wall_best"] / acceptance["wall_best"], 2)
+                if acceptance else None
+            ),
+            "workloads": current,
+        }
+        BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {BENCH_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

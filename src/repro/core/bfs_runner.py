@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from weakref import WeakKeyDictionary
 
 from ..covers.builders import build_layered_cover
 from ..covers.cover import LayeredCover
@@ -39,11 +40,26 @@ def required_cover_radius(threshold: int) -> int:
     return 1 << (t + COVER_LEVEL_OFFSET)
 
 
+# Cover construction is a pure function of (graph, radius, builder); sweeps
+# and repeated runs over the same graph share the registry.  Keyed weakly so
+# discarded graphs release their covers.
+_REGISTRY_CACHE: "WeakKeyDictionary[Graph, Dict[Tuple[int, str], CoverRegistry]]" = (
+    WeakKeyDictionary()
+)
+
+
 def registry_for_threshold(
     graph: Graph, threshold: int, builder: str = "ap"
 ) -> CoverRegistry:
-    layered = build_layered_cover(graph, required_cover_radius(threshold), builder)
-    return CoverRegistry(layered)
+    radius = required_cover_radius(threshold)
+    per_graph = _REGISTRY_CACHE.get(graph)
+    if per_graph is None:
+        per_graph = _REGISTRY_CACHE[graph] = {}
+    registry = per_graph.get((radius, builder))
+    if registry is None:
+        layered = build_layered_cover(graph, radius, builder)
+        registry = per_graph[(radius, builder)] = CoverRegistry(layered)
+    return registry
 
 
 class ThresholdedBFSProcess(Process):
@@ -56,14 +72,21 @@ class ThresholdedBFSProcess(Process):
 
     def __init__(self, ctx: ProcessContext) -> None:
         super().__init__(ctx)
+        # Priority tuples are pre-built per stage (stages range over
+        # 0..threshold+1), so the hot send path allocates nothing extra.
+        priorities = tuple((s,) for s in range(self.threshold + 2))
+        send = ctx.send
         self.core = ThresholdedBFSCore(
             node_id=ctx.node_id,
             neighbors=ctx.neighbors,
             registry=self.registry,
             threshold=self.threshold,
-            send=lambda to, payload, stage: ctx.send(to, payload, (stage,)),
+            send=lambda to, payload, stage: send(to, payload, priorities[stage]),
             on_complete=self._on_complete,
         )
+        # Shadow the class method: the transport calls the node engine
+        # directly (one frame less per delivered message).
+        self.on_message = self.core.handle
 
     def _on_complete(self, pulse: Optional[int]) -> None:
         self.ctx.set_output(

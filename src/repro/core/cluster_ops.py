@@ -21,8 +21,7 @@ the counts Theorem 3.1 charges.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..net.graph import NodeId
 from .registration import ClusterView
@@ -34,14 +33,24 @@ Key = Tuple[int, Tag]
 MergeFn = Callable[[Any, Any], Any]
 
 
-@dataclass
 class _InstanceState:
-    contributed: bool = False
-    value: Any = None
-    child_values: Dict[NodeId, Any] = field(default_factory=dict)
-    sent_up: bool = False
-    result: Any = None
-    done: bool = False
+    """Per-(cluster, tag) aggregation state (plain slots: allocated per
+    instance on the hot path)."""
+
+    __slots__ = ("view", "contributed", "value", "child_values", "missing",
+                 "sent_up", "result", "done")
+
+    def __init__(self, view: "ClusterView") -> None:
+        self.view = view  # this node's tree view, bound at creation
+        self.contributed = False
+        self.value: Any = None
+        self.child_values: Dict[NodeId, Any] = {}
+        # Child values still owed before this node may forward up; counted
+        # down as they arrive so the forward check is one attribute test.
+        self.missing = len(view.children)
+        self.sent_up = False
+        self.result: Any = None
+        self.done = False
 
 
 class ClusterAggregateModule:
@@ -70,25 +79,29 @@ class ClusterAggregateModule:
         self.merge_fn = merge_fn
         self.priority_fn = priority_fn
         self._instances: Dict[Key, _InstanceState] = {}
+        self._priorities: Dict[Tag, Any] = {}
+        self._merges: Dict[Tag, MergeFn] = {}
         self.messages_sent = 0
 
     def _instance(self, cluster_id: int, tag: Tag) -> _InstanceState:
         key = (cluster_id, tag)
         instance = self._instances.get(key)
         if instance is None:
-            if cluster_id not in self.clusters:
+            view = self.clusters.get(cluster_id)
+            if view is None:
                 raise ValueError(
                     f"node {self.node_id} is not on the tree of cluster {cluster_id}"
                 )
-            instance = _InstanceState()
+            instance = _InstanceState(view)
             self._instances[key] = instance
         return instance
 
     def _emit(self, to: NodeId, kind: str, cluster_id: int, tag: Tag, value: Any) -> None:
         self.messages_sent += 1
-        self._send(
-            to, (MSG_PREFIX, kind, cluster_id, tag, value), self.priority_fn(tag)
-        )
+        priority = self._priorities.get(tag)
+        if priority is None:
+            priority = self._priorities[tag] = self.priority_fn(tag)
+        self._send(to, (MSG_PREFIX, kind, cluster_id, tag, value), priority)
 
     # ------------------------------------------------------------------
     def contribute(self, cluster_id: int, tag: Tag, value: Any) -> None:
@@ -111,15 +124,18 @@ class ClusterAggregateModule:
     def _maybe_forward(self, cluster_id: int, tag: Tag, instance: _InstanceState) -> None:
         if instance.sent_up or not instance.contributed:
             return
-        view = self.clusters[cluster_id]
-        if set(instance.child_values) != set(view.children):
+        if instance.missing:
             return
-        merge = self.merge_fn(tag)
+        view = instance.view
+        merge = self._merges.get(tag)
+        if merge is None:
+            merge = self._merges[tag] = self.merge_fn(tag)
         combined = instance.value
+        child_values = instance.child_values
         for child in view.children:
-            combined = merge(combined, instance.child_values[child])
+            combined = merge(combined, child_values[child])
         instance.sent_up = True
-        if view.is_root:
+        if view.parent is None:
             self._finish(cluster_id, tag, instance, combined)
         else:
             self._emit(view.parent, "up", cluster_id, tag, combined)
@@ -127,8 +143,7 @@ class ClusterAggregateModule:
     def _finish(self, cluster_id: int, tag: Tag, instance: _InstanceState, result: Any) -> None:
         instance.result = result
         instance.done = True
-        view = self.clusters[cluster_id]
-        for child in view.children:
+        for child in instance.view.children:
             self._emit(child, "down", cluster_id, tag, result)
         self.on_result(cluster_id, tag, result)
 
@@ -136,21 +151,37 @@ class ClusterAggregateModule:
     def handle(self, sender: NodeId, payload: Tuple) -> bool:
         if not (isinstance(payload, tuple) and payload and payload[0] == MSG_PREFIX):
             return False
-        _, kind, cluster_id, tag, value = payload
-        instance = self._instance(cluster_id, tag)
+        self.handle_known(sender, payload)
+        return True
+
+    def handle_known(self, sender: NodeId, payload: Tuple) -> None:
+        """Like :meth:`handle` for hosts that already routed on the prefix."""
+        kind = payload[1]
+        cluster_id = payload[2]
+        tag = payload[3]
+        value = payload[4]
+        # _instance inlined for the common (existing-instance) case.
+        instance = self._instances.get((cluster_id, tag))
+        if instance is None:
+            instance = self._instance(cluster_id, tag)
         if kind == "up":
             if sender in instance.child_values:
                 raise ValueError(
                     f"duplicate convergecast value from {sender} in"
                     f" {cluster_id}/{tag}"
                 )
+            if sender not in instance.view.children:
+                raise ValueError(
+                    f"convergecast value from non-child {sender} in"
+                    f" {cluster_id}/{tag}"
+                )
             instance.child_values[sender] = value
+            instance.missing -= 1
             self._maybe_forward(cluster_id, tag, instance)
         elif kind == "down":
             self._finish(cluster_id, tag, instance, value)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown aggregate message kind {kind!r}")
-        return True
 
 
 def and_merge(a: Any, b: Any) -> Any:

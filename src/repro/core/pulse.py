@@ -13,6 +13,7 @@ paper's inequalities exactly.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List
 
 INFINITE_LEVEL = float("inf")
@@ -31,10 +32,13 @@ def level(p: int) -> float:
     return (p & -p).bit_length() - 1
 
 
+@lru_cache(maxsize=None)
 def prev(p: int) -> int:
     """Definition 4.4: the largest pulse of level ``l(p)+1`` at most ``p - 2^l(p)``.
 
     Returns 0 when no such positive pulse exists; ``prev(0) = 0``.
+    Memoized: the synchronizer machinery queries the same few pulse values
+    tens of thousands of times per run.
     """
     if p < 0:
         raise ValueError(f"pulse must be non-negative, got {p}")
@@ -54,11 +58,13 @@ def prev(p: int) -> int:
     return multiple * block
 
 
+@lru_cache(maxsize=None)
 def prev_prev(p: int) -> int:
     """``prev(prev(p))`` — where pulse-p safety information is collected."""
     return prev(prev(p))
 
 
+@lru_cache(maxsize=None)
 def cover_level(p: int) -> int:
     """The cover layer used for pulse-p registration: ``l(p) + 5``."""
     if p <= 0:
@@ -71,13 +77,18 @@ def pulses_up_to(max_pulse: int) -> range:
     return range(1, max_pulse + 1)
 
 
+@lru_cache(maxsize=None)
+def _registration_pulses_at(w: int, max_pulse: int) -> tuple:
+    return tuple(p for p in pulses_up_to(max_pulse) if prev_prev(p) == w)
+
+
 def registration_pulses_at(w: int, max_pulse: int) -> List[int]:
     """All pulses ``p <= max_pulse`` with ``prev_prev(p) == w``.
 
     A node of pulse ``w`` p-registers/p-deregisters exactly for these pulses
     (Section 4.1.2).  Lemma 4.14 bounds their number by ``O(log max_pulse)``.
     """
-    return [p for p in pulses_up_to(max_pulse) if prev_prev(p) == w]
+    return list(_registration_pulses_at(w, max_pulse))
 
 
 def source_pulses(max_pulse: int) -> List[int]:
@@ -86,11 +97,33 @@ def source_pulses(max_pulse: int) -> List[int]:
     return registration_pulses_at(0, max_pulse)
 
 
+@lru_cache(maxsize=None)
+def gating_pulses_cached(w: int, max_pulse: int) -> tuple:
+    """Memoized tuple variant of :func:`gating_pulses_at` for hot paths."""
+    return tuple(p for p in pulses_up_to(max_pulse) if prev(p) == w)
+
+
+@lru_cache(maxsize=None)
+def assemble_pulses(w: int, max_pulse: int) -> tuple:
+    """Pulses ``q > w + 1`` whose safety flow passes through pulse-``w`` nodes.
+
+    A node (or virtual node) of pulse ``w`` participates in flow ``q`` iff
+    ``prev_prev(q) <= w <= q - 1``; once its child answers close, exactly the
+    flows in this (memoized) table may newly assemble there.  The machinery
+    iterates it on every answers-complete event, so the O(max_pulse) scan is
+    paid once per (w, max_pulse).
+    """
+    return tuple(q for q in range(w + 2, max_pulse + 1) if prev_prev(q) <= w)
+
+
 def gating_pulses_at(w: int, max_pulse: int) -> List[int]:
     """All pulses ``p <= max_pulse`` with ``prev(p) == w``.
 
     While the ``w``-safety convergecast passes through a node of pulse
     ``prev(w)``, that node must first p-register for each of these ``p``
     before forwarding the report upward.
+
+    The memoized tuple is copied into a fresh list per call; hot paths inside
+    the machinery iterate :func:`gating_pulses_cached` directly.
     """
-    return [p for p in pulses_up_to(max_pulse) if prev(p) == w]
+    return list(gating_pulses_cached(w, max_pulse))

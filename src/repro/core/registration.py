@@ -31,7 +31,7 @@ pending registration depends on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..net.graph import NodeId
@@ -55,17 +55,26 @@ Key = Tuple[int, Tag]
 SendFn = Callable[[NodeId, Tuple, Any], None]
 
 
-@dataclass
 class _StageState:
-    """Per-(cluster, tag) registration state at one node."""
+    """Per-(cluster, tag) registration state at one node (plain slots:
+    allocated per stage on the hot path)."""
 
-    state: str = NONE
-    finished: bool = False
-    parent_mark: str = CLEAN
-    child_marks: Dict[NodeId, str] = field(default_factory=dict)
-    r_in_flight: bool = False
-    pending_child_invokers: List[NodeId] = field(default_factory=list)
-    local_pending: bool = False
+    __slots__ = ("view", "state", "finished", "parent_mark", "child_marks",
+                 "dirty_children", "r_in_flight", "pending_child_invokers",
+                 "local_pending")
+
+    def __init__(self, view: "ClusterView", finished: bool) -> None:
+        self.view = view  # this node's tree view, bound at creation
+        self.state = NONE
+        self.finished = finished
+        self.parent_mark = CLEAN
+        self.child_marks: Dict[NodeId, str] = {}
+        # Count of DIRTY entries in child_marks, maintained incrementally so
+        # the wave handlers need no per-call scan of the marks.
+        self.dirty_children = 0
+        self.r_in_flight = False
+        self.pending_child_invokers: List[NodeId] = []
+        self.local_pending = False
 
 
 @dataclass(frozen=True)
@@ -110,6 +119,7 @@ class RegistrationModule:
         self.on_go_ahead = on_go_ahead
         self.priority_fn = priority_fn
         self._stages: Dict[Key, _StageState] = {}
+        self._priorities: Dict[Tag, Any] = {}
         self.messages_sent = 0
 
     # ------------------------------------------------------------------
@@ -117,17 +127,21 @@ class RegistrationModule:
         key = (cluster_id, tag)
         stage = self._stages.get(key)
         if stage is None:
-            if cluster_id not in self.clusters:
+            view = self.clusters.get(cluster_id)
+            if view is None:
                 raise ValueError(
                     f"node {self.node_id} is not in cluster {cluster_id}"
                 )
-            stage = _StageState(finished=self.clusters[cluster_id].is_root)
+            stage = _StageState(view, view.parent is None)
             self._stages[key] = stage
         return stage
 
     def _emit(self, to: NodeId, kind: str, cluster_id: int, tag: Tag) -> None:
         self.messages_sent += 1
-        self._send(to, (MSG_PREFIX, kind, cluster_id, tag), self.priority_fn(tag))
+        priority = self._priorities.get(tag)
+        if priority is None:
+            priority = self._priorities[tag] = self.priority_fn(tag)
+        self._send(to, (MSG_PREFIX, kind, cluster_id, tag), priority)
 
     # ------------------------------------------------------------------
     # public operations
@@ -156,8 +170,7 @@ class RegistrationModule:
                 f" from state {stage.state!r}"
             )
         stage.state = DEREGISTERED
-        view = self.clusters[cluster_id]
-        if view.is_root:
+        if stage.view.parent is None:
             self._root_maybe_go_ahead(cluster_id, tag, stage)
         else:
             self._run_d(cluster_id, tag, stage)
@@ -172,13 +185,15 @@ class RegistrationModule:
     def _invoke_r(self, cluster_id: int, tag: Tag, stage: _StageState) -> None:
         if stage.r_in_flight:
             return
-        view = self.clusters[cluster_id]
         stage.parent_mark = DIRTY
         stage.r_in_flight = True
-        self._emit(view.parent, "reg_up", cluster_id, tag)
+        self._emit(stage.view.parent, "reg_up", cluster_id, tag)
 
-    def _handle_reg_up(self, child: NodeId, cluster_id: int, tag: Tag) -> None:
-        stage = self._stage(cluster_id, tag)
+    def _handle_reg_up(
+        self, child: NodeId, cluster_id: int, tag: Tag, stage: _StageState
+    ) -> None:
+        if stage.child_marks.get(child) != DIRTY:
+            stage.dirty_children += 1
         stage.child_marks[child] = DIRTY
         if stage.finished:
             self._emit(child, "reg_done", cluster_id, tag)
@@ -186,8 +201,9 @@ class RegistrationModule:
         stage.pending_child_invokers.append(child)
         self._invoke_r(cluster_id, tag, stage)
 
-    def _handle_reg_done(self, parent: NodeId, cluster_id: int, tag: Tag) -> None:
-        stage = self._stage(cluster_id, tag)
+    def _handle_reg_done(
+        self, parent: NodeId, cluster_id: int, tag: Tag, stage: _StageState
+    ) -> None:
         stage.r_in_flight = False
         # The parent's subtree-path to the root is dirty, hence so is ours.
         stage.finished = True
@@ -203,10 +219,9 @@ class RegistrationModule:
     # D wave
     # ------------------------------------------------------------------
     def _run_d(self, cluster_id: int, tag: Tag, stage: _StageState) -> None:
-        view = self.clusters[cluster_id]
-        if any(mark == DIRTY for mark in stage.child_marks.values()):
+        if stage.dirty_children:
             return
-        if view.is_root:
+        if stage.view.parent is None:
             return
         if stage.state in (REGISTERING, REGISTERED):
             return
@@ -216,13 +231,15 @@ class RegistrationModule:
             return
         stage.parent_mark = WAITING
         stage.finished = False
-        self._emit(view.parent, "dereg", cluster_id, tag)
+        self._emit(stage.view.parent, "dereg", cluster_id, tag)
 
-    def _handle_dereg(self, child: NodeId, cluster_id: int, tag: Tag) -> None:
-        stage = self._stage(cluster_id, tag)
+    def _handle_dereg(
+        self, child: NodeId, cluster_id: int, tag: Tag, stage: _StageState
+    ) -> None:
+        if stage.child_marks.get(child) == DIRTY:
+            stage.dirty_children -= 1
         stage.child_marks[child] = WAITING
-        view = self.clusters[cluster_id]
-        if view.is_root:
+        if stage.view.parent is None:
             self._root_maybe_go_ahead(cluster_id, tag, stage)
         else:
             self._run_d(cluster_id, tag, stage)
@@ -233,7 +250,7 @@ class RegistrationModule:
     def _root_maybe_go_ahead(
         self, cluster_id: int, tag: Tag, stage: _StageState
     ) -> None:
-        if any(mark == DIRTY for mark in stage.child_marks.values()):
+        if stage.dirty_children:
             return
         if stage.state in (REGISTERING, REGISTERED):
             # The root's own registration holds the cluster open.
@@ -249,8 +266,9 @@ class RegistrationModule:
                 stage.child_marks[child] = CLEAN
                 self._emit(child, "go_ahead", cluster_id, tag)
 
-    def _handle_go_ahead(self, parent: NodeId, cluster_id: int, tag: Tag) -> None:
-        stage = self._stage(cluster_id, tag)
+    def _handle_go_ahead(
+        self, parent: NodeId, cluster_id: int, tag: Tag, stage: _StageState
+    ) -> None:
         if stage.parent_mark != WAITING:
             # A registration wave re-dirtied this edge while the Go-Ahead was
             # in flight; drop it — a newer Go-Ahead will follow (Lemma 3.5's
@@ -264,18 +282,28 @@ class RegistrationModule:
         """Process one registration message; returns False if not ours."""
         if not (isinstance(payload, tuple) and payload and payload[0] == MSG_PREFIX):
             return False
-        _, kind, cluster_id, tag = payload
+        self.handle_known(sender, payload)
+        return True
+
+    def handle_known(self, sender: NodeId, payload: Tuple) -> None:
+        """Like :meth:`handle` for hosts that already routed on the prefix."""
+        kind = payload[1]
+        cluster_id = payload[2]
+        tag = payload[3]
+        # Resolve the stage once; the per-kind handlers take it directly.
+        stage = self._stages.get((cluster_id, tag))
+        if stage is None:
+            stage = self._stage(cluster_id, tag)
         if kind == "reg_up":
-            self._handle_reg_up(sender, cluster_id, tag)
+            self._handle_reg_up(sender, cluster_id, tag, stage)
         elif kind == "reg_done":
-            self._handle_reg_done(sender, cluster_id, tag)
+            self._handle_reg_done(sender, cluster_id, tag, stage)
         elif kind == "dereg":
-            self._handle_dereg(sender, cluster_id, tag)
+            self._handle_dereg(sender, cluster_id, tag, stage)
         elif kind == "go_ahead":
-            self._handle_go_ahead(sender, cluster_id, tag)
+            self._handle_go_ahead(sender, cluster_id, tag, stage)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown registration message kind {kind!r}")
-        return True
 
 
 def cluster_views_for(

@@ -5,6 +5,11 @@ The asynchronous machinery needs, per node: which cluster trees it sits on
 which clusters it is a *member* of per level (for "register in all clusters
 of the 2^{l(p)+5}-cover that contain v").  :class:`CoverRegistry` assigns
 globally unique cluster ids across levels and precomputes those views.
+
+All per-(node, level) queries return precomputed tuples (DESIGN.md §6):
+the synchronizer asks for the same membership sets on every pulse of every
+flow, so the registry answers from immutable caches built once at
+construction.  Callers must treat the returned tuples as read-only.
 """
 
 from __future__ import annotations
@@ -32,7 +37,8 @@ class CoverRegistry:
         self.layered = layered
         self._clusters: Dict[int, GlobalCluster] = {}
         self._by_level: Dict[int, List[int]] = {}
-        self._member_of: Dict[Tuple[NodeId, int], List[int]] = {}
+        member_of: Dict[Tuple[NodeId, int], List[int]] = {}
+        tree_at: Dict[Tuple[NodeId, int], List[int]] = {}
         self._views: Dict[NodeId, Dict[int, ClusterView]] = {}
         next_id = 0
         for level in sorted(layered.levels):
@@ -48,18 +54,32 @@ class CoverRegistry:
                         parent=tree.parent[v],
                         children=tree.children.get(v, ()),
                     )
+                    tree_at.setdefault((v, level), []).append(next_id)
                 for v in tree.members:
-                    self._member_of.setdefault((v, level), []).append(next_id)
+                    member_of.setdefault((v, level), []).append(next_id)
                 next_id += 1
             self._by_level[level] = ids
+        self._member_of: Dict[Tuple[NodeId, int], Tuple[int, ...]] = {
+            key: tuple(ids) for key, ids in member_of.items()
+        }
+        self._tree_at: Dict[Tuple[NodeId, int], Tuple[int, ...]] = {
+            key: tuple(ids) for key, ids in tree_at.items()
+        }
+        self._min_level = min(self._by_level)
+        self._top_level = layered.top_level
+        self._empty: Tuple[int, ...] = ()
 
     @property
     def top_level(self) -> int:
-        return self.layered.top_level
+        return self._top_level
 
     def clamp_level(self, level: int) -> int:
         """Clamp a requested cover level into the available range."""
-        return min(max(level, min(self._by_level)), self.top_level)
+        if level < self._min_level:
+            return self._min_level
+        if level > self._top_level:
+            return self._top_level
+        return level
 
     def cluster(self, global_id: int) -> GlobalCluster:
         return self._clusters[global_id]
@@ -68,21 +88,26 @@ class CoverRegistry:
         return list(self._by_level[self.clamp_level(level)])
 
     def views_of(self, node: NodeId) -> Dict[int, ClusterView]:
-        """Every cluster tree this node participates in (member or Steiner)."""
-        return dict(self._views.get(node, {}))
+        """Every cluster tree this node participates in (member or Steiner).
 
-    def member_clusters(self, node: NodeId, level: int) -> List[int]:
-        """Global ids of clusters at ``level`` that contain ``node``."""
-        return list(self._member_of.get((node, self.clamp_level(level)), ()))
+        Returns the registry's own mapping — treat as read-only.
+        """
+        views = self._views.get(node)
+        return views if views is not None else {}
 
-    def tree_clusters_of(self, node: NodeId, level: int) -> List[int]:
-        """Clusters at ``level`` whose tree passes through ``node``."""
-        lvl = self.clamp_level(level)
-        return [
-            cid
-            for cid, view in self._views.get(node, {}).items()
-            if self._clusters[cid].level == lvl
-        ]
+    def member_clusters(self, node: NodeId, level: int) -> Tuple[int, ...]:
+        """Global ids of clusters at ``level`` that contain ``node``.
+
+        Returns a cached tuple — do not mutate.
+        """
+        return self._member_of.get((node, self.clamp_level(level)), self._empty)
+
+    def tree_clusters_of(self, node: NodeId, level: int) -> Tuple[int, ...]:
+        """Clusters at ``level`` whose tree passes through ``node``.
+
+        Returns a cached tuple — do not mutate.
+        """
+        return self._tree_at.get((node, self.clamp_level(level)), self._empty)
 
     def is_member(self, node: NodeId, global_id: int) -> bool:
         return node in self._clusters[global_id].tree.members

@@ -33,14 +33,14 @@ the multi-stage wrapper (Section 4.3 / Remark 4.18) in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..net.graph import NodeId
 from .cluster_ops import ClusterAggregateModule, and_merge
 from .pulse import (
+    gating_pulses_cached,
+    assemble_pulses,
     cover_level,
-    gating_pulses_at,
     prev,
     prev_prev,
     source_pulses,
@@ -53,15 +53,26 @@ UNREACHED = float("inf")
 SendFn = Callable[[NodeId, Tuple, int], None]  # (to, payload, stage-priority)
 
 
-@dataclass
-class _Flow:
-    """Per-pulse safety/emptiness flow state at one node."""
+def _stage_of_pulse_tag(tag: Any) -> Any:
+    return tag
 
-    reports: Dict[NodeId, bool] = field(default_factory=dict)
-    assembled: bool = False
-    empty: Optional[bool] = None
-    gate_wait: int = 0
-    gate_done: bool = False
+
+def _and_merge_for(tag: Any) -> Any:
+    return and_merge
+
+
+class _Flow:
+    """Per-pulse safety/emptiness flow state at one node (plain slots:
+    allocated on the hot path, a dataclass init costs ~3x as much)."""
+
+    __slots__ = ("reports", "assembled", "empty", "gate_wait", "gate_done")
+
+    def __init__(self) -> None:
+        self.reports: Dict[NodeId, bool] = {}
+        self.assembled = False
+        self.empty: Optional[bool] = None
+        self.gate_wait = 0
+        self.gate_done = False
 
 
 class ThresholdedBFSCore:
@@ -98,20 +109,23 @@ class ThresholdedBFSCore:
         self.on_complete = on_complete
 
         views = registry.views_of(node_id)
+        # The module priorities are plain stage ints, exactly what the host
+        # ``send`` expects — the modules call it directly (priorities are
+        # cached per tag inside each module).
         self.reg = RegistrationModule(
             node_id=node_id,
             clusters=views,
-            send=self._send_module,
+            send=send,
             on_registered=self._on_registered,
             on_go_ahead=self._on_cluster_go_ahead,
-            priority_fn=lambda tag: tag,  # tag is the pulse = its stage
+            priority_fn=_stage_of_pulse_tag,  # tag is the pulse = its stage
         )
         self.agg = ClusterAggregateModule(
             node_id=node_id,
             clusters=views,
-            send=self._send_module,
+            send=send,
             on_result=self._on_agg_result,
-            merge_fn=lambda tag: and_merge,
+            merge_fn=_and_merge_for,
             priority_fn=self._agg_stage,
         )
 
@@ -140,10 +154,6 @@ class ThresholdedBFSCore:
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
-    def _send_module(self, to: NodeId, payload: Tuple, priority: Any) -> None:
-        """Registration/aggregate sub-messages; priority is already a stage."""
-        self._send(to, payload, int(priority))
-
     def _agg_stage(self, tag: Tuple) -> int:
         if tag[0] in ("sreg", "sdereg"):
             return tag[1]
@@ -270,16 +280,19 @@ class ThresholdedBFSCore:
             for q in list(self._flows):
                 self._try_assemble(q)
         else:
-            # A childless node is the frontier of every flow through it.
-            for q in range(self.pulse + 2, self.threshold + 1):
-                if self._participates(q):
-                    self._flow_assembled(q, empty=True)
+            # A childless node is the frontier of every flow through it
+            # (prev_prev(q) <= pulse always holds on the memoized table).
+            for q in assemble_pulses(self.pulse, self.threshold):
+                self._flow_assembled(q, empty=True)
 
     # ------------------------------------------------------------------
     # safety/emptiness flows
     # ------------------------------------------------------------------
     def _handle_flow(self, sender: NodeId, q: int, empty: bool) -> None:
-        flow = self._flow(q)
+        flows = self._flows
+        flow = flows.get(q)
+        if flow is None:
+            flow = flows[q] = _Flow()
         if sender in flow.reports:
             raise AssertionError(
                 f"duplicate flow-{q} report from {sender} at {self.node_id}"
@@ -288,14 +301,25 @@ class ThresholdedBFSCore:
         self._try_assemble(q)
 
     def _try_assemble(self, q: int) -> None:
-        flow = self._flow(q)
+        flows = self._flows
+        flow = flows.get(q)
+        if flow is None:
+            flow = flows[q] = _Flow()
         if flow.assembled or not self.answered:
             return
         if q == self.pulse + 1:
             return  # the leaf path assembles this one
-        if not set(flow.reports) >= set(self.children):
+        # Reports only come from accepted children (the answer precedes any
+        # flow report on the same link), so a length check replaces the old
+        # set comparison; a rogue reporter surfaces as a KeyError below.
+        if len(flow.reports) < len(self.children):
             return
-        empty = all(flow.reports[c] for c in self.children)
+        reports = flow.reports
+        empty = True
+        for c in self.children:
+            if not reports[c]:
+                empty = False
+                break
         self._flow_assembled(q, empty)
 
     def _flow_assembled(self, q: int, empty: bool) -> None:
@@ -310,7 +334,7 @@ class ThresholdedBFSCore:
         # root-cluster registration confirms synchronously.
         if self.pulse == prev(q) and self.pulse > 0 and not empty:
             gates = []
-            for p in gating_pulses_at(q, self.threshold):
+            for p in gating_pulses_cached(q, self.threshold):
                 cids = self.registry.member_clusters(self.node_id, self._level_for(p))
                 if not cids:  # pragma: no cover - home cluster always exists
                     continue
@@ -454,9 +478,9 @@ class ThresholdedBFSCore:
     def handle(self, sender: NodeId, payload: Tuple) -> None:
         kind = payload[0]
         if kind == "reg":
-            self.reg.handle(sender, payload)
+            self.reg.handle_known(sender, payload)
         elif kind == "agg":
-            self.agg.handle(sender, payload)
+            self.agg.handle_known(sender, payload)
         elif kind == "join":
             self._handle_join(sender, payload[1])
         elif kind == "answer":

@@ -6,13 +6,34 @@ the synchronizer must hold for *every* delay assignment, so the test-suite
 runs each protocol under the whole family below.  Every model is a
 deterministic function of (edge, direction, per-link sequence number, seed) —
 rerunning a simulation reproduces it exactly.
+
+Performance architecture (DESIGN.md §6): the hashed models draw their
+pseudo-randomness from a cached *per-link base* — one value per directed
+link, derived once from (model label, seed, u, v) by 64-bit mixing — so a
+draw costs a dict probe plus a little arithmetic instead of the ``repr`` +
+``blake2b`` digest per call that earlier revisions paid.  Two per-seq
+schemes are used deliberately:
+
+* :class:`UniformDelay` (the benchmark workhorse) uses a float Weyl
+  sequence — five float operations per draw.  Its draws are equidistributed
+  over the range but *temporally structured* (consecutive seqs differ by
+  the golden-ratio conjugate mod 1); for magnitude jitter that structure is
+  harmless and the speed matters.
+* The structural adversaries (:class:`BimodalDelay`, :class:`SlowEdgesDelay`)
+  keep an integer murmur-style finalizer (:func:`_unit`) so their slow/fast
+  *patterns* stay i.i.d.-like — bursty slow-slow runs remain as likely as a
+  fair coin, which is exactly what those adversaries exist to produce.
+
+A literal per-link ``random.Random`` *stream* would not do for either:
+delays must be a pure function of the sequence number (acknowledgment draws
+use negative sequence numbers interleaved with the reverse link's positive
+ones, and deterministic replay re-queries arbitrary (link, seq) pairs),
+which a stateful stream cannot provide.
 """
 
 from __future__ import annotations
 
 import hashlib
-import random
-import struct
 from typing import Dict, Iterable, Optional, Protocol, Tuple
 
 from .graph import Edge, NodeId, edge_key
@@ -20,12 +41,53 @@ from .graph import Edge, NodeId, edge_key
 TAU = 1.0
 _MIN_DELAY = 1e-6
 
+_MASK64 = (1 << 64) - 1
+_MASK32 = 0xFFFFFFFF
+#: Per-draw mixing runs in 32-bit arithmetic on purpose: CPython represents
+#: ints in 30-bit digits, so 64-bit multiplies allocate multi-digit bigints
+#: on every operation while 32-bit state stays in the 1–2 digit fast path —
+#: measured ~4x cheaper per draw.  32 bits of jitter per delay is far more
+#: than the simulation needs; link bases are still derived with 64-bit
+#: mixing (once per link).
+_K1 = 2654435761  # Knuth's 32-bit multiplicative constant (odd)
+_C1 = 0x45D9F3B  # lowbias32-style mixing multiplier
+_INV_2_32 = 2.0 ** -32
+#: Per-seq draws on the transport hot path use a Weyl sequence instead:
+#: ``frac(link_base + seq * phi)`` with phi the golden-ratio conjugate is a
+#: low-discrepancy, deterministic function of (link, seq) computed in five
+#: float operations — no bigint traffic at all.  Each directed link gets its
+#: own well-mixed starting phase, so delays are equidistributed over the
+#: range per link and uncorrelated across links.
+_WEYL = 0.6180339887498949
 
-def _unit_hash(*parts: object) -> float:
-    """Deterministic pseudo-random float in (0, 1] from the hashed parts."""
-    digest = hashlib.blake2b(repr(parts).encode(), digest_size=8).digest()
-    value = struct.unpack(">Q", digest)[0]
-    return (value + 1) / 2.0**64
+
+def _mix64(x: int) -> int:
+    """Murmur3/splitmix-style 64-bit finalizer (bijective, well-mixed)."""
+    x &= _MASK64
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & _MASK64
+    x ^= x >> 33
+    x = (x * 0xC4CEB9FE1A85EC53) & _MASK64
+    return x ^ (x >> 33)
+
+
+def _model_seed(label: str, seed: int) -> int:
+    """Stable 64-bit stream id for one (model, seed); hashed once per model."""
+    digest = hashlib.blake2b(f"{label}:{seed}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _link_base(model_seed: int, u: NodeId, v: NodeId) -> int:
+    """Per-directed-link 32-bit base; ``(u << 32) ^ v`` is injective."""
+    return _mix64(model_seed ^ ((u << 32) ^ v)) & _MASK32
+
+
+def _unit(base: int, seq: int) -> float:
+    """Deterministic pseudo-random float in (0, 1] for one (link base, seq)."""
+    x = (base ^ (seq * _K1)) & _MASK32
+    x = (((x >> 16) ^ x) * _C1) & _MASK32
+    x = (((x >> 16) ^ x) * _C1) & _MASK32
+    return (((x >> 16) ^ x) + 1) * _INV_2_32
 
 
 class DelayModel(Protocol):
@@ -33,6 +95,15 @@ class DelayModel(Protocol):
 
     def __call__(self, u: NodeId, v: NodeId, seq: int, now: float) -> float:
         """Delay for the ``seq``-th message injected on the link u -> v."""
+
+
+# Models may additionally expose ``link_stream(u, v) -> Callable[[int], float]``
+# returning a single-argument draw function with the per-link base already
+# bound.  The transport caches one stream per directed link and calls it per
+# injection, skipping the (u, v) dict probe and the ``now`` plumbing — only
+# valid for models whose delays do not depend on ``now``, which the stream
+# contract asserts.  Stream results MUST lie in (0, TAU]; the transport
+# trusts them without re-validating.
 
 
 class ConstantDelay:
@@ -46,12 +117,23 @@ class ConstantDelay:
     def __call__(self, u: NodeId, v: NodeId, seq: int, now: float) -> float:
         return self.value
 
+    def link_stream(self, u: NodeId, v: NodeId):
+        value = self.value
+        return lambda seq: value
+
     def __repr__(self) -> str:
         return f"ConstantDelay({self.value})"
 
 
 class UniformDelay:
-    """Hash-based i.i.d.-looking delays uniform in ``[low, high]``."""
+    """Per-link Weyl-sequence delays equidistributed over ``[low, high)``.
+
+    Magnitudes are uniform over the range but temporally low-discrepancy
+    (see module docstring); use :class:`BimodalDelay` / :class:`SlowEdgesDelay`
+    when the *pattern* of slow messages is what the experiment stresses.
+    """
+
+    __slots__ = ("seed", "low", "high", "_span", "_seed64", "_links", "_streams")
 
     def __init__(self, seed: int, low: float = _MIN_DELAY, high: float = TAU) -> None:
         if not 0 < low <= high <= TAU:
@@ -59,10 +141,33 @@ class UniformDelay:
         self.seed = seed
         self.low = low
         self.high = high
+        self._span = high - low
+        self._seed64 = _model_seed("uniform", seed)
+        self._links: Dict[Tuple[NodeId, NodeId], float] = {}
+        self._streams: Dict[Tuple[NodeId, NodeId], object] = {}
 
     def __call__(self, u: NodeId, v: NodeId, seq: int, now: float) -> float:
-        unit = _unit_hash("uniform", self.seed, u, v, seq)
-        return self.low + (self.high - self.low) * unit
+        links = self._links
+        base = links.get((u, v))
+        if base is None:
+            base = links[(u, v)] = _link_base(self._seed64, u, v) * _INV_2_32
+        # Identical expression to the stream below — the two paths must
+        # produce bit-equal floats (the equivalence tests rely on it).
+        return self.low + self._span * ((base + seq * _WEYL) % 1.0)
+
+    def link_stream(self, u: NodeId, v: NodeId):
+        stream = self._streams.get((u, v))
+        if stream is not None:
+            return stream
+        base = _link_base(self._seed64, u, v) * _INV_2_32
+        low = self.low
+        span = self._span
+
+        def draw(seq: int) -> float:
+            return low + span * ((base + seq * _WEYL) % 1.0)
+
+        self._streams[(u, v)] = draw
+        return draw
 
     def __repr__(self) -> str:
         return f"UniformDelay(seed={self.seed}, low={self.low}, high={self.high})"
@@ -76,17 +181,45 @@ class BimodalDelay:
     order computes wrong distances.
     """
 
+    __slots__ = ("seed", "slow_fraction", "fast", "_pick64", "_fast64", "_links")
+
     def __init__(self, seed: int, slow_fraction: float = 0.2, fast: float = 0.05) -> None:
         if not 0 <= slow_fraction <= 1:
             raise ValueError("slow_fraction must be in [0, 1]")
         self.seed = seed
         self.slow_fraction = slow_fraction
         self.fast = fast
+        self._pick64 = _model_seed("bimodal-pick", seed)
+        self._fast64 = _model_seed("bimodal-fast", seed)
+        self._links: Dict[Tuple[NodeId, NodeId], Tuple[int, int]] = {}
 
     def __call__(self, u: NodeId, v: NodeId, seq: int, now: float) -> float:
-        if _unit_hash("bimodal-pick", self.seed, u, v, seq) <= self.slow_fraction:
+        bases = self._links.get((u, v))
+        if bases is None:
+            bases = self._links[(u, v)] = (
+                _link_base(self._pick64, u, v),
+                _link_base(self._fast64, u, v),
+            )
+        if _unit(bases[0], seq) <= self.slow_fraction:
             return TAU
-        return self.fast * _unit_hash("bimodal-fast", self.seed, u, v, seq)
+        d = self.fast * _unit(bases[1], seq)
+        return d if d > _MIN_DELAY else _MIN_DELAY
+
+    def link_stream(self, u: NodeId, v: NodeId):
+        pick_base = _link_base(self._pick64, u, v)
+        fast_base = _link_base(self._fast64, u, v)
+        slow_fraction = self.slow_fraction
+        fast = self.fast
+
+        def draw(seq: int) -> float:
+            # Integer hashing on purpose: the slow/fast pattern must stay
+            # i.i.d.-like (see module docstring).
+            if _unit(pick_base, seq) <= slow_fraction:
+                return TAU
+            d = fast * _unit(fast_base, seq)
+            return d if d > _MIN_DELAY else _MIN_DELAY
+
+        return draw
 
     def __repr__(self) -> str:
         return f"BimodalDelay(seed={self.seed}, slow_fraction={self.slow_fraction})"
@@ -99,6 +232,8 @@ class SlowEdgesDelay:
     that consistently starves entire regions of the graph.
     """
 
+    __slots__ = ("seed", "fast", "_edges", "_pick64", "_fast64", "_links")
+
     def __init__(
         self,
         seed: int,
@@ -110,17 +245,40 @@ class SlowEdgesDelay:
         self._edges: Optional[frozenset] = (
             frozenset(edge_key(*e) for e in edges) if edges is not None else None
         )
+        self._pick64 = _model_seed("slow-edge", seed)
+        self._fast64 = _model_seed("slow-fast", seed)
+        # Per directed link: (is_slow, fast-draw base).
+        self._links: Dict[Tuple[NodeId, NodeId], Tuple[bool, int]] = {}
 
     def _is_slow(self, u: NodeId, v: NodeId) -> bool:
         key = edge_key(u, v)
         if self._edges is not None:
             return key in self._edges
-        return _unit_hash("slow-edge", self.seed, key) < 0.5
+        return _unit(_link_base(self._pick64, key[0], key[1]), 0) < 0.5
 
     def __call__(self, u: NodeId, v: NodeId, seq: int, now: float) -> float:
-        if self._is_slow(u, v):
+        entry = self._links.get((u, v))
+        if entry is None:
+            entry = self._links[(u, v)] = (
+                self._is_slow(u, v),
+                _link_base(self._fast64, u, v),
+            )
+        if entry[0]:
             return TAU
-        return max(_MIN_DELAY, self.fast * _unit_hash("slow-fast", self.seed, u, v, seq))
+        d = self.fast * _unit(entry[1], seq)
+        return d if d > _MIN_DELAY else _MIN_DELAY
+
+    def link_stream(self, u: NodeId, v: NodeId):
+        if self._is_slow(u, v):
+            return lambda seq: TAU
+        fast_base = _link_base(self._fast64, u, v)
+        fast = self.fast
+
+        def draw(seq: int) -> float:
+            d = fast * _unit(fast_base, seq)
+            return d if d > _MIN_DELAY else _MIN_DELAY
+
+        return draw
 
     def __repr__(self) -> str:
         return f"SlowEdgesDelay(seed={self.seed})"
@@ -134,13 +292,25 @@ class AlternatingDelay:
     matching the acknowledgment discipline of Appendix B).
     """
 
+    __slots__ = ("seed", "_seed64", "_links")
+
     def __init__(self, seed: int) -> None:
         self.seed = seed
+        self._seed64 = _model_seed("alt-phase", seed)
+        self._links: Dict[Tuple[NodeId, NodeId], bool] = {}
 
     def __call__(self, u: NodeId, v: NodeId, seq: int, now: float) -> float:
-        phase = _unit_hash("alt-phase", self.seed, u, v) < 0.5
+        phase = self._links.get((u, v))
+        if phase is None:
+            phase = self._links[(u, v)] = (
+                _unit(_link_base(self._seed64, u, v), 0) < 0.5
+            )
         fast_turn = (seq % 2 == 0) == phase
         return 0.01 if fast_turn else TAU
+
+    def link_stream(self, u: NodeId, v: NodeId):
+        phase = _unit(_link_base(self._seed64, u, v), 0) < 0.5
+        return lambda seq: 0.01 if (seq % 2 == 0) == phase else TAU
 
     def __repr__(self) -> str:
         return f"AlternatingDelay(seed={self.seed})"
@@ -162,6 +332,10 @@ class DirectionalSkewDelay:
         toward_higher_id = v > u
         slow = toward_higher_id == self.slow_up
         return TAU if slow else 0.02
+
+    def link_stream(self, u: NodeId, v: NodeId):
+        delay = TAU if (v > u) == self.slow_up else 0.02
+        return lambda seq: delay
 
     def __repr__(self) -> str:
         return f"DirectionalSkewDelay(seed={self.seed}, slow_up={self.slow_up})"

@@ -1,26 +1,51 @@
-"""A minimal deterministic discrete-event scheduler.
+"""A minimal deterministic discrete-event scheduler over typed event records.
 
 Events fire in (time, sequence) order; the sequence number is assigned at
 scheduling time, so simultaneous events fire in the order they were created.
 This makes every simulation a pure function of (graph, protocol, delay model).
+
+Performance architecture (DESIGN.md §6): the heap holds small *typed records*
+instead of closures.  A record is a tuple
+
+    ``(time, seq, kind, a, b, ...)``
+
+whose first two fields give the total order (``seq`` is unique, so comparison
+never reaches the payload fields) and whose ``kind`` tag selects the handler
+in a single dispatch loop.  :data:`EV_CALLBACK` records carry a zero-argument
+callable in field ``a`` and are what :meth:`EventQueue.schedule` produces;
+other kinds are owned by engines that embed the queue — the asynchronous
+transport (:mod:`repro.net.async_runtime`) inlines its own loop over the same
+record layout and dispatches :data:`EV_DELIVER`/:data:`EV_ACK` records without
+allocating a closure per message.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from itertools import count
+from typing import Callable, List, Optional, Tuple
 
 Callback = Callable[[], None]
 
+#: Record kinds.  ``EV_CALLBACK`` is handled by :class:`EventQueue` itself;
+#: the transport kinds are dispatched by :class:`~repro.net.async_runtime.
+#: AsyncRuntime`'s inlined run loop (which subclasses this queue).
+EV_CALLBACK = 0
+EV_DELIVER = 1
+EV_ACK = 2
+
 
 class EventQueue:
-    """Priority queue of (time, seq, callback) with deterministic tie-breaks."""
+    """Priority queue of typed event records with deterministic tie-breaks."""
 
-    __slots__ = ("_heap", "_seq", "_now", "_fired")
+    __slots__ = ("_heap", "_counter", "_now", "_fired")
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, Callback]] = []
-        self._seq = 0
+        self._heap: List[Tuple] = []
+        # itertools.count hands out sequence numbers at C speed (the
+        # read-increment-write of a plain int attribute costs twice as much
+        # on the hot path).
+        self._counter = count()
         self._now = 0.0
         self._fired = 0
 
@@ -40,23 +65,32 @@ class EventQueue:
         """Schedule ``callback`` at ``now + delay`` (delay must be >= 0)."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        heapq.heappush(self._heap, (self._now + delay, self._seq, callback))
-        self._seq += 1
+        heapq.heappush(
+            self._heap, (self._now + delay, next(self._counter), EV_CALLBACK, callback)
+        )
 
     def schedule_at(self, time: float, callback: Callback) -> None:
         if time < self._now:
             raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
-        heapq.heappush(self._heap, (time, self._seq, callback))
-        self._seq += 1
+        heapq.heappush(
+            self._heap, (time, next(self._counter), EV_CALLBACK, callback)
+        )
+
+    def dispatch(self, record: Tuple) -> None:
+        """Handle a non-callback record; engines embedding the queue override."""
+        raise ValueError(f"no handler for event kind {record[2]!r}")
 
     def step(self) -> bool:
         """Fire the earliest event; returns False when the queue is empty."""
         if not self._heap:
             return False
-        time, _, callback = heapq.heappop(self._heap)
-        self._now = time
+        record = heapq.heappop(self._heap)
+        self._now = record[0]
         self._fired += 1
-        callback()
+        if record[2] == EV_CALLBACK:
+            record[3]()
+        else:
+            self.dispatch(record)
         return True
 
     def run(
@@ -68,13 +102,21 @@ class EventQueue:
 
         Returns one of ``"quiescent"``, ``"max_time"``, ``"max_events"``.
         """
+        heap = self._heap
+        pop = heapq.heappop
         budget = max_events
-        while self._heap:
-            if max_time is not None and self._heap[0][0] > max_time:
+        while heap:
+            if max_time is not None and heap[0][0] > max_time:
                 return "max_time"
             if budget is not None:
                 if budget == 0:
                     return "max_events"
                 budget -= 1
-            self.step()
+            record = pop(heap)
+            self._now = record[0]
+            self._fired += 1
+            if record[2] == EV_CALLBACK:
+                record[3]()
+            else:
+                self.dispatch(record)
         return "quiescent"

@@ -40,7 +40,12 @@ class Graph:
         MST application.  Edges absent from the map default to weight 1.
     """
 
-    __slots__ = ("_n", "_adj", "_edges", "_weights", "_dist_cache")
+    # __weakref__ lets pure-function-of-graph results (covers, pulse bounds)
+    # be memoized in WeakKeyDictionaries without pinning graphs in memory.
+    __slots__ = (
+        "_n", "_adj", "_edges", "_weights", "_dist_cache", "_ecc_cache",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -76,6 +81,7 @@ class Graph:
                     raise ValueError(f"edge weight must be positive, got {w} for {key}")
                 self._weights[key] = float(w)
         self._dist_cache: Dict[FrozenSet[NodeId], Tuple[float, ...]] = {}
+        self._ecc_cache: Optional[Tuple[float, ...]] = None
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -142,10 +148,15 @@ class Graph:
             queue.append(s)
         while queue:
             u = queue.popleft()
-            du = dist[u]
+            dv = dist[u] + 1
             for v in self._adj[u]:
-                if dist[v] is INFINITY or dist[v] > du + 1:
-                    dist[v] = du + 1
+                # Unweighted BFS pops nodes in nondecreasing distance, so a
+                # node already labeled can never be improved: reaching it
+                # again is at distance >= its label.  One identity check
+                # suffices (the old `or dist[v] > du + 1` clause was
+                # unreachable).
+                if dist[v] is INFINITY:
+                    dist[v] = dv
                     queue.append(v)
         result = tuple(dist)
         if len(self._dist_cache) < 1024:
@@ -178,26 +189,31 @@ class Graph:
     def is_connected(self) -> bool:
         return INFINITY not in self.bfs_distances(0)
 
+    def _eccentricities(self) -> Tuple[float, ...]:
+        """Eccentricity of every node, computed once and cached.
+
+        ``diameter`` and ``radius_center`` share this single O(n·m) pass
+        instead of re-running one BFS per source on every call (the
+        per-source distance cache is capped, so large graphs used to pay the
+        full sweep repeatedly).
+        """
+        if self._ecc_cache is None:
+            self._ecc_cache = tuple(
+                max(self.bfs_distances(u)) for u in range(self._n)
+            )
+        return self._ecc_cache
+
     def diameter(self) -> int:
-        """Exact diameter (O(n·m); the simulator graphs are small)."""
+        """Exact diameter (one cached O(n·m) eccentricity sweep)."""
         if not self.is_connected():
             raise ValueError("diameter undefined for a disconnected graph")
-        best = 0
-        for u in range(self._n):
-            ecc = self.bfs_distances(u)
-            best = max(best, max(ecc))
-        return int(best)
+        return int(max(self._eccentricities()))
 
     def radius_center(self) -> Tuple[int, NodeId]:
         """(radius, a center node achieving it)."""
-        best_ecc = INFINITY
-        best_node = 0
-        for u in range(self._n):
-            ecc = max(self.bfs_distances(u))
-            if ecc < best_ecc:
-                best_ecc = ecc
-                best_node = u
-        return int(best_ecc), best_node
+        ecc = self._eccentricities()
+        best_ecc = min(ecc)
+        return int(best_ecc), ecc.index(best_ecc)
 
     # ------------------------------------------------------------------
     # derived graphs

@@ -24,7 +24,7 @@ correctness criterion of this reproduction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
@@ -38,10 +38,16 @@ from typing import (
     Tuple,
 )
 
+from weakref import WeakKeyDictionary
+
 from .graph import Graph, NodeId
 
 Payload = Any
 ArrivedBatch = Tuple[Tuple[NodeId, Payload], ...]
+
+# NodeInfo depends only on the (immutable) graph, so every spec and every run
+# over the same graph shares one info table.  Weak keys release dead graphs.
+_INFO_CACHE: "WeakKeyDictionary[Graph, Dict[NodeId, NodeInfo]]" = WeakKeyDictionary()
 
 
 @dataclass(frozen=True)
@@ -102,6 +108,17 @@ class PulseApi:
         """(sends, produced_output, output) accumulated during the pulse."""
         return self._sends, self._has_output, self._output
 
+    def reset(self) -> None:
+        """Recycle this api for the next pulse (DESIGN.md §6).
+
+        The previously collected sends list is left with its owner — a fresh
+        list is started — so runtimes can reuse one ``PulseApi`` per node
+        instead of allocating one per evaluated pulse.
+        """
+        self._sends = []
+        self._output = None
+        self._has_output = False
+
 
 class NodeProgram:
     """Base class for per-node event-driven programs.
@@ -130,15 +147,18 @@ class ProgramSpec:
     initiators: Callable[[Graph], Set[NodeId]]
 
     def make_infos(self, graph: Graph) -> Dict[NodeId, NodeInfo]:
-        return {
-            v: NodeInfo(
-                node_id=v,
-                neighbors=graph.neighbors(v),
-                edge_weights={u: graph.weight(v, u) for u in graph.neighbors(v)},
-                n_upper=graph.num_nodes,
-            )
-            for v in graph.nodes
-        }
+        infos = _INFO_CACHE.get(graph)
+        if infos is None:
+            infos = _INFO_CACHE[graph] = {
+                v: NodeInfo(
+                    node_id=v,
+                    neighbors=graph.neighbors(v),
+                    edge_weights={u: graph.weight(v, u) for u in graph.neighbors(v)},
+                    n_upper=graph.num_nodes,
+                )
+                for v in graph.nodes
+            }
+        return infos
 
 
 def all_nodes_initiate(graph: Graph) -> Set[NodeId]:

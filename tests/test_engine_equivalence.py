@@ -1,0 +1,289 @@
+"""Trace-equivalence of the typed-record transport against a reference engine.
+
+The seed revision's transport scheduled one lambda-closure event per delivery
+and per acknowledgment.  The rebuilt engine (typed records, fused
+acknowledgments with reserved sequence numbers, per-link delay streams) must
+be *observationally identical*: same delivery order, same delivery times,
+same metrics, same outputs — for every delay model in the standard adversary
+family, across topologies and seeds, for plain protocols and for the full
+synchronizer stack.
+
+``ReferenceRuntime`` below is a faithful port of the seed engine (closure
+events, ack delay drawn at delivery time).  The one metric excluded from the
+comparison is ``events_fired``: the fused engine intentionally does not fire
+an event for acknowledgments nobody waits on, so it reports fewer events (the
+acks themselves are still counted and still bound quiescence time).
+"""
+
+import heapq
+
+import pytest
+
+from repro.apps.programs import bfs_spec, broadcast_echo_spec, flood_max_spec
+from repro.core.bfs_runner import registry_for_threshold
+from repro.core.synchronizer import SynchronizerProcess, pulse_bound_for
+from repro.net import topology
+from repro.net.async_runtime import AsyncResult, AsyncRuntime, Process
+from repro.net.delays import standard_adversaries
+from repro.net.graph import Graph
+
+
+class _RefLink:
+    __slots__ = ("busy", "outbox", "seq", "injected")
+
+    def __init__(self):
+        self.busy = False
+        self.outbox = []
+        self.seq = 0
+        self.injected = 0
+
+
+class _RefContext:
+    """Seed-equivalent ProcessContext."""
+
+    __slots__ = ("_runtime", "node_id", "neighbors")
+
+    def __init__(self, runtime, node_id):
+        self._runtime = runtime
+        self.node_id = node_id
+        self.neighbors = runtime.graph.neighbors(node_id)
+
+    @property
+    def now(self):
+        return self._runtime.now
+
+    def send(self, to, payload, priority=(0,)):
+        self._runtime._enqueue(self.node_id, to, payload, priority)
+
+    def schedule_environment_event(self, delay, callback):
+        self._runtime._schedule(delay, callback)
+
+    def set_output(self, value):
+        self._runtime._record_output(self.node_id, value)
+
+    def edge_weight(self, to):
+        return self._runtime.graph.weight(self.node_id, to)
+
+
+class ReferenceRuntime:
+    """Direct port of the seed engine: closure events, two per message."""
+
+    def __init__(self, graph, process_factory, delay_model, trace=None):
+        self.graph = graph
+        self.delay_model = delay_model
+        self.trace = trace
+        self._heap = []
+        self._seq = 0
+        self._now = 0.0
+        self._fired = 0
+        self._links = {}
+        for u, v in graph.edges:
+            self._links[(u, v)] = _RefLink()
+            self._links[(v, u)] = _RefLink()
+        self.messages = 0
+        self.acks = 0
+        self.outputs = {}
+        self.output_time = {}
+        self._time_to_output = 0.0
+        self.processes = {
+            v: process_factory(_RefContext(self, v)) for v in graph.nodes
+        }
+
+    @property
+    def now(self):
+        return self._now
+
+    def _schedule(self, delay, callback):
+        heapq.heappush(self._heap, (self._now + delay, self._seq, callback))
+        self._seq += 1
+
+    def _record_output(self, node, value):
+        self.outputs[node] = value
+        self.output_time[node] = self._now
+        self._time_to_output = max(self._time_to_output, self._now)
+
+    def _enqueue(self, u, v, payload, priority):
+        link = self._links.get((u, v))
+        if link is None:
+            raise ValueError(f"no link {u} -> {v}")
+        heapq.heappush(link.outbox, (priority, link.seq, payload))
+        link.seq += 1
+        if not link.busy:
+            self._inject(u, v, link)
+
+    def _inject(self, u, v, link):
+        _, _, payload = heapq.heappop(link.outbox)
+        link.busy = True
+        link.injected += 1
+        self.messages += 1
+        delay = self.delay_model(u, v, link.injected, self._now)
+        self._schedule(delay, lambda: self._deliver(u, v, payload))
+
+    def _deliver(self, u, v, payload):
+        if self.trace is not None:
+            self.trace(self._now, u, v, payload)
+        self.acks += 1
+        link = self._links[(u, v)]
+        ack_delay = self.delay_model(v, u, -link.injected, self._now)
+        self._schedule(ack_delay, lambda: self._ack(u, v, payload))
+        self.processes[v].on_message(u, payload)
+
+    def _ack(self, u, v, payload):
+        link = self._links[(u, v)]
+        link.busy = False
+        self.processes[u].on_delivered(v, payload)
+        if link.outbox:
+            self._inject(u, v, link)
+
+    def run(self, max_time=None):
+        for v in sorted(self.graph.nodes):
+            self._schedule(0.0, self.processes[v].on_start)
+        stop_reason = "quiescent"
+        while self._heap:
+            if max_time is not None and self._heap[0][0] > max_time:
+                stop_reason = "max_time"
+                break
+            time, _, callback = heapq.heappop(self._heap)
+            self._now = time
+            self._fired += 1
+            callback()
+        return AsyncResult(
+            time_to_output=self._time_to_output,
+            time_to_quiescence=self._now,
+            messages=self.messages,
+            acks=self.acks,
+            outputs=dict(self.outputs),
+            output_time=dict(self.output_time),
+            events_fired=self._fired,
+            stop_reason=stop_reason,
+        )
+
+
+# ----------------------------------------------------------------------
+# Workload protocols
+# ----------------------------------------------------------------------
+class Gossip(Process):
+    """Max-flood: every node spreads the largest id it has seen."""
+
+    def on_start(self):
+        self.best = self.ctx.node_id
+        for v in self.ctx.neighbors:
+            self.ctx.send(v, self.best)
+
+    def on_message(self, sender, value):
+        if value > self.best:
+            self.best = value
+            self.ctx.set_output(value)
+            for v in self.ctx.neighbors:
+                self.ctx.send(v, value)
+
+
+class PriorityPingPong(Process):
+    """Exercises the outbox: interleaved priorities plus an ack-driven tail."""
+
+    ROUNDS = 6
+
+    def on_start(self):
+        if self.ctx.node_id == 0:
+            for i in range(3):
+                self.ctx.send(self.ctx.neighbors[0], ("lo", i), priority=(2, i))
+            for i in range(3):
+                self.ctx.send(self.ctx.neighbors[0], ("hi", i), priority=(1, i))
+
+    def on_message(self, sender, payload):
+        log = getattr(self, "log", [])
+        log.append((self.ctx.now, sender, payload))
+        self.log = log
+        self.ctx.set_output(list(log))
+        kind, k = payload
+        if kind == "hi" and k < self.ROUNDS:
+            self.ctx.send(sender, ("hi", k + 1))
+
+    def on_delivered(self, to, payload):
+        tally = getattr(self, "tally", 0)
+        self.tally = tally + 1
+
+
+TOPOLOGIES = {
+    "cycle12": lambda: topology.cycle_graph(12),
+    "grid3x4": lambda: topology.grid_graph(3, 4),
+    "tree13": lambda: topology.random_tree(13, seed=5),
+}
+
+
+def _run_both(graph, factory, model):
+    ref_trace, new_trace = [], []
+    ref = ReferenceRuntime(
+        graph, factory, model, trace=lambda t, u, v, p: ref_trace.append((t, u, v, p))
+    )
+    ref_result = ref.run()
+    new = AsyncRuntime(
+        graph, factory, model, trace=lambda t, u, v, p: new_trace.append((t, u, v, p))
+    )
+    new_result = new.run()
+    return ref_trace, ref_result, new_trace, new_result
+
+
+def _assert_equivalent(ref_trace, ref_result, new_trace, new_result):
+    assert new_trace == ref_trace  # identical delivery order, times, payloads
+    assert new_result.outputs == ref_result.outputs
+    assert new_result.output_time == ref_result.output_time
+    assert new_result.messages == ref_result.messages
+    assert new_result.acks == ref_result.acks
+    assert new_result.time_to_output == ref_result.time_to_output
+    assert new_result.time_to_quiescence == ref_result.time_to_quiescence
+    assert new_result.stop_reason == ref_result.stop_reason
+
+
+@pytest.mark.parametrize("topo", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_gossip_equivalence_across_adversaries(topo, seed):
+    graph = TOPOLOGIES[topo]()
+    for model in standard_adversaries(seed):
+        _assert_equivalent(*_run_both(graph, Gossip, model))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_priority_and_ack_equivalence(seed):
+    graph = topology.path_graph(2)
+    for model in standard_adversaries(seed):
+        _assert_equivalent(*_run_both(graph, PriorityPingPong, model))
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("max_time", [0.5, 1.5, 2.5, 7.0])
+def test_max_time_equivalence(seed, max_time):
+    """Deadline semantics must agree even when the last pending work is a
+    fused acknowledgment (which never enters the new engine's heap)."""
+    graph = topology.path_graph(3)
+    for model in standard_adversaries(seed):
+        ref = ReferenceRuntime(graph, Gossip, model).run(max_time=max_time)
+        new = AsyncRuntime(graph, Gossip, model).run(max_time=max_time)
+        assert new.stop_reason == ref.stop_reason, repr(model)
+        assert new.time_to_quiescence == ref.time_to_quiescence, repr(model)
+        assert new.outputs == ref.outputs
+        assert new.messages == ref.messages
+
+
+@pytest.mark.parametrize("spec_factory", [
+    lambda: bfs_spec(0),
+    lambda: broadcast_echo_spec(0),
+    flood_max_spec,
+])
+@pytest.mark.parametrize("seed", [0, 2])
+def test_synchronizer_equivalence(spec_factory, seed):
+    """The full synchronizer stack is trace-equivalent on both engines."""
+    graph = topology.cycle_graph(12)
+    spec = spec_factory()
+    max_pulse = pulse_bound_for(graph, spec)
+    registry = registry_for_threshold(graph, max_pulse)
+    namespace = dict(
+        spec=spec,
+        registry=registry,
+        max_pulse=max_pulse,
+        initiators=frozenset(spec.initiators(graph)),
+        infos=spec.make_infos(graph),
+    )
+    process_cls = type("EquivSynchronizer", (SynchronizerProcess,), namespace)
+    for model in standard_adversaries(seed):
+        _assert_equivalent(*_run_both(graph, process_cls, model))
