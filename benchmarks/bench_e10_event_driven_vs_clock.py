@@ -17,10 +17,10 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from harness import BENCH_DELAYS, record, run_once
+from harness import BENCH_DELAYS, SWEEP_DELAYS, record, run_once
 
 from repro.analysis import Series
-from repro.core import run_synchronized
+from repro.core import SynchronizerSweep
 from repro.net import (
     NodeProgram,
     ProgramSpec,
@@ -133,7 +133,7 @@ def _sweep():
         results = {}
         for name, spec in (("event", event_spec), ("clock", clock_spec)):
             sync = run_synchronous(g, spec)
-            result = run_synchronized(g, spec, BENCH_DELAYS)
+            result = SynchronizerSweep(g, spec).run(BENCH_DELAYS)
             assert result.outputs.get(0) == "answered"
             series.add(n, name, sync.messages, result.messages,
                        round(result.time_to_output, 1))
@@ -142,9 +142,45 @@ def _sweep():
     return series, ratios
 
 
+def _model_sweep(n=96):
+    """The clock penalty across the delay-model family: both program
+    variants share one synchronizer setup per spec and are replayed per
+    model through the sweep API — the Θ(n·T) blow-up is schedule-independent
+    (the self-clock chain sends the same virtual messages under every
+    adversary), which the band assertion pins."""
+    g = topology.path_graph(n)
+    event_spec = ProgramSpec("token-event", EventDrivenToken, all_nodes_initiate)
+    clock_spec = ProgramSpec("token-clock", ClockBasedToken, all_nodes_initiate)
+    series = Series(
+        "E10b: clock penalty across delay models (sweep API, n=96)",
+        ["model", "M_event", "M_clock", "penalty"],
+    )
+    event_sweep = SynchronizerSweep(g, event_spec)
+    clock_sweep = SynchronizerSweep(g, clock_spec)
+    penalties = []
+    for model in SWEEP_DELAYS():
+        event = event_sweep.run(model)
+        clock = clock_sweep.run(model)
+        assert event.outputs.get(0) == "answered"
+        assert clock.outputs.get(0) == "answered"
+        penalty = clock.messages / event.messages
+        penalties.append(penalty)
+        series.add(type(model).__name__, event.messages, clock.messages,
+                   round(penalty, 2))
+    return series, penalties
+
+
 def test_e10_clock_penalty(benchmark):
     series, ratios = run_once(benchmark, _sweep)
     record(benchmark, series)
     # The clock-based variant pays a growing multiplicative penalty.
     assert ratios[96] > 1.5
     assert ratios[96] > ratios[12]
+
+
+def test_e10_clock_penalty_across_delay_models(benchmark):
+    series, penalties = run_once(benchmark, _model_sweep)
+    record(benchmark, series)
+    # The penalty exists under every adversary and stays in a narrow band.
+    assert min(penalties) > 1.5
+    assert max(penalties) / min(penalties) < 1.5

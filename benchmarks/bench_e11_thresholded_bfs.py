@@ -9,13 +9,13 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from harness import BENCH_DELAYS, record, run_once
+from harness import BENCH_DELAYS, SWEEP_DELAYS, record, run_once
 
 from repro.analysis import Series
 from repro.core import (
+    ThresholdedBFSSweep,
     registry_for_threshold,
     run_multi_stage_bfs,
-    run_thresholded_bfs,
 )
 from repro.net import topology
 
@@ -28,7 +28,7 @@ def _threshold_sweep():
     g = topology.cycle_graph(256)
     for t in (1, 2, 3, 4, 5):
         theta = 1 << t
-        outcome = run_thresholded_bfs(g, 0, theta, BENCH_DELAYS)
+        outcome = ThresholdedBFSSweep(g, 0, theta).run(BENCH_DELAYS)
         series.add(
             theta,
             outcome.messages,
@@ -40,11 +40,13 @@ def _threshold_sweep():
 
 
 def _family_sweep():
-    """Fixed threshold 2^3 across topology families at n≈256 (Thm 4.15: the
-    message bound is Õ(m), uniform over topologies)."""
+    """Fixed threshold 2^3 across topology families at n≈256, each family
+    replayed over the whole 5-model delay family through one shared sweep
+    engine (Thm 4.15: the message bound is Õ(m), uniform over topologies —
+    and over adversaries, which the per-model rows exhibit)."""
     series = Series(
-        "E11c: 2^3-thresholded BFS across families, n≈256",
-        ["family", "n", "m", "messages", "msgs/m", "time"],
+        "E11c: 2^3-thresholded BFS across families x delay models, n≈256",
+        ["family", "model", "n", "m", "messages", "msgs/m", "time"],
     )
     graphs = [
         ("cycle", topology.cycle_graph(256)),
@@ -52,15 +54,25 @@ def _family_sweep():
         ("expander", topology.random_regular_graph(256, 4, seed=1)),
     ]
     for family, g in graphs:
-        outcome = run_thresholded_bfs(g, 0, 8, BENCH_DELAYS)
-        series.add(
-            family,
-            g.num_nodes,
-            g.num_edges,
-            outcome.messages,
-            round(outcome.messages / g.num_edges, 1),
-            round(outcome.result.time_to_output, 1),
-        )
+        sweep = ThresholdedBFSSweep(g, 0, 8)
+        truth = None
+        for model in SWEEP_DELAYS():
+            outcome = sweep.run(model)
+            if truth is None:
+                truth = outcome.distances
+            else:
+                # Correctness is adversary-independent: every model yields
+                # the same distances from the shared setup.
+                assert outcome.distances == truth
+            series.add(
+                family,
+                type(model).__name__,
+                g.num_nodes,
+                g.num_edges,
+                outcome.messages,
+                round(outcome.messages / g.num_edges, 1),
+                round(outcome.result.time_to_output, 1),
+            )
     return series
 
 

@@ -16,9 +16,27 @@ from repro.analysis import Series, fit_power_law
 
 # One deterministic adversary for benchmarks (correctness across the whole
 # adversary family is covered by the test suite).
-from repro.net.delays import UniformDelay
+from repro.net.delays import (
+    AlternatingDelay,
+    BimodalDelay,
+    ConstantDelay,
+    SlowEdgesDelay,
+    UniformDelay,
+)
 
 BENCH_DELAYS = UniformDelay(seed=2305)  # arXiv number of the paper
+
+
+def SWEEP_DELAYS(seed: int = 2305):
+    """The 5-model family the sweep benchmarks replay (one shared engine
+    setup per graph via repro.core.sweep; fresh model instances per call)."""
+    return (
+        ConstantDelay(),
+        UniformDelay(seed=seed),
+        BimodalDelay(seed=seed),
+        SlowEdgesDelay(seed=seed),
+        AlternatingDelay(seed=seed),
+    )
 
 
 def run_once(benchmark, fn: Callable[[], Any]) -> Any:

@@ -7,6 +7,12 @@ alongside speed: each entry stores the message count and a digest of the
 node outputs, and ``--check`` fails on any mismatch (the engine must stay
 byte-for-byte reproducible, not merely fast).
 
+The matrix includes the 5-delay-model sweep workloads (cycle+grid at n=256,
+setup included per rep) next to their independent-runs counterparts; the
+``--quick`` CI gate covers the thresholded-BFS sweep at the same -30%
+threshold as the single-run entries, and ``--write`` records the measured
+sweep-vs-independent speedups under ``sweep_speedups``.
+
 Usage:
     python benchmarks/perf_regression.py            # run full matrix, print
     python benchmarks/perf_regression.py --quick    # CI subset
@@ -39,9 +45,20 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.apps.programs import bfs_spec  # noqa: E402
-from repro.core import run_synchronized, run_thresholded_bfs  # noqa: E402
+from repro.core import (  # noqa: E402
+    SynchronizerSweep,
+    ThresholdedBFSSweep,
+    run_synchronized,
+    run_thresholded_bfs,
+)
 from repro.net import topology  # noqa: E402
-from repro.net.delays import UniformDelay  # noqa: E402
+from repro.net.delays import (  # noqa: E402
+    AlternatingDelay,
+    BimodalDelay,
+    ConstantDelay,
+    SlowEdgesDelay,
+    UniformDelay,
+)
 
 BENCH_PATH = Path(__file__).resolve().parent / "BENCH_core.json"
 SEED = 2305  # arXiv number of the paper
@@ -103,28 +120,119 @@ def _run_tbfs(graph, threshold):
     return outcome.result
 
 
-# (name, graph builder, runner) — ``quick`` entries run in CI.
+def _sweep_models():
+    """The 5-model family the sweep benchmarks replay (all with pair
+    streams; fresh instances per call so per-model caches start cold, as an
+    independent run's would)."""
+    return (
+        ConstantDelay(),
+        UniformDelay(seed=SEED),
+        BimodalDelay(seed=SEED),
+        SlowEdgesDelay(seed=SEED),
+        AlternatingDelay(seed=SEED),
+    )
+
+
+class _SweepAggregate:
+    """Result-shaped aggregate over every (graph, model) replay of a sweep.
+
+    ``outputs`` maps (graph index, model index) to that replay's message
+    count and output digest, so the determinism gate pins every replay."""
+
+    def __init__(self):
+        self.messages = 0
+        self.events_fired = 0
+        self.outputs = {}
+
+    def add(self, key, result):
+        self.messages += result.messages
+        self.events_fired += result.events_fired
+        self.outputs[key] = (result.messages, _digest(result.outputs))
+
+
+def _run_sweep_tbfs(_):
+    # Fresh graphs per call: the timed reps include the sweep's one-time
+    # setup (covers, registry, infos), which is the whole point of the
+    # comparison against the independent runs below.
+    agg = _SweepAggregate()
+    for gi, graph in enumerate((topology.cycle_graph(256),
+                                topology.grid_graph(16, 16))):
+        sweep = ThresholdedBFSSweep(graph, 0, 16)
+        for mi, model in enumerate(_sweep_models()):
+            agg.add((gi, mi), sweep.run(model).result)
+    return agg
+
+
+def _run_sweep_sync(_):
+    agg = _SweepAggregate()
+    for gi, graph in enumerate((topology.cycle_graph(256),
+                                topology.grid_graph(16, 16))):
+        sweep = SynchronizerSweep(graph, bfs_spec(0))
+        for mi, model in enumerate(_sweep_models()):
+            agg.add((gi, mi), sweep.run(model))
+    return agg
+
+
+def _run_independent_tbfs(_):
+    # Independent runs: a fresh graph per model defeats every per-graph
+    # cache, so each run pays cover/registry/info setup — what five separate
+    # experiment invocations would pay.
+    agg = _SweepAggregate()
+    for gi, build in enumerate((lambda: topology.cycle_graph(256),
+                                lambda: topology.grid_graph(16, 16))):
+        for mi, model in enumerate(_sweep_models()):
+            agg.add((gi, mi), run_thresholded_bfs(build(), 0, 16, model).result)
+    return agg
+
+
+def _run_independent_sync(_):
+    agg = _SweepAggregate()
+    for gi, build in enumerate((lambda: topology.cycle_graph(256),
+                                lambda: topology.grid_graph(16, 16))):
+        for mi, model in enumerate(_sweep_models()):
+            agg.add((gi, mi), run_synchronized(build(), bfs_spec(0), model))
+    return agg
+
+
+# (name, graph builder, runner, in_quick, reps override or None).
 WORKLOADS = [
-    ("sync-bfs/cycle/64", lambda: topology.cycle_graph(64), _run_synchronized, True),
-    ("sync-bfs/grid/256", lambda: topology.grid_graph(16, 16), _run_synchronized, True),
-    ("sync-bfs/cycle/256", lambda: topology.cycle_graph(256), _run_synchronized, False),
+    ("sync-bfs/cycle/64", lambda: topology.cycle_graph(64), _run_synchronized,
+     True, None),
+    ("sync-bfs/grid/256", lambda: topology.grid_graph(16, 16), _run_synchronized,
+     True, None),
+    ("sync-bfs/cycle/256", lambda: topology.cycle_graph(256), _run_synchronized,
+     False, None),
     ("sync-bfs/regular/256",
-     lambda: topology.random_regular_graph(256, 4, seed=1), _run_synchronized, False),
+     lambda: topology.random_regular_graph(256, 4, seed=1), _run_synchronized,
+     False, None),
     ("tbfs-16/cycle/256",
-     lambda: topology.cycle_graph(256), lambda g: _run_tbfs(g, 16), False),
+     lambda: topology.cycle_graph(256), lambda g: _run_tbfs(g, 16), False, None),
+    # 5-delay-model sweeps at n=256 on cycle+grid: the sweep engine builds
+    # covers/registry/infos once per graph and replays per model.  Their
+    # "independent-*" counterparts run the same 10 (graph, model) cells with
+    # cold per-graph caches; the speedup between the two is recorded by
+    # --write under "sweep_speedups".
+    ("sweep-tbfs16-5x/cycle+grid/256", lambda: None, _run_sweep_tbfs,
+     True, 3),
+    ("sweep-sync-5x/cycle+grid/256", lambda: None, _run_sweep_sync,
+     False, 3),
+    ("independent-tbfs16-5x/cycle+grid/256", lambda: None, _run_independent_tbfs,
+     False, 3),
+    ("independent-sync-5x/cycle+grid/256", lambda: None, _run_independent_sync,
+     False, 3),
 ]
 
 
 def measure(quick: bool, reps: int = 5) -> dict:
     results = {}
-    for name, build, runner, in_quick in WORKLOADS:
+    for name, build, runner, in_quick, reps_override in WORKLOADS:
         if quick and not in_quick:
             continue
         graph = build()
         runner(graph)  # warm caches (covers, pulse bounds, infos)
         walls = []
         result = None
-        for _ in range(reps):
+        for _ in range(reps_override or reps):
             t0 = time.perf_counter()
             result = runner(graph)
             walls.append(time.perf_counter() - t0)
@@ -137,7 +245,7 @@ def measure(quick: bool, reps: int = 5) -> dict:
             "msgs_per_sec": round(result.messages / best),
             "outputs_digest": _digest(result.outputs),
         }
-        print(f"{name:26s} best {best*1e3:8.1f} ms   "
+        print(f"{name:36s} best {best*1e3:8.1f} ms   "
               f"{results[name]['msgs_per_sec']:>9,} msgs/s   "
               f"{result.messages:>7} msgs   {results[name]['outputs_digest']}")
     return results
@@ -184,6 +292,31 @@ def check(current: dict, committed: dict, threshold: float) -> int:
     return 0
 
 
+def _sweep_speedups(current: dict) -> dict:
+    """Sweep-vs-independent ratios, when both sides were measured.
+
+    The two entries cover the same 10 (graph, model) cells — the sweep with
+    one shared setup per graph, the independent runs with cold caches — so
+    their message totals and per-cell digests must agree exactly, and the
+    wall ratio is the amortization win.
+    """
+    out = {}
+    for kind in ("tbfs16", "sync"):
+        sweep = current.get(f"sweep-{kind}-5x/cycle+grid/256")
+        indep = current.get(f"independent-{kind}-5x/cycle+grid/256")
+        if sweep and indep:
+            if sweep["outputs_digest"] != indep["outputs_digest"]:
+                raise AssertionError(
+                    f"{kind}: sweep and independent runs diverged"
+                )
+            out[kind] = {
+                "independent_wall_best": indep["wall_best"],
+                "sweep_wall_best": sweep["wall_best"],
+                "speedup": round(indep["wall_best"] / sweep["wall_best"], 2),
+            }
+    return out
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="CI subset")
@@ -209,7 +342,10 @@ def main() -> int:
             "methodology": (
                 f"best of {args.reps} warm runs per workload; UniformDelay"
                 f" seed {SEED}; msgs_per_sec = messages / wall_best; --check"
-                " rescales floors by calibration_ops_per_sec of the host"
+                " rescales floors by calibration_ops_per_sec of the host;"
+                " sweep-* workloads replay 5 delay models on cycle+grid at"
+                " n=256 through the sweep engines (setup included),"
+                " independent-* run the same cells with cold per-graph caches"
             ),
             "calibration_ops_per_sec": round(_calibrate()),
             "seed_reference": SEED_REFERENCE,
@@ -217,6 +353,7 @@ def main() -> int:
                 round(SEED_REFERENCE["wall_best"] / acceptance["wall_best"], 2)
                 if acceptance else None
             ),
+            "sweep_speedups": _sweep_speedups(current),
             "workloads": current,
         }
         BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

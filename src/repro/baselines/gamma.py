@@ -181,9 +181,7 @@ class GammaNode:
         elif kind == "xsafe":
             self.xsafe_got.setdefault(payload[1], set()).add(sender)
             self._maybe_xdone(payload[1])
-        elif kind == "agg":
-            self.agg.handle(sender, payload)
-        else:  # pragma: no cover
+        elif not self.agg.handle(sender, payload):  # pragma: no cover
             raise ValueError(f"unknown gamma message {payload!r}")
 
 

@@ -72,16 +72,16 @@ class ThresholdedBFSProcess(Process):
 
     def __init__(self, ctx: ProcessContext) -> None:
         super().__init__(ctx)
-        # Priority tuples are pre-built per stage (stages range over
-        # 0..threshold+1), so the hot send path allocates nothing extra.
-        priorities = tuple((s,) for s in range(self.threshold + 2))
-        send = ctx.send
+        # The link priority IS the stage number: every send in a thresholded
+        # BFS run carries an explicit stage, so bare ints order the outboxes
+        # exactly as the old per-stage tuples did — without a wrapper frame
+        # and a tuple table per send path.
         self.core = ThresholdedBFSCore(
             node_id=ctx.node_id,
             neighbors=ctx.neighbors,
             registry=self.registry,
             threshold=self.threshold,
-            send=lambda to, payload, stage: send(to, payload, priorities[stage]),
+            send=ctx.send,
             on_complete=self._on_complete,
         )
         # Shadow the class method: the transport calls the node engine

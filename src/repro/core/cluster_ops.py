@@ -26,7 +26,14 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from ..net.graph import NodeId
 from .registration import ClusterView
 
-MSG_PREFIX = "agg"
+#: Wire opcodes (DESIGN.md §6): message kinds are small consecutive ints so
+#: hosts dispatch through a tuple index instead of a string-compare chain.
+#: The shared modules own the 0..5 range (aggregation here, registration in
+#: :mod:`repro.core.registration`); hosts number their private kinds from 6.
+OP_AGG_UP = 0
+OP_AGG_DOWN = 1
+
+_AGG_OPS = (OP_AGG_UP, OP_AGG_DOWN)
 
 Tag = Any
 Key = Tuple[int, Tag]
@@ -38,9 +45,9 @@ class _InstanceState:
     instance on the hot path)."""
 
     __slots__ = ("view", "contributed", "value", "child_values", "missing",
-                 "sent_up", "result", "done")
+                 "sent_up", "result", "done", "priority")
 
-    def __init__(self, view: "ClusterView") -> None:
+    def __init__(self, view: "ClusterView", priority: Any) -> None:
         self.view = view  # this node's tree view, bound at creation
         self.contributed = False
         self.value: Any = None
@@ -51,12 +58,17 @@ class _InstanceState:
         self.sent_up = False
         self.result: Any = None
         self.done = False
+        # The instance's link priority, resolved once at creation so emits
+        # skip the per-tag dict probe.
+        self.priority = priority
 
 
 class ClusterAggregateModule:
     """Per-node engine for tree aggregation, multiplexed over (cluster, tag).
 
-    Host contract: route payloads starting with ``"agg"`` to :meth:`handle`;
+    Host contract: route payloads whose first element is :data:`OP_AGG_UP` or
+    :data:`OP_AGG_DOWN` to :meth:`handle` (or, when the host dispatches on
+    opcodes itself, straight to :meth:`handle_up` / :meth:`handle_down`);
     call :meth:`contribute` exactly once per instance on every tree node of
     the cluster; ``merge_fn(tag)`` and ``priority_fn(tag)`` must be pure and
     identical across nodes.  ``on_result(cluster_id, tag, result)`` fires on
@@ -79,7 +91,6 @@ class ClusterAggregateModule:
         self.merge_fn = merge_fn
         self.priority_fn = priority_fn
         self._instances: Dict[Key, _InstanceState] = {}
-        self._priorities: Dict[Tag, Any] = {}
         self._merges: Dict[Tag, MergeFn] = {}
         self.messages_sent = 0
 
@@ -92,16 +103,14 @@ class ClusterAggregateModule:
                 raise ValueError(
                     f"node {self.node_id} is not on the tree of cluster {cluster_id}"
                 )
-            instance = _InstanceState(view)
+            instance = _InstanceState(view, self.priority_fn(tag))
             self._instances[key] = instance
         return instance
 
-    def _emit(self, to: NodeId, kind: str, cluster_id: int, tag: Tag, value: Any) -> None:
+    def _emit(self, to: NodeId, op: int, cluster_id: int, tag: Tag, value: Any,
+              priority: Any) -> None:
         self.messages_sent += 1
-        priority = self._priorities.get(tag)
-        if priority is None:
-            priority = self._priorities[tag] = self.priority_fn(tag)
-        self._send(to, (MSG_PREFIX, kind, cluster_id, tag, value), priority)
+        self._send(to, (op, cluster_id, tag, value), priority)
 
     # ------------------------------------------------------------------
     def contribute(self, cluster_id: int, tag: Tag, value: Any) -> None:
@@ -138,50 +147,64 @@ class ClusterAggregateModule:
         if view.parent is None:
             self._finish(cluster_id, tag, instance, combined)
         else:
-            self._emit(view.parent, "up", cluster_id, tag, combined)
+            self._emit(view.parent, OP_AGG_UP, cluster_id, tag, combined,
+                       instance.priority)
 
     def _finish(self, cluster_id: int, tag: Tag, instance: _InstanceState, result: Any) -> None:
         instance.result = result
         instance.done = True
+        priority = instance.priority
         for child in instance.view.children:
-            self._emit(child, "down", cluster_id, tag, result)
+            self._emit(child, OP_AGG_DOWN, cluster_id, tag, result, priority)
         self.on_result(cluster_id, tag, result)
 
     # ------------------------------------------------------------------
     def handle(self, sender: NodeId, payload: Tuple) -> bool:
-        if not (isinstance(payload, tuple) and payload and payload[0] == MSG_PREFIX):
+        """Process one aggregate message; returns False if not ours."""
+        if not (isinstance(payload, tuple) and payload and payload[0] in _AGG_OPS):
             return False
         self.handle_known(sender, payload)
         return True
 
     def handle_known(self, sender: NodeId, payload: Tuple) -> None:
-        """Like :meth:`handle` for hosts that already routed on the prefix."""
-        kind = payload[1]
-        cluster_id = payload[2]
-        tag = payload[3]
-        value = payload[4]
+        """Like :meth:`handle` for hosts that already routed on the opcode."""
+        if payload[0] == OP_AGG_UP:
+            self.handle_up(sender, payload)
+        elif payload[0] == OP_AGG_DOWN:
+            self.handle_down(sender, payload)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown aggregate message kind {payload[0]!r}")
+
+    def handle_up(self, sender: NodeId, payload: Tuple) -> None:
+        """One convergecast value — ``(OP_AGG_UP, cluster_id, tag, value)``."""
+        cluster_id = payload[1]
+        tag = payload[2]
         # _instance inlined for the common (existing-instance) case.
         instance = self._instances.get((cluster_id, tag))
         if instance is None:
             instance = self._instance(cluster_id, tag)
-        if kind == "up":
-            if sender in instance.child_values:
-                raise ValueError(
-                    f"duplicate convergecast value from {sender} in"
-                    f" {cluster_id}/{tag}"
-                )
-            if sender not in instance.view.children:
-                raise ValueError(
-                    f"convergecast value from non-child {sender} in"
-                    f" {cluster_id}/{tag}"
-                )
-            instance.child_values[sender] = value
-            instance.missing -= 1
-            self._maybe_forward(cluster_id, tag, instance)
-        elif kind == "down":
-            self._finish(cluster_id, tag, instance, value)
-        else:  # pragma: no cover - defensive
-            raise ValueError(f"unknown aggregate message kind {kind!r}")
+        if sender in instance.child_values:
+            raise ValueError(
+                f"duplicate convergecast value from {sender} in"
+                f" {cluster_id}/{tag}"
+            )
+        if sender not in instance.view.children:
+            raise ValueError(
+                f"convergecast value from non-child {sender} in"
+                f" {cluster_id}/{tag}"
+            )
+        instance.child_values[sender] = payload[3]
+        instance.missing -= 1
+        self._maybe_forward(cluster_id, tag, instance)
+
+    def handle_down(self, sender: NodeId, payload: Tuple) -> None:
+        """The broadcast result — ``(OP_AGG_DOWN, cluster_id, tag, result)``."""
+        cluster_id = payload[1]
+        tag = payload[2]
+        instance = self._instances.get((cluster_id, tag))
+        if instance is None:
+            instance = self._instance(cluster_id, tag)
+        self._finish(cluster_id, tag, instance, payload[3])
 
 
 def and_merge(a: Any, b: Any) -> Any:

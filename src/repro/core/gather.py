@@ -23,7 +23,8 @@ from .registration import ClusterView
 class GatherModule:
     """Per-node engine for Theorem 3.1/3.2 over one sparse cover.
 
-    Host contract: route payloads beginning with ``"agg"`` here, call
+    Host contract: route payloads beginning with an aggregation opcode
+    (:data:`repro.core.cluster_ops.OP_AGG_UP` / ``OP_AGG_DOWN``) here, call
     :meth:`start` once at protocol start and :meth:`mark_done` when the local
     process ``P`` finishes (or is known never to run).  ``on_complete(stage)``
     fires as the node learns each stage; stage ``num_stages`` means the whole

@@ -48,7 +48,16 @@ REGISTERED = "registered"
 DEREGISTERED = "deregistered"
 FREE = "free"
 
-MSG_PREFIX = "reg"
+#: Wire opcodes (DESIGN.md §6): small consecutive ints continuing the shared
+#: module range started by :mod:`repro.core.cluster_ops` (0..1), so a host
+#: can dispatch every module message through one tuple index.  Hosts number
+#: their private kinds from 6.
+OP_REG_UP = 2
+OP_REG_DONE = 3
+OP_REG_DEREG = 4
+OP_REG_GO_AHEAD = 5
+
+_REG_OPS = (OP_REG_UP, OP_REG_DONE, OP_REG_DEREG, OP_REG_GO_AHEAD)
 
 Tag = Any
 Key = Tuple[int, Tag]
@@ -61,9 +70,9 @@ class _StageState:
 
     __slots__ = ("view", "state", "finished", "parent_mark", "child_marks",
                  "dirty_children", "r_in_flight", "pending_child_invokers",
-                 "local_pending")
+                 "local_pending", "priority")
 
-    def __init__(self, view: "ClusterView", finished: bool) -> None:
+    def __init__(self, view: "ClusterView", finished: bool, priority: Any) -> None:
         self.view = view  # this node's tree view, bound at creation
         self.state = NONE
         self.finished = finished
@@ -75,6 +84,9 @@ class _StageState:
         self.r_in_flight = False
         self.pending_child_invokers: List[NodeId] = []
         self.local_pending = False
+        # The stage's link priority, resolved once at creation so emits skip
+        # the per-tag dict probe.
+        self.priority = priority
 
 
 @dataclass(frozen=True)
@@ -95,8 +107,10 @@ class RegistrationModule:
 
     Host protocol contract:
 
-    * route every message whose payload starts with ``"reg"`` to
-      :meth:`handle`;
+    * route every message whose payload starts with one of the registration
+      opcodes (:data:`OP_REG_UP` .. :data:`OP_REG_GO_AHEAD`) to
+      :meth:`handle` — or, when the host dispatches on opcodes itself,
+      straight to the per-kind ``handle_*`` methods;
     * call :meth:`register` / :meth:`deregister` at most once each per
       (cluster, tag);
     * supply ``priority_fn(tag)`` mapping a tag to the link priority of its
@@ -119,7 +133,6 @@ class RegistrationModule:
         self.on_go_ahead = on_go_ahead
         self.priority_fn = priority_fn
         self._stages: Dict[Key, _StageState] = {}
-        self._priorities: Dict[Tag, Any] = {}
         self.messages_sent = 0
 
     # ------------------------------------------------------------------
@@ -132,16 +145,14 @@ class RegistrationModule:
                 raise ValueError(
                     f"node {self.node_id} is not in cluster {cluster_id}"
                 )
-            stage = _StageState(view, view.parent is None)
+            stage = _StageState(view, view.parent is None, self.priority_fn(tag))
             self._stages[key] = stage
         return stage
 
-    def _emit(self, to: NodeId, kind: str, cluster_id: int, tag: Tag) -> None:
+    def _emit(self, to: NodeId, op: int, cluster_id: int, tag: Tag,
+              priority: Any) -> None:
         self.messages_sent += 1
-        priority = self._priorities.get(tag)
-        if priority is None:
-            priority = self._priorities[tag] = self.priority_fn(tag)
-        self._send(to, (MSG_PREFIX, kind, cluster_id, tag), priority)
+        self._send(to, (op, cluster_id, tag), priority)
 
     # ------------------------------------------------------------------
     # public operations
@@ -187,28 +198,36 @@ class RegistrationModule:
             return
         stage.parent_mark = DIRTY
         stage.r_in_flight = True
-        self._emit(stage.view.parent, "reg_up", cluster_id, tag)
+        self._emit(stage.view.parent, OP_REG_UP, cluster_id, tag, stage.priority)
 
-    def _handle_reg_up(
-        self, child: NodeId, cluster_id: int, tag: Tag, stage: _StageState
-    ) -> None:
-        if stage.child_marks.get(child) != DIRTY:
+    def handle_reg_up(self, sender: NodeId, payload: Tuple) -> None:
+        """A child's R wave — ``(OP_REG_UP, cluster_id, tag)``."""
+        cluster_id = payload[1]
+        tag = payload[2]
+        stage = self._stages.get((cluster_id, tag))
+        if stage is None:
+            stage = self._stage(cluster_id, tag)
+        if stage.child_marks.get(sender) != DIRTY:
             stage.dirty_children += 1
-        stage.child_marks[child] = DIRTY
+        stage.child_marks[sender] = DIRTY
         if stage.finished:
-            self._emit(child, "reg_done", cluster_id, tag)
+            self._emit(sender, OP_REG_DONE, cluster_id, tag, stage.priority)
             return
-        stage.pending_child_invokers.append(child)
+        stage.pending_child_invokers.append(sender)
         self._invoke_r(cluster_id, tag, stage)
 
-    def _handle_reg_done(
-        self, parent: NodeId, cluster_id: int, tag: Tag, stage: _StageState
-    ) -> None:
+    def handle_reg_done(self, sender: NodeId, payload: Tuple) -> None:
+        """The parent's R confirmation — ``(OP_REG_DONE, cluster_id, tag)``."""
+        cluster_id = payload[1]
+        tag = payload[2]
+        stage = self._stages.get((cluster_id, tag))
+        if stage is None:
+            stage = self._stage(cluster_id, tag)
         stage.r_in_flight = False
         # The parent's subtree-path to the root is dirty, hence so is ours.
         stage.finished = True
         for child in stage.pending_child_invokers:
-            self._emit(child, "reg_done", cluster_id, tag)
+            self._emit(child, OP_REG_DONE, cluster_id, tag, stage.priority)
         stage.pending_child_invokers.clear()
         if stage.local_pending:
             stage.local_pending = False
@@ -231,14 +250,18 @@ class RegistrationModule:
             return
         stage.parent_mark = WAITING
         stage.finished = False
-        self._emit(stage.view.parent, "dereg", cluster_id, tag)
+        self._emit(stage.view.parent, OP_REG_DEREG, cluster_id, tag, stage.priority)
 
-    def _handle_dereg(
-        self, child: NodeId, cluster_id: int, tag: Tag, stage: _StageState
-    ) -> None:
-        if stage.child_marks.get(child) == DIRTY:
+    def handle_dereg(self, sender: NodeId, payload: Tuple) -> None:
+        """A child's D wave — ``(OP_REG_DEREG, cluster_id, tag)``."""
+        cluster_id = payload[1]
+        tag = payload[2]
+        stage = self._stages.get((cluster_id, tag))
+        if stage is None:
+            stage = self._stage(cluster_id, tag)
+        if stage.child_marks.get(sender) == DIRTY:
             stage.dirty_children -= 1
-        stage.child_marks[child] = WAITING
+        stage.child_marks[sender] = WAITING
         if stage.view.parent is None:
             self._root_maybe_go_ahead(cluster_id, tag, stage)
         else:
@@ -264,11 +287,15 @@ class RegistrationModule:
         for child, mark in sorted(stage.child_marks.items()):
             if mark == WAITING:
                 stage.child_marks[child] = CLEAN
-                self._emit(child, "go_ahead", cluster_id, tag)
+                self._emit(child, OP_REG_GO_AHEAD, cluster_id, tag, stage.priority)
 
-    def _handle_go_ahead(
-        self, parent: NodeId, cluster_id: int, tag: Tag, stage: _StageState
-    ) -> None:
+    def handle_go_ahead(self, sender: NodeId, payload: Tuple) -> None:
+        """The parent's Go-Ahead — ``(OP_REG_GO_AHEAD, cluster_id, tag)``."""
+        cluster_id = payload[1]
+        tag = payload[2]
+        stage = self._stages.get((cluster_id, tag))
+        if stage is None:
+            stage = self._stage(cluster_id, tag)
         if stage.parent_mark != WAITING:
             # A registration wave re-dirtied this edge while the Go-Ahead was
             # in flight; drop it — a newer Go-Ahead will follow (Lemma 3.5's
@@ -280,30 +307,24 @@ class RegistrationModule:
     # ------------------------------------------------------------------
     def handle(self, sender: NodeId, payload: Tuple) -> bool:
         """Process one registration message; returns False if not ours."""
-        if not (isinstance(payload, tuple) and payload and payload[0] == MSG_PREFIX):
+        if not (isinstance(payload, tuple) and payload and payload[0] in _REG_OPS):
             return False
         self.handle_known(sender, payload)
         return True
 
     def handle_known(self, sender: NodeId, payload: Tuple) -> None:
-        """Like :meth:`handle` for hosts that already routed on the prefix."""
-        kind = payload[1]
-        cluster_id = payload[2]
-        tag = payload[3]
-        # Resolve the stage once; the per-kind handlers take it directly.
-        stage = self._stages.get((cluster_id, tag))
-        if stage is None:
-            stage = self._stage(cluster_id, tag)
-        if kind == "reg_up":
-            self._handle_reg_up(sender, cluster_id, tag, stage)
-        elif kind == "reg_done":
-            self._handle_reg_done(sender, cluster_id, tag, stage)
-        elif kind == "dereg":
-            self._handle_dereg(sender, cluster_id, tag, stage)
-        elif kind == "go_ahead":
-            self._handle_go_ahead(sender, cluster_id, tag, stage)
+        """Like :meth:`handle` for hosts that already routed on the opcode."""
+        op = payload[0]
+        if op == OP_REG_UP:
+            self.handle_reg_up(sender, payload)
+        elif op == OP_REG_DONE:
+            self.handle_reg_done(sender, payload)
+        elif op == OP_REG_DEREG:
+            self.handle_dereg(sender, payload)
+        elif op == OP_REG_GO_AHEAD:
+            self.handle_go_ahead(sender, payload)
         else:  # pragma: no cover - defensive
-            raise ValueError(f"unknown registration message kind {kind!r}")
+            raise ValueError(f"unknown registration message kind {op!r}")
 
 
 def cluster_views_for(

@@ -1,0 +1,164 @@
+"""Protocol-level sweep engines: one setup, many delay-model replays.
+
+The expensive part of a synchronizer (or thresholded-BFS) run over a fresh
+graph is not the event loop alone: measuring the pulse bound, building the
+layered sparse cover, assigning registry views, and deriving node infos
+together cost as much as the run itself at n=256.  Every experiment in the
+paper replays the *same* graph and program under a family of delay models,
+so these engines construct all of that shared immutable state exactly once
+and then replay a fresh :class:`~repro.net.async_runtime.AsyncRuntime` per
+model through :class:`~repro.net.sweep.AsyncSweep`.
+
+Shared across replays (immutable): the graph and its directed-link
+skeleton, the measured pulse bound T(A), the layered cover and its
+:class:`~repro.core.registry.CoverRegistry` views, the node infos, the
+initiator set, the memoized pulse tables, and the bound process class.
+Rebuilt per replay (mutable): processes, link slots, the event heap — so
+each replay is byte-identical to the corresponding standalone
+``run_synchronized`` / ``run_thresholded_bfs`` call, which the engine
+equivalence tests pin per delay model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..net.delays import DelayModel
+from ..net.graph import Graph, NodeId
+from ..net.program import ProgramSpec
+from ..net.async_runtime import AsyncResult
+from ..net.sweep import AsyncSweep
+from .bfs_runner import (
+    BFSOutcome,
+    ThresholdedBFSProcess,
+    registry_for_threshold,
+)
+from .registry import CoverRegistry
+from .synchronizer import SynchronizerProcess, pulse_bound_for
+
+
+class SynchronizerSweep:
+    """Replay one event-driven program under many delay models.
+
+    ``SynchronizerSweep(graph, spec).run(model)`` is byte-identical to
+    ``run_synchronized(graph, spec, model)`` — same outputs, message counts,
+    times, and delivery traces — but the cover/registry/pulse-bound setup is
+    paid once for the whole sweep instead of once per model.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        spec: ProgramSpec,
+        registry: Optional[CoverRegistry] = None,
+        max_pulse: Optional[int] = None,
+        builder: str = "ap",
+    ) -> None:
+        if max_pulse is None:
+            max_pulse = pulse_bound_for(graph, spec)
+        if registry is None:
+            registry = registry_for_threshold(graph, max_pulse, builder)
+        self.graph = graph
+        self.spec = spec
+        self.max_pulse = max_pulse
+        self.registry = registry
+        namespace = dict(
+            spec=spec,
+            registry=registry,
+            max_pulse=max_pulse,
+            initiators=frozenset(spec.initiators(graph)),
+            infos=spec.make_infos(graph),
+        )
+        self.process_cls = type(
+            "SweepSynchronizer", (SynchronizerProcess,), namespace
+        )
+        self._sweep = AsyncSweep(graph, self.process_cls)
+
+    def run(
+        self, delay_model: DelayModel, max_events: int = 100_000_000
+    ) -> AsyncResult:
+        """One replay; raises unless the run reaches quiescence."""
+        result = self._sweep.run(delay_model, max_events=max_events)
+        if result.stop_reason != "quiescent":
+            raise RuntimeError(
+                f"synchronizer did not finish: {result.stop_reason}"
+            )
+        return result
+
+    def run_all(
+        self, delay_models: Iterable[DelayModel], max_events: int = 100_000_000
+    ) -> List[AsyncResult]:
+        return [self.run(model, max_events=max_events) for model in delay_models]
+
+
+class ThresholdedBFSSweep:
+    """Replay one 2^t-thresholded (multi-source) BFS under many delay models.
+
+    ``ThresholdedBFSSweep(graph, sources, threshold).run(model)`` is
+    byte-identical to ``run_thresholded_bfs(graph, sources, threshold,
+    model)`` with the cover built once per sweep.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        sources: Iterable[NodeId] | NodeId,
+        threshold: int,
+        registry: Optional[CoverRegistry] = None,
+        builder: str = "ap",
+    ) -> None:
+        source_set = (
+            frozenset((sources,)) if isinstance(sources, int) else frozenset(sources)
+        )
+        if not source_set:
+            raise ValueError("at least one source required")
+        if registry is None:
+            registry = registry_for_threshold(graph, threshold, builder)
+        self.graph = graph
+        self.sources = source_set
+        self.threshold = threshold
+        self.registry = registry
+        namespace = dict(
+            registry=registry, sources=source_set, threshold=threshold
+        )
+        self.process_cls = type(
+            "SweepThresholdedBFS", (ThresholdedBFSProcess,), namespace
+        )
+        self._sweep = AsyncSweep(graph, self.process_cls)
+
+    def run(
+        self, delay_model: DelayModel, max_events: int = 50_000_000
+    ) -> BFSOutcome:
+        result = self._sweep.run(delay_model, max_events=max_events)
+        if result.stop_reason != "quiescent":
+            raise RuntimeError(f"BFS did not finish: {result.stop_reason}")
+        graph = self.graph
+        missing = set(graph.nodes) - set(result.outputs)
+        if missing:
+            raise RuntimeError(
+                f"BFS deadlocked: nodes {sorted(missing)} never completed"
+            )
+        distances = {v: result.outputs[v][0] for v in graph.nodes}
+        parents = {v: result.outputs[v][1] for v in graph.nodes}
+        return BFSOutcome(distances=distances, parents=parents, result=result)
+
+    def run_all(
+        self, delay_models: Iterable[DelayModel], max_events: int = 50_000_000
+    ) -> List[BFSOutcome]:
+        return [self.run(model, max_events=max_events) for model in delay_models]
+
+
+def sweep_synchronized(
+    graph: Graph,
+    spec: ProgramSpec,
+    delay_models: Iterable[DelayModel],
+    registry: Optional[CoverRegistry] = None,
+    max_pulse: Optional[int] = None,
+    builder: str = "ap",
+    max_events: int = 100_000_000,
+) -> List[AsyncResult]:
+    """Convenience wrapper: one synchronizer setup, one result per model."""
+    sweep = SynchronizerSweep(
+        graph, spec, registry=registry, max_pulse=max_pulse, builder=builder
+    )
+    return sweep.run_all(delay_models, max_events=max_events)

@@ -53,18 +53,44 @@ from .pulse import (
 from .registration import RegistrationModule
 from .registry import CoverRegistry
 
+#: Synchronizer-private wire opcodes, continuing the shared-module range
+#: (aggregation 0..1, registration 2..5 — see DESIGN.md §6).  Every message
+#: a :class:`SynchronizerNode` sends or receives starts with one of the
+#: eleven opcodes 0..10, and :meth:`SynchronizerNode.handle` dispatches
+#: through one tuple index instead of a string-compare chain.
+OP_CHILD_ANS = 6
+OP_VFLOW = 7
+OP_APP = 8
+OP_VGA = 9
+OP_VRELEASE = 10
 
-def _reg_priority(tag: Any) -> Tuple:
-    """Registration stage priority tuple: the tag is the pulse number."""
-    return (int(tag),)
+
+def _reg_priority(tag: int) -> int:
+    """Registration stage priority: the tag is the pulse number.
+
+    Priorities are bare ints throughout the synchronizer (every send carries
+    one explicitly), ordering the per-link outboxes exactly as the old
+    1-tuples did without a tuple allocation per send.
+    """
+    return tag
 
 
-def _agg_priority(tag: Tuple) -> Tuple:
-    """Aggregate stage priority tuple: tags are ("sreg"|"sdereg", pulse)."""
-    return (int(tag[1]),)
+def _agg_priority(tag: int) -> int:
+    """Aggregate stage priority: the int-coded tag packs
+    ``pulse << 1 | kind`` (kind 0 = source-registration barrier, 1 =
+    source-deregistration barrier), so the stage is the pulse half."""
+    return tag >> 1
 
 
-def _and_merge_for(tag: Tuple) -> Any:
+def _sreg_tag(p: int) -> int:
+    return p << 1
+
+
+def _sdereg_tag(p: int) -> int:
+    return (p << 1) | 1
+
+
+def _and_merge_for(tag: int) -> Any:
     return and_merge
 
 
@@ -85,10 +111,20 @@ class _VFlow:
 
 
 class _VNode:
-    """State of virtual node (v, pulse) held by physical node v."""
+    """State of virtual node (v, pulse) held by physical node v.
+
+    All counters are plain ``__slots__`` int fields (DESIGN.md §6):
+    ``sends_pending`` counts unacknowledged program sends and
+    ``answers_missing`` counts outstanding chosen/not-chosen answers — one
+    per distinct recipient plus the node's own self-answer — replacing the
+    per-vnode answer *set* the earlier engine allocated and hashed on every
+    child answer.  Recipients are distinct by the CONGEST discipline
+    (``PulseApi.send`` rejects duplicate targets), so the count carries the
+    same information.
+    """
 
     __slots__ = ("pulse", "parent", "parent_is_self", "recipients", "payloads",
-                 "sends_pending", "sent", "answers_pending", "children",
+                 "sends_pending", "sent", "answers_missing", "children",
                  "self_child", "flows", "ga_released")
 
     def __init__(
@@ -102,7 +138,7 @@ class _VNode:
         self.payloads: Tuple[Tuple[NodeId, Any], ...] = ()
         self.sends_pending = 0
         self.sent = False
-        self.answers_pending: Set[Any] = set()
+        self.answers_missing = 0
         self.children: List[NodeId] = []
         self.self_child = False
         self.flows: Dict[int, _VFlow] = {}
@@ -117,7 +153,7 @@ class _VNode:
 
     @property
     def answers_done(self) -> bool:
-        return not self.answers_pending
+        return self.answers_missing == 0
 
 
 class SynchronizerNode:
@@ -177,6 +213,23 @@ class SynchronizerNode:
         self._awaiting_dereg: Set[int] = set()
         self._goahead_pending: Dict[int, Set[int]] = {}
 
+        # Opcode-indexed dispatch table (DESIGN.md §6): one tuple index per
+        # delivered message in place of the old string-compare chain, calling
+        # straight into the module per-kind handlers.
+        self._dispatch = (
+            self.agg.handle_up,        # 0 OP_AGG_UP
+            self.agg.handle_down,      # 1 OP_AGG_DOWN
+            self.reg.handle_reg_up,    # 2 OP_REG_UP
+            self.reg.handle_reg_done,  # 3 OP_REG_DONE
+            self.reg.handle_dereg,     # 4 OP_REG_DEREG
+            self.reg.handle_go_ahead,  # 5 OP_REG_GO_AHEAD
+            self._handle_child_answer,  # 6 OP_CHILD_ANS
+            self._handle_vflow,        # 7 OP_VFLOW
+            self._handle_app,          # 8 OP_APP
+            self._handle_vga,          # 9 OP_VGA
+            self._handle_vrelease,     # 10 OP_VRELEASE
+        )
+
     # ------------------------------------------------------------------
     def _level_for(self, p: int) -> int:
         return self.registry.clamp_level(cover_level(p))
@@ -209,9 +262,9 @@ class SynchronizerNode:
             lvl = self._level_for(p)
             for cid in self.registry.tree_clusters_of(self.node_id, lvl):
                 origin_member = is_origin and self.registry.is_member(self.node_id, cid)
-                self.agg.contribute(cid, ("sreg", p), True)
+                self.agg.contribute(cid, _sreg_tag(p), True)
                 if not origin_member:
-                    self.agg.contribute(cid, ("sdereg", p), True)
+                    self.agg.contribute(cid, _sdereg_tag(p), True)
         self._maybe_origin_send()
 
     def _maybe_origin_send(self) -> None:
@@ -231,15 +284,15 @@ class SynchronizerNode:
             return
         vnode.sent = True
         vnode.sends_pending = len(vnode.payloads)
-        vnode.answers_pending = set(vnode.recipients)
-        vnode.answers_pending.add(self.SELF)
+        # One answer owed per distinct recipient, plus the self-answer.
+        vnode.answers_missing = len(vnode.recipients) + 1
         for to, payload in vnode.payloads:
-            self._send(to, ("app", vnode.pulse, payload), (vnode.pulse + 1,))
+            self._send(to, (OP_APP, vnode.pulse, payload), vnode.pulse + 1)
         if vnode.sends_pending == 0:  # pragma: no cover - origins always send
             self._vnode_safe(vnode)
 
     def on_delivered(self, to: NodeId, payload: Tuple) -> None:
-        if payload[0] != "app":
+        if payload[0] != OP_APP:
             return
         vnode = self.vnodes[payload[1]]
         vnode.sends_pending -= 1
@@ -292,54 +345,55 @@ class SynchronizerNode:
             self._do_sends(vnode)
         # Chosen/not-chosen answers close the parents' child sets.
         for u in senders:
-            self._send(
-                u, ("child_ans", p, u == chosen_parent), (p,)
-            )
+            self._send(u, (OP_CHILD_ANS, p, u == chosen_parent), p)
         if prev_vnode is not None:
             self._child_answer(prev_vnode, self.SELF, sends and parent_is_self)
 
-    def _handle_app(self, sender: NodeId, p: int, payload: Any) -> None:
+    def _handle_app(self, sender: NodeId, payload: Tuple) -> None:
+        p = payload[1]
         if p + 1 in self.evaluated:
             raise AssertionError(
                 f"node {self.node_id} received a pulse-{p} message after"
                 f" evaluating pulse {p + 1} — Lemma 5.1 violated"
             )
-        self.arrived.setdefault(p, []).append((sender, payload))
+        self.arrived.setdefault(p, []).append((sender, payload[2]))
 
     # ------------------------------------------------------------------
     # execution-forest child answers and flows
     # ------------------------------------------------------------------
-    def _handle_child_answer(self, sender: NodeId, p: int, chosen: bool) -> None:
-        vnode = self.vnodes[p - 1]
-        self._child_answer(vnode, sender, chosen)
+    def _handle_child_answer(self, sender: NodeId, payload: Tuple) -> None:
+        vnode = self.vnodes[payload[1] - 1]
+        self._child_answer(vnode, sender, payload[2])
 
     def _child_answer(self, vnode: _VNode, who: Any, chosen: bool) -> None:
-        if who not in vnode.answers_pending:
+        left = vnode.answers_missing - 1
+        if left < 0:
             raise AssertionError(
                 f"unexpected child answer from {who} at ({self.node_id},"
                 f" {vnode.pulse})"
             )
-        vnode.answers_pending.discard(who)
+        vnode.answers_missing = left
         if chosen:
             if who == self.SELF:
                 vnode.self_child = True
             else:
                 vnode.children.append(who)
-        if not vnode.answers_pending:
+        if left == 0:
             for q in list(vnode.flows):
                 self._try_assemble(vnode, q)
             for q in assemble_pulses(vnode.pulse, self.max_pulse):
                 self._try_assemble(vnode, q)
 
-    def _handle_vflow(self, sender: NodeId, parent_pulse: int, q: int, empty: bool) -> None:
-        vnode = self.vnodes[parent_pulse]
+    def _handle_vflow(self, sender: NodeId, payload: Tuple) -> None:
+        vnode = self.vnodes[payload[1]]
+        q = payload[2]
         flows = vnode.flows
         flow = flows.get(q)
         if flow is None:
             flow = flows[q] = _VFlow()
         if sender in flow.reports:
             raise AssertionError(f"duplicate flow report from {sender}")
-        flow.reports[sender] = empty
+        flow.reports[sender] = payload[3]
         self._try_assemble(vnode, q)
 
     def _self_flow_report(self, vnode: _VNode, q: int, empty: bool) -> None:
@@ -352,7 +406,7 @@ class SynchronizerNode:
         flow = flows.get(q)
         if flow is None:
             flow = flows[q] = _VFlow()
-        if flow.assembled or vnode.answers_pending:
+        if flow.assembled or vnode.answers_missing:
             return
         if q == vnode.pulse + 1:
             return  # leaf path (delivery confirmations) assembles this one
@@ -423,13 +477,13 @@ class SynchronizerNode:
             self._self_flow_report(self.vnodes[vnode.pulse - 1], q, flow.empty)
         else:
             self._send(
-                vnode.parent, ("vflow", vnode.pulse - 1, q, flow.empty), (q,)
+                vnode.parent, (OP_VFLOW, vnode.pulse - 1, q, flow.empty), q
             )
 
     def _terminus(self, vnode: _VNode, q: int, flow: _VFlow) -> None:
         if vnode.pulse == 0:
             for cid in list(self._sdereg_pending.get(q, ())):
-                self.agg.contribute(cid, ("sdereg", q), True)
+                self.agg.contribute(cid, _sdereg_tag(q), True)
             if not self._sdereg_pending.get(q):
                 self._release_down(vnode, q)
             return
@@ -464,31 +518,31 @@ class SynchronizerNode:
         vnode.ga_released.add(q)
         if vnode.pulse == q - 1:
             for to in sorted(set(vnode.recipients)):
-                self._send(to, ("vrelease", q), (q,))
+                self._send(to, (OP_VRELEASE, q), q)
             self._evaluate(q)  # a pulse-(q-1) sender is itself triggered
             return
         flow = vnode.flow(q)
         for c in vnode.children:
             if flow.reports.get(c) is False:
-                self._send(c, ("vga", q, vnode.pulse + 1), (q,))
+                self._send(c, (OP_VGA, q, vnode.pulse + 1), q)
         if vnode.self_child and flow.self_report is False:
             self._release_down(self.vnodes[vnode.pulse + 1], q)
 
-    def _handle_vga(self, q: int, target_pulse: int) -> None:
-        self._release_down(self.vnodes[target_pulse], q)
+    def _handle_vga(self, sender: NodeId, payload: Tuple) -> None:
+        self._release_down(self.vnodes[payload[2]], payload[1])
 
-    def _handle_vrelease(self, q: int) -> None:
-        self._evaluate(q)
+    def _handle_vrelease(self, sender: NodeId, payload: Tuple) -> None:
+        self._evaluate(payload[1])
 
     # ------------------------------------------------------------------
-    def _on_agg_result(self, cid: int, tag: Tuple, result: Any) -> None:
-        kind, p = tag
-        if kind == "sreg":
+    def _on_agg_result(self, cid: int, tag: int, result: Any) -> None:
+        p = tag >> 1
+        if not tag & 1:  # source-registration barrier
             pending = self._sreg_pending.get(p)
             if pending is not None and cid in pending:
                 pending.discard(cid)
                 self._maybe_origin_send()
-        elif kind == "sdereg":
+        else:  # source-deregistration barrier
             pending = self._sdereg_pending.get(p)
             if pending is None or cid not in pending:
                 return
@@ -498,30 +552,19 @@ class SynchronizerNode:
                 flow = vnode.flows.get(p)
                 if flow is not None and flow.assembled:
                     self._release_down(vnode, p)
-        else:  # pragma: no cover
-            raise ValueError(f"unknown aggregate tag {tag!r}")
 
     # ------------------------------------------------------------------
     def handle(self, sender: NodeId, payload: Tuple) -> None:
-        # Branches ordered by observed message frequency (agg barriers
-        # dominate, then registration waves).
-        kind = payload[0]
-        if kind == "agg":
-            self.agg.handle_known(sender, payload)
-        elif kind == "reg":
-            self.reg.handle_known(sender, payload)
-        elif kind == "child_ans":
-            self._handle_child_answer(sender, payload[1], payload[2])
-        elif kind == "vflow":
-            self._handle_vflow(sender, payload[1], payload[2], payload[3])
-        elif kind == "app":
-            self._handle_app(sender, payload[1], payload[2])
-        elif kind == "vga":
-            self._handle_vga(payload[1], payload[2])
-        elif kind == "vrelease":
-            self._handle_vrelease(payload[1])
-        else:
+        op = payload[0]
+        try:
+            # The explicit sign check keeps a malformed negative opcode from
+            # silently indexing the table from the end.
+            handler = self._dispatch[op] if op >= 0 else None
+        except (IndexError, TypeError):
+            handler = None
+        if handler is None:
             raise ValueError(f"unknown synchronizer message {payload!r}")
+        handler(sender, payload)
 
 
 class SynchronizerProcess(Process):
@@ -531,9 +574,9 @@ class SynchronizerProcess(Process):
     initiators: FrozenSet[NodeId]
     infos: Dict[NodeId, NodeInfo]
 
-    # Only program ("app", ...) messages feed the safety bookkeeping; the
+    # Only program (OP_APP, ...) messages feed the safety bookkeeping; the
     # transport skips the on_delivered call for all machinery traffic.
-    ACK_INTEREST_PREFIX = "app"
+    ACK_INTEREST_PREFIX = OP_APP
 
     def __init__(self, ctx: ProcessContext) -> None:
         super().__init__(ctx)

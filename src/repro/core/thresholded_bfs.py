@@ -50,6 +50,13 @@ from .registry import CoverRegistry
 
 UNREACHED = float("inf")
 
+#: Protocol-private wire opcodes, continuing the shared-module range
+#: (aggregation 0..1, registration 2..5 — see DESIGN.md §6).
+OP_JOIN = 6
+OP_ANSWER = 7
+OP_FLOW = 8
+OP_GA = 9
+
 SendFn = Callable[[NodeId, Tuple, int], None]  # (to, payload, stage-priority)
 
 
@@ -127,6 +134,20 @@ class ThresholdedBFSCore:
             on_result=self._on_agg_result,
             merge_fn=_and_merge_for,
             priority_fn=self._agg_stage,
+        )
+        # Opcode-indexed dispatch table (DESIGN.md §6): one tuple index per
+        # delivered message, calling straight into the per-kind handlers.
+        self._dispatch = (
+            self.agg.handle_up,        # 0 OP_AGG_UP
+            self.agg.handle_down,      # 1 OP_AGG_DOWN
+            self.reg.handle_reg_up,    # 2 OP_REG_UP
+            self.reg.handle_reg_done,  # 3 OP_REG_DONE
+            self.reg.handle_dereg,     # 4 OP_REG_DEREG
+            self.reg.handle_go_ahead,  # 5 OP_REG_GO_AHEAD
+            self._handle_join,         # 6 OP_JOIN
+            self._handle_answer,       # 7 OP_ANSWER
+            self._handle_flow,         # 8 OP_FLOW
+            self._handle_ga,           # 9 OP_GA
         )
 
         self.activated = False
@@ -246,26 +267,27 @@ class ThresholdedBFSCore:
         stage = self.pulse + 1
         self.answers_pending = len(self.neighbors)
         for v in self.neighbors:
-            self._send(v, ("join", self.pulse), stage)
+            self._send(v, (OP_JOIN, self.pulse), stage)
         if self.answers_pending == 0:
             self._answers_complete()
 
-    def _handle_join(self, sender: NodeId, sender_pulse: int) -> None:
+    def _handle_join(self, sender: NodeId, payload: Tuple) -> None:
         if not self.activated:
             raise AssertionError(
                 f"node {self.node_id} received a join before activation —"
                 " the Section 4.2 registration barrier should prevent this"
             )
+        sender_pulse = payload[1]
         stage = sender_pulse + 1
         if self.pulse is None and not self.covered:
             self.pulse = sender_pulse + 1
             self.parent = sender
-            self._send(sender, ("answer", True), stage)
+            self._send(sender, (OP_ANSWER, True), stage)
         else:
-            self._send(sender, ("answer", False), stage)
+            self._send(sender, (OP_ANSWER, False), stage)
 
-    def _handle_answer(self, sender: NodeId, accepted: bool) -> None:
-        if accepted:
+    def _handle_answer(self, sender: NodeId, payload: Tuple) -> None:
+        if payload[1]:
             self.children.append(sender)
         self.answers_pending -= 1
         if self.answers_pending == 0:
@@ -288,7 +310,8 @@ class ThresholdedBFSCore:
     # ------------------------------------------------------------------
     # safety/emptiness flows
     # ------------------------------------------------------------------
-    def _handle_flow(self, sender: NodeId, q: int, empty: bool) -> None:
+    def _handle_flow(self, sender: NodeId, payload: Tuple) -> None:
+        q = payload[1]
         flows = self._flows
         flow = flows.get(q)
         if flow is None:
@@ -297,7 +320,7 @@ class ThresholdedBFSCore:
             raise AssertionError(
                 f"duplicate flow-{q} report from {sender} at {self.node_id}"
             )
-        flow.reports[sender] = empty
+        flow.reports[sender] = payload[2]
         self._try_assemble(q)
 
     def _try_assemble(self, q: int) -> None:
@@ -369,7 +392,7 @@ class ThresholdedBFSCore:
         if self.pulse == prev_prev(q):
             self._terminus(q, flow)
         else:
-            self._send(self.parent, ("flow", q, flow.empty), q)
+            self._send(self.parent, (OP_FLOW, q, flow.empty), q)
 
     def _terminus(self, q: int, flow: _Flow) -> None:
         if self.pulse == 0:
@@ -422,14 +445,15 @@ class ThresholdedBFSCore:
     def _propagate_go_ahead(self, q: int) -> None:
         if self.pulse == q - 1:
             for c in self.children:
-                self._send(c, ("ga", q), q)
+                self._send(c, (OP_GA, q), q)
             return
         flow = self._flow(q)
         for c in self.children:
             if flow.reports.get(c) is False:
-                self._send(c, ("ga", q), q)
+                self._send(c, (OP_GA, q), q)
 
-    def _handle_go_ahead_tree(self, q: int) -> None:
+    def _handle_ga(self, sender: NodeId, payload: Tuple) -> None:
+        q = payload[1]
         if self.pulse == q:
             if q < self.threshold:
                 self._send_joins()
@@ -476,18 +500,13 @@ class ThresholdedBFSCore:
 
     # ------------------------------------------------------------------
     def handle(self, sender: NodeId, payload: Tuple) -> None:
-        kind = payload[0]
-        if kind == "reg":
-            self.reg.handle_known(sender, payload)
-        elif kind == "agg":
-            self.agg.handle_known(sender, payload)
-        elif kind == "join":
-            self._handle_join(sender, payload[1])
-        elif kind == "answer":
-            self._handle_answer(sender, payload[1])
-        elif kind == "flow":
-            self._handle_flow(sender, payload[1], payload[2])
-        elif kind == "ga":
-            self._handle_go_ahead_tree(payload[1])
-        else:
-            raise ValueError(f"unknown thresholded-BFS message {kind!r}")
+        op = payload[0]
+        try:
+            # The explicit sign check keeps a malformed negative opcode from
+            # silently indexing the table from the end.
+            handler = self._dispatch[op] if op >= 0 else None
+        except (IndexError, TypeError):
+            handler = None
+        if handler is None:
+            raise ValueError(f"unknown thresholded-BFS message {op!r}")
+        handler(sender, payload)

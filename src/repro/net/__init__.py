@@ -31,6 +31,7 @@ from .async_runtime import (
     ProcessContext,
     run_asynchronous,
 )
+from .sweep import AsyncSweep, sweep_asynchronous
 from . import topology
 
 __all__ = [
@@ -65,5 +66,7 @@ __all__ = [
     "Process",
     "ProcessContext",
     "run_asynchronous",
+    "AsyncSweep",
+    "sweep_asynchronous",
     "topology",
 ]

@@ -20,17 +20,21 @@ reacts to deliveries via ``on_message``.
 
 Performance architecture (DESIGN.md §6): the runtime *is* the event loop.  It
 subclasses :class:`~repro.net.events.EventQueue` and pops typed records —
-``(time, seq, EV_DELIVER, link, payload, ack_delay)`` and
+``(time, seq, EV_DELIVER, link, payload, inj_seq, ack_delay)`` and
 ``(time, seq, EV_ACK, link, payload)`` — in one inlined dispatch loop, so a
 message costs one record push at injection and usually none at all for its
 acknowledgment: when nobody waits on an ack (no ``on_delivered`` interest,
 nothing queued or outstanding on the link), the ack's ``(time, seq)``
 identity is merely *reserved* and the event is materialized only if a later
-send actually has to wait on it.  The message delay is drawn at injection;
-the acknowledgment delay is drawn at delivery time with the link's latest
-injection number — exactly as the historical engine did (see ``_ack_delay``),
-so time-dependent custom models observe identical ``now`` values on both
-engines.
+send actually has to wait on it.  When the delay model exposes
+``pair_stream`` the message delay *and* its acknowledgment delay are drawn
+together at injection (one closure call per message) and the ack delay rides
+in the delivery record; the pre-drawn value is discarded — and re-drawn at
+the link's latest injection number, exactly as the historical engine did
+(see ``_ack_delay``) — in the rare case where an ``on_delivered`` callback
+slipped an extra injection onto the link first.  Models without pair streams
+keep the historical draw-at-delivery path, so time-dependent custom models
+observe identical ``now`` values on both engines.
 """
 
 from __future__ import annotations
@@ -65,10 +69,12 @@ class Process:
 
     #: Optional filter for ``on_delivered``: when a subclass overrides the
     #: hook but only cares about payloads whose first element equals this
-    #: prefix (and ALL its payloads are non-empty tuples), setting the class
+    #: value (and ALL its payloads are non-empty tuples), setting the class
     #: attribute lets the transport skip the callback inline for everything
     #: else — one comparison instead of a Python call per acknowledgment.
-    ACK_INTEREST_PREFIX: Optional[str] = None
+    #: Any equality-comparable constant works; the synchronizer stack uses a
+    #: small-int opcode.
+    ACK_INTEREST_PREFIX: Optional[Any] = None
 
     def on_delivered(self, to: NodeId, payload: Payload) -> None:
         """Acknowledgment arrived: ``payload`` was delivered to ``to``.
@@ -130,6 +136,11 @@ class AsyncResult:
     acks: int
     outputs: Dict[NodeId, Any]
     output_time: Dict[NodeId, float]
+    #: Number of scheduler events dispatched.  By default fused
+    #: acknowledgments (never materialized as events) count as zero; with
+    #: ``AsyncRuntime(count_fused_acks=True)`` they are added back, restoring
+    #: the paper's raw per-event accounting (one event per delivery and per
+    #: acknowledgment).
     events_fired: int
     stop_reason: str
 
@@ -156,7 +167,7 @@ class _Link:
 
     __slots__ = ("u", "v", "busy", "outbox", "seq", "injected", "pending",
                  "deliver", "delivered", "ack_prefix", "draw", "ack_draw",
-                 "free_at", "reserved_seq")
+                 "pair", "free_at", "reserved_seq")
 
     def __init__(self, u: NodeId, v: NodeId) -> None:
         self.u = u
@@ -175,11 +186,13 @@ class _Link:
         self.pending = 0
         self.deliver: Callable[[NodeId, Payload], None] = None  # bound in __init__
         self.delivered: Optional[Callable[[NodeId, Payload], None]] = None
-        self.ack_prefix: Optional[str] = None
+        self.ack_prefix: Optional[Any] = None
         # Per-link delay streams (message delay / ack delay), bound when the
         # delay model supports them; None selects the generic call path.
         self.draw: Optional[Callable[[int], float]] = None
         self.ack_draw: Optional[Callable[[int], float]] = None
+        # Fused message+ack draw (``pair_stream``); preferred when bound.
+        self.pair: Optional[Callable[[int], Tuple[float, float]]] = None
         # Fused-acknowledgment state: when a delivery needs no callback and
         # the outbox is empty, no ack event is pushed at all — the ack's
         # (time, seq) identity is *reserved* here and only materialized if a
@@ -192,9 +205,9 @@ class AsyncRuntime(EventQueue):
     """Discrete-event executor for one protocol over one graph."""
 
     __slots__ = (
-        "graph", "delay_model", "count_acks", "trace", "_links", "_out",
-        "messages", "acks", "outputs", "output_time", "_time_to_output",
-        "processes", "_active_seq",
+        "graph", "delay_model", "count_acks", "count_fused_acks", "trace",
+        "_links", "_out", "messages", "acks", "_fused", "outputs",
+        "output_time", "_time_to_output", "processes", "_active_seq",
     )
 
     def __init__(
@@ -204,25 +217,49 @@ class AsyncRuntime(EventQueue):
         delay_model: DelayModel,
         count_acks: bool = True,
         trace: Optional[Callable[[float, NodeId, NodeId, Payload], None]] = None,
+        count_fused_acks: bool = False,
+        pairs: Optional[Tuple[Tuple[NodeId, NodeId], ...]] = None,
     ) -> None:
+        """``count_fused_acks=True`` restores the paper's raw event
+        accounting in ``events_fired`` (fused acknowledgments count as one
+        event each, as they did before ack fusing); it does not change the
+        schedule, the metrics semantics of ``acks``, or the ``max_events``
+        budget, which only meters events that actually enter the heap.
+        ``pairs`` is an optional precomputed tuple of directed links (both
+        orientations of every edge) — sweep harnesses pass it so the
+        skeleton is derived from the graph only once per sweep.
+        """
         super().__init__()
         self.graph = graph
         self.delay_model = delay_model
         self.count_acks = count_acks
+        self.count_fused_acks = count_fused_acks
         self.trace = trace
         self._links: Dict[Tuple[NodeId, NodeId], _Link] = {}
         self._out: Dict[NodeId, Dict[NodeId, _Link]] = {}
         stream_factory = getattr(delay_model, "link_stream", None)
-        for u, v in graph.edges:
-            for a, b in ((u, v), (v, u)):
-                link = _Link(a, b)
+        pair_factory = getattr(delay_model, "pair_stream", None)
+        if pairs is None:
+            pairs = tuple(
+                pair for u, v in graph.edges for pair in ((u, v), (v, u))
+            )
+        for a, b in pairs:
+            link = _Link(a, b)
+            if pair_factory is not None:
+                # The fused draw covers injection; ``ack_draw`` stays bound
+                # as the fallback for re-drawn acknowledgments (see run), and
+                # ``draw`` is never consulted.
+                link.pair = pair_factory(a, b)
                 if stream_factory is not None:
-                    link.draw = stream_factory(a, b)
                     link.ack_draw = stream_factory(b, a)
-                self._links[(a, b)] = link
-                self._out.setdefault(a, {})[b] = link
+            elif stream_factory is not None:
+                link.draw = stream_factory(a, b)
+                link.ack_draw = stream_factory(b, a)
+            self._links[(a, b)] = link
+            self._out.setdefault(a, {})[b] = link
         self.messages = 0
         self.acks = 0
+        self._fused = 0
         self._active_seq = -1  # seq of the event being dispatched
         self.outputs: Dict[NodeId, Any] = {}
         self.output_time: Dict[NodeId, float] = {}
@@ -275,9 +312,12 @@ class AsyncRuntime(EventQueue):
                 # The fused ack has not logically fired yet: materialize the
                 # deferred drain event under its reserved (time, seq)
                 # identity — exactly where an eagerly-pushed ack would sit in
-                # the order — and queue the message behind it.
+                # the order — and queue the message behind it.  The ack is no
+                # longer fused (it fires as a real event), so the fused-ack
+                # accounting credit moves back to the ordinary counter.
                 link.reserved_seq = None
                 link.pending += 1
+                self._fused -= 1
                 heappush(self._heap, (free_at, rs, EV_ACK, link, None))
                 heappush(link.outbox, (priority, link.seq, payload))
                 link.seq += 1
@@ -294,11 +334,23 @@ class AsyncRuntime(EventQueue):
             payload = heappop(link.outbox)[2]
         # _inject inlined (this is the per-send hot path; the frame matters).
         # ``messages`` is not incremented here: it is recovered at run end as
-        # the sum of per-link injection counters.
+        # the sum of per-link injection counters.  A delivery record carries
+        # its injection number and (on the pair path) the pre-drawn ack
+        # delay; models without pair streams ship ``None`` and the ack is
+        # drawn at delivery as before.
         link.busy = True
         seq = link.injected + 1
         link.injected = seq
         link.pending += 1
+        pair = link.pair
+        if pair is not None:
+            delay, ack = pair(seq)
+            heappush(
+                self._heap,
+                (self._now + delay, next(self._counter), EV_DELIVER, link,
+                 payload, seq, ack),
+            )
+            return
         draw = link.draw
         if draw is None:
             self._inject_generic(link, payload, seq)
@@ -306,7 +358,7 @@ class AsyncRuntime(EventQueue):
         heappush(
             self._heap,
             (self._now + draw(seq), next(self._counter), EV_DELIVER, link,
-             payload),
+             payload, seq, None),
         )
 
     def _inject(self, link: _Link, payload: Payload) -> None:
@@ -314,6 +366,17 @@ class AsyncRuntime(EventQueue):
         seq = link.injected + 1
         link.injected = seq
         link.pending += 1
+        pair = link.pair
+        if pair is not None:
+            # Pair path: one closure call draws the message delay and the
+            # ack delay the reverse stream would produce at -seq.
+            delay, ack = pair(seq)
+            heappush(
+                self._heap,
+                (self._now + delay, next(self._counter), EV_DELIVER, link,
+                 payload, seq, ack),
+            )
+            return
         draw = link.draw
         if draw is None:
             self._inject_generic(link, payload, seq)
@@ -322,7 +385,7 @@ class AsyncRuntime(EventQueue):
         heappush(
             self._heap,
             (self._now + draw(seq), next(self._counter), EV_DELIVER, link,
-             payload),
+             payload, seq, None),
         )
 
     def _inject_generic(self, link: _Link, payload: Payload, seq: int) -> None:
@@ -338,7 +401,8 @@ class AsyncRuntime(EventQueue):
             )
         heappush(
             self._heap,
-            (now + delay, next(self._counter), EV_DELIVER, link, payload),
+            (now + delay, next(self._counter), EV_DELIVER, link, payload,
+             seq, None),
         )
 
     def _ack_delay(self, link: _Link) -> float:
@@ -408,6 +472,13 @@ class AsyncRuntime(EventQueue):
                         link = record[3]
                         payload = record[4]
                         acks += 1
+                        # Pre-drawn ack delay (pair path); discarded when an
+                        # on_delivered callback slipped an extra injection in
+                        # before this delivery — the historical engine draws
+                        # at the link's *latest* injection number.
+                        ack = record[6]
+                        if ack is None or link.injected != record[5]:
+                            ack = self._ack_delay(link)
                         p_cnt = link.pending - 1
                         delivered = link.delivered
                         if link.outbox or p_cnt or not link.busy or (
@@ -416,14 +487,15 @@ class AsyncRuntime(EventQueue):
                                  or payload[0] == link.ack_prefix)
                         ):
                             link.pending = p_cnt + 1
-                            push(heap, (now + self._ack_delay(link),
+                            push(heap, (now + ack,
                                         next(counter), EV_ACK, link, payload))
                         else:
                             # Fuse: no callback, nothing queued, nothing else
                             # outstanding — reserve the ack's identity
                             # instead of pushing an event.
                             link.pending = 0
-                            t_ack = now + self._ack_delay(link)
+                            self._fused += 1
+                            t_ack = now + ack
                             link.free_at = t_ack
                             link.reserved_seq = next(counter)
                             if t_ack > horizon:
@@ -465,6 +537,9 @@ class AsyncRuntime(EventQueue):
                         if trace is not None:
                             trace(now, link.u, link.v, payload)
                         acks += 1
+                        ack = record[6]
+                        if ack is None or link.injected != record[5]:
+                            ack = self._ack_delay(link)
                         p_cnt = link.pending - 1
                         delivered = link.delivered
                         if link.outbox or p_cnt or not link.busy or (
@@ -473,14 +548,15 @@ class AsyncRuntime(EventQueue):
                                  or payload[0] == link.ack_prefix)
                         ):
                             link.pending = p_cnt + 1
-                            push(heap, (now + self._ack_delay(link),
+                            push(heap, (now + ack,
                                         next(counter), EV_ACK, link, payload))
                         else:
                             # Fuse: no callback, nothing queued, nothing else
                             # outstanding — reserve the ack's identity
                             # instead of pushing an event.
                             link.pending = 0
-                            t_ack = now + self._ack_delay(link)
+                            self._fused += 1
+                            t_ack = now + ack
                             link.free_at = t_ack
                             link.reserved_seq = next(counter)
                             if t_ack > horizon:
@@ -518,13 +594,17 @@ class AsyncRuntime(EventQueue):
             # cannot see them.  Reconcile at exit as the reference engine
             # would have: reservations inside the deadline count as fired
             # (they advance quiescence); one past the deadline means the
-            # run was in fact cut short by the horizon, not quiescent.
+            # run was in fact cut short by the horizon, not quiescent.  A
+            # reservation past the deadline would never have fired as a raw
+            # event either (the reference engine stops before it), so the
+            # raw-accounting credit is withdrawn alongside.
             late = False
             for link in self._links.values():
                 if link.reserved_seq is not None:
                     t = link.free_at
                     if t > max_time:
                         late = True
+                        self._fused -= 1
                     elif t > quiescence:
                         quiescence = t
             if stop_reason == "quiescent":
@@ -532,6 +612,14 @@ class AsyncRuntime(EventQueue):
                     stop_reason = "max_time"
                 elif horizon > quiescence:
                     quiescence = horizon
+        events = self._fired
+        if self.count_fused_acks:
+            # Raw accounting: every fused acknowledgment counts as the one
+            # event the pre-fusing engine would have fired for it.  (Under a
+            # ``max_events`` stop this is an over-count by however many of
+            # the outstanding reservations the budget would have cut off —
+            # the raw engine's budget is not reconstructible without replay.)
+            events += self._fused
         return AsyncResult(
             time_to_output=self._time_to_output,
             time_to_quiescence=quiescence,
@@ -539,7 +627,7 @@ class AsyncRuntime(EventQueue):
             acks=self.acks if self.count_acks else 0,
             outputs=dict(self.outputs),
             output_time=dict(self.output_time),
-            events_fired=self._fired,
+            events_fired=events,
             stop_reason=stop_reason,
         )
 
@@ -550,7 +638,10 @@ def run_asynchronous(
     delay_model: DelayModel,
     max_time: Optional[float] = None,
     max_events: Optional[int] = 50_000_000,
+    count_fused_acks: bool = False,
 ) -> AsyncResult:
     """Convenience wrapper: build the runtime and run to quiescence."""
-    runtime = AsyncRuntime(graph, process_factory, delay_model)
+    runtime = AsyncRuntime(
+        graph, process_factory, delay_model, count_fused_acks=count_fused_acks
+    )
     return runtime.run(max_time=max_time, max_events=max_events)

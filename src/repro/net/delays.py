@@ -104,6 +104,17 @@ class DelayModel(Protocol):
 # valid for models whose delays do not depend on ``now``, which the stream
 # contract asserts.  Stream results MUST lie in (0, TAU]; the transport
 # trusts them without re-validating.
+#
+# Models may further expose ``pair_stream(u, v) -> Callable[[int], (float,
+# float)]`` drawing the message delay *and* its acknowledgment delay in one
+# call: ``pair(seq)`` must equal ``(link_stream(u, v)(seq),
+# link_stream(v, u)(-seq))`` bit-for-bit (the transport draws acknowledgments
+# as the reverse link's stream at the negated injection number).  One closure
+# call per message replaces two, and both draws share the closure's captured
+# bases.  The transport still keeps ``link_stream`` bound as a fallback for
+# the rare delivery whose link acquired an extra in-flight injection (see
+# ``AsyncRuntime``): such acks must be re-drawn at the link's *latest*
+# injection number to stay byte-identical with the reference engine.
 
 
 class ConstantDelay:
@@ -121,6 +132,10 @@ class ConstantDelay:
         value = self.value
         return lambda seq: value
 
+    def pair_stream(self, u: NodeId, v: NodeId):
+        pair = (self.value, self.value)
+        return lambda seq: pair
+
     def __repr__(self) -> str:
         return f"ConstantDelay({self.value})"
 
@@ -133,7 +148,8 @@ class UniformDelay:
     when the *pattern* of slow messages is what the experiment stresses.
     """
 
-    __slots__ = ("seed", "low", "high", "_span", "_seed64", "_links", "_streams")
+    __slots__ = ("seed", "low", "high", "_span", "_seed64", "_links", "_streams",
+                 "_pairs")
 
     def __init__(self, seed: int, low: float = _MIN_DELAY, high: float = TAU) -> None:
         if not 0 < low <= high <= TAU:
@@ -145,6 +161,7 @@ class UniformDelay:
         self._seed64 = _model_seed("uniform", seed)
         self._links: Dict[Tuple[NodeId, NodeId], float] = {}
         self._streams: Dict[Tuple[NodeId, NodeId], object] = {}
+        self._pairs: Dict[Tuple[NodeId, NodeId], object] = {}
 
     def __call__(self, u: NodeId, v: NodeId, seq: int, now: float) -> float:
         links = self._links
@@ -168,6 +185,26 @@ class UniformDelay:
 
         self._streams[(u, v)] = draw
         return draw
+
+    def pair_stream(self, u: NodeId, v: NodeId):
+        stream = self._pairs.get((u, v))
+        if stream is not None:
+            return stream
+        fwd = _link_base(self._seed64, u, v) * _INV_2_32
+        rev = _link_base(self._seed64, v, u) * _INV_2_32
+        low = self.low
+        span = self._span
+
+        def pair(seq: int) -> Tuple[float, float]:
+            # Both expressions are verbatim copies of the single-stream draw
+            # (ack at the negated seq) so the two APIs are bit-equal.
+            return (
+                low + span * ((fwd + seq * _WEYL) % 1.0),
+                low + span * ((rev + (-seq) * _WEYL) % 1.0),
+            )
+
+        self._pairs[(u, v)] = pair
+        return pair
 
     def __repr__(self) -> str:
         return f"UniformDelay(seed={self.seed}, low={self.low}, high={self.high})"
@@ -221,6 +258,47 @@ class BimodalDelay:
 
         return draw
 
+    def pair_stream(self, u: NodeId, v: NodeId):
+        pick_f = _link_base(self._pick64, u, v)
+        fast_f = _link_base(self._fast64, u, v)
+        pick_r = _link_base(self._pick64, v, u)
+        fast_r = _link_base(self._fast64, v, u)
+        slow_fraction = self.slow_fraction
+        fast = self.fast
+
+        def pair(seq: int) -> Tuple[float, float]:
+            # _unit inlined (identical arithmetic, bit-equal results): the
+            # pair draw makes up to four unit draws per message, and the
+            # function-call overhead dominated the Bimodal sweep replay.
+            x = (pick_f ^ (seq * _K1)) & _MASK32
+            x = (((x >> 16) ^ x) * _C1) & _MASK32
+            x = (((x >> 16) ^ x) * _C1) & _MASK32
+            if (((x >> 16) ^ x) + 1) * _INV_2_32 <= slow_fraction:
+                d = TAU
+            else:
+                x = (fast_f ^ (seq * _K1)) & _MASK32
+                x = (((x >> 16) ^ x) * _C1) & _MASK32
+                x = (((x >> 16) ^ x) * _C1) & _MASK32
+                d = fast * ((((x >> 16) ^ x) + 1) * _INV_2_32)
+                if d <= _MIN_DELAY:
+                    d = _MIN_DELAY
+            rs = -seq
+            x = (pick_r ^ (rs * _K1)) & _MASK32
+            x = (((x >> 16) ^ x) * _C1) & _MASK32
+            x = (((x >> 16) ^ x) * _C1) & _MASK32
+            if (((x >> 16) ^ x) + 1) * _INV_2_32 <= slow_fraction:
+                a = TAU
+            else:
+                x = (fast_r ^ (rs * _K1)) & _MASK32
+                x = (((x >> 16) ^ x) * _C1) & _MASK32
+                x = (((x >> 16) ^ x) * _C1) & _MASK32
+                a = fast * ((((x >> 16) ^ x) + 1) * _INV_2_32)
+                if a <= _MIN_DELAY:
+                    a = _MIN_DELAY
+            return d, a
+
+        return pair
+
     def __repr__(self) -> str:
         return f"BimodalDelay(seed={self.seed}, slow_fraction={self.slow_fraction})"
 
@@ -251,6 +329,11 @@ class SlowEdgesDelay:
         self._links: Dict[Tuple[NodeId, NodeId], Tuple[bool, int]] = {}
 
     def _is_slow(self, u: NodeId, v: NodeId) -> bool:
+        # Symmetric by construction: both the explicit edge set and the
+        # hashed pick are keyed on the *canonical* (sorted) edge, so a link's
+        # acknowledgment always shares its message's speed class.  The
+        # property test in tests/test_delays.py pins this invariant — the
+        # pair_stream fast path and the fused-ack horizon both rely on it.
         key = edge_key(u, v)
         if self._edges is not None:
             return key in self._edges
@@ -279,6 +362,35 @@ class SlowEdgesDelay:
             return d if d > _MIN_DELAY else _MIN_DELAY
 
         return draw
+
+    def pair_stream(self, u: NodeId, v: NodeId):
+        if self._is_slow(u, v):
+            # The slow class is symmetric (see _is_slow), so the ack
+            # direction is maximally slow too.
+            pair = (TAU, TAU)
+            return lambda seq: pair
+        fast_f = _link_base(self._fast64, u, v)
+        fast_r = _link_base(self._fast64, v, u)
+        fast = self.fast
+
+        def pair(seq: int) -> Tuple[float, float]:
+            # _unit inlined (identical arithmetic, bit-equal results).
+            x = (fast_f ^ (seq * _K1)) & _MASK32
+            x = (((x >> 16) ^ x) * _C1) & _MASK32
+            x = (((x >> 16) ^ x) * _C1) & _MASK32
+            d = fast * ((((x >> 16) ^ x) + 1) * _INV_2_32)
+            if d <= _MIN_DELAY:
+                d = _MIN_DELAY
+            rs = -seq
+            x = (fast_r ^ (rs * _K1)) & _MASK32
+            x = (((x >> 16) ^ x) * _C1) & _MASK32
+            x = (((x >> 16) ^ x) * _C1) & _MASK32
+            a = fast * ((((x >> 16) ^ x) + 1) * _INV_2_32)
+            if a <= _MIN_DELAY:
+                a = _MIN_DELAY
+            return d, a
+
+        return pair
 
     def __repr__(self) -> str:
         return f"SlowEdgesDelay(seed={self.seed})"
@@ -312,6 +424,20 @@ class AlternatingDelay:
         phase = _unit(_link_base(self._seed64, u, v), 0) < 0.5
         return lambda seq: 0.01 if (seq % 2 == 0) == phase else TAU
 
+    def pair_stream(self, u: NodeId, v: NodeId):
+        phase_f = _unit(_link_base(self._seed64, u, v), 0) < 0.5
+        phase_r = _unit(_link_base(self._seed64, v, u), 0) < 0.5
+
+        def pair(seq: int) -> Tuple[float, float]:
+            # (-seq) % 2 == seq % 2, so the ack's parity equals the message's.
+            even = seq % 2 == 0
+            return (
+                0.01 if even == phase_f else TAU,
+                0.01 if even == phase_r else TAU,
+            )
+
+        return pair
+
     def __repr__(self) -> str:
         return f"AlternatingDelay(seed={self.seed})"
 
@@ -336,6 +462,13 @@ class DirectionalSkewDelay:
     def link_stream(self, u: NodeId, v: NodeId):
         delay = TAU if (v > u) == self.slow_up else 0.02
         return lambda seq: delay
+
+    def pair_stream(self, u: NodeId, v: NodeId):
+        pair = (
+            TAU if (v > u) == self.slow_up else 0.02,
+            TAU if (u > v) == self.slow_up else 0.02,
+        )
+        return lambda seq: pair
 
     def __repr__(self) -> str:
         return f"DirectionalSkewDelay(seed={self.seed}, slow_up={self.slow_up})"

@@ -1,0 +1,103 @@
+"""Multi-model sweep harness for the asynchronous transport (DESIGN.md §7).
+
+Every experiment in the paper is a *sweep*: the same graph and protocol
+replayed under a whole family of adversarial delay models (E5 overhead
+curves, E10 event-driven vs clock, E11 thresholded BFS).  Running each model
+through a fresh :func:`~repro.net.async_runtime.run_asynchronous` pays the
+full setup again per model; :class:`AsyncSweep` snapshots everything a run
+derives from the *graph* once — the directed-link skeleton in particular —
+and replays a fresh :class:`~repro.net.async_runtime.AsyncRuntime` per
+delay model from that shared immutable state.
+
+What is and is not shared (the contract the equivalence tests pin):
+
+* shared across replays: the graph, the directed-link pair skeleton, the
+  process factory (protocol sweeps such as
+  :class:`repro.core.sweep.SynchronizerSweep` attach covers, registry views,
+  pulse tables and node infos to it exactly once), and the accounting flags;
+* rebuilt per replay: every piece of mutable state — link slots, outboxes,
+  the event heap, process instances — so each replay is byte-identical to a
+  standalone ``AsyncRuntime`` run under the same delay model, and replay
+  order cannot leak state between models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from .async_runtime import AsyncResult, AsyncRuntime, Payload, Process, ProcessContext
+from .delays import DelayModel
+from .graph import Graph, NodeId
+
+TraceFn = Callable[[float, NodeId, NodeId, Payload], None]
+
+
+class AsyncSweep:
+    """Replay one (graph, protocol) workload under many delay models."""
+
+    __slots__ = ("graph", "process_factory", "count_acks", "count_fused_acks",
+                 "_pairs")
+
+    def __init__(
+        self,
+        graph: Graph,
+        process_factory: Callable[[ProcessContext], Process],
+        count_acks: bool = True,
+        count_fused_acks: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.process_factory = process_factory
+        self.count_acks = count_acks
+        self.count_fused_acks = count_fused_acks
+        # Directed-link skeleton, derived from the graph once per sweep.
+        self._pairs: Tuple[Tuple[NodeId, NodeId], ...] = tuple(
+            pair for u, v in graph.edges for pair in ((u, v), (v, u))
+        )
+
+    def runtime(self, delay_model: DelayModel, trace: Optional[TraceFn] = None) -> AsyncRuntime:
+        """A fresh runtime over the shared skeleton (one replay's engine)."""
+        return AsyncRuntime(
+            self.graph,
+            self.process_factory,
+            delay_model,
+            count_acks=self.count_acks,
+            trace=trace,
+            count_fused_acks=self.count_fused_acks,
+            pairs=self._pairs,
+        )
+
+    def run(
+        self,
+        delay_model: DelayModel,
+        max_time: Optional[float] = None,
+        max_events: Optional[int] = None,
+        trace: Optional[TraceFn] = None,
+    ) -> AsyncResult:
+        """One replay: byte-identical to a standalone ``AsyncRuntime`` run."""
+        return self.runtime(delay_model, trace).run(
+            max_time=max_time, max_events=max_events
+        )
+
+    def run_all(
+        self,
+        delay_models: Iterable[DelayModel],
+        max_time: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> List[AsyncResult]:
+        """Replay every model in order; results align with the input order."""
+        return [
+            self.run(model, max_time=max_time, max_events=max_events)
+            for model in delay_models
+        ]
+
+
+def sweep_asynchronous(
+    graph: Graph,
+    process_factory: Callable[[ProcessContext], Process],
+    delay_models: Iterable[DelayModel],
+    max_time: Optional[float] = None,
+    max_events: Optional[int] = 50_000_000,
+) -> List[AsyncResult]:
+    """Convenience wrapper: build the sweep and replay every model."""
+    sweep = AsyncSweep(graph, process_factory)
+    return sweep.run_all(delay_models, max_time=max_time, max_events=max_events)

@@ -149,6 +149,110 @@ class TestMetricsAndOutputs:
         assert result.stop_reason == "max_events"
 
 
+class TestMaxTimeBoundary:
+    """Deadline semantics at exactly ``max_time``.
+
+    The audit of the trace-replay branch pinned one rule everywhere: an
+    event scheduled *at* exactly ``max_time`` fires (the stop checks are
+    strictly ``> deadline``), and the same strict comparison governs the
+    fused-acknowledgment reconciliation at exit — a reserved ack at exactly
+    the deadline counts as fired, one strictly past it turns the stop reason
+    into ``max_time``.
+    """
+
+    def _burst(self, max_time, **kwargs):
+        g = topology.path_graph(2)
+        runtime = AsyncRuntime(g, Burst, ConstantDelay(1.0), **kwargs)
+        return runtime.run(max_time=max_time)
+
+    def test_delivery_at_exact_deadline_fires(self):
+        # Deliveries land at t = 1, 3, 5, 7, 9 (acks at 2, 4, ..., 10).
+        result = self._burst(max_time=9.0)
+        times = [t for t, _ in result.outputs[1]]
+        assert times == [1.0, 3.0, 5.0, 7.0, 9.0]
+        # The last ack (t=10, fused: nothing waits on it) lies strictly past
+        # the deadline, so the run was cut short by the horizon.
+        assert result.stop_reason == "max_time"
+
+    def test_event_just_before_deadline_excluded_semantics(self):
+        result = self._burst(max_time=8.999)
+        times = [t for t, _ in result.outputs[1]]
+        assert times == [1.0, 3.0, 5.0, 7.0]
+        assert result.stop_reason == "max_time"
+
+    def test_fused_ack_at_exact_deadline_counts_as_fired(self):
+        # All deliveries and acks (last at t=10, fused) fit exactly.
+        result = self._burst(max_time=10.0)
+        assert result.stop_reason == "quiescent"
+        assert result.time_to_quiescence == 10.0
+
+    def test_callback_at_exact_deadline_fires(self):
+        g = topology.path_graph(2)
+        fired = []
+
+        class Env(Process):
+            def on_start(self):
+                if self.ctx.node_id == 0:
+                    self.ctx.schedule_environment_event(
+                        2.5, lambda: fired.append("at-deadline")
+                    )
+
+            def on_message(self, sender, payload):  # pragma: no cover
+                pass
+
+        result = AsyncRuntime(g, Env, ConstantDelay(1.0)).run(max_time=2.5)
+        assert fired == ["at-deadline"]
+        assert result.stop_reason == "quiescent"
+
+
+class TestFusedAckAccounting:
+    """The ``count_fused_acks`` opt-out restores raw event accounting."""
+
+    def test_raw_accounting_diverges_only_by_fused_ack_count(self):
+        g = topology.path_graph(2)
+        fused = run_asynchronous(g, Burst, ConstantDelay(1.0))
+        raw = run_asynchronous(
+            g, Burst, ConstantDelay(1.0), count_fused_acks=True
+        )
+        # Everything but the event count is identical.
+        assert raw.outputs == fused.outputs
+        assert raw.messages == fused.messages
+        assert raw.acks == fused.acks
+        assert raw.time_to_quiescence == fused.time_to_quiescence
+        # Burst(5) on one link: the first four acks are materialized (the
+        # outbox is non-empty), only the final ack is fused — so raw
+        # accounting reports exactly one more event, and never more than one
+        # extra event per acknowledgment.
+        assert raw.events_fired - fused.events_fired == 1
+        assert raw.events_fired - fused.events_fired <= raw.acks
+
+    def test_raw_accounting_across_adversaries(self):
+        g = topology.grid_graph(3, 3)
+
+        class Gossip(Process):
+            def on_start(self):
+                self.best = self.ctx.node_id
+                for v in self.ctx.neighbors:
+                    self.ctx.send(v, self.best)
+
+            def on_message(self, sender, value):
+                if value > self.best:
+                    self.best = value
+                    self.ctx.set_output(value)
+                    for v in self.ctx.neighbors:
+                        self.ctx.send(v, value)
+
+        for model in standard_adversaries(9):
+            fused = run_asynchronous(g, Gossip, model)
+            raw = run_asynchronous(g, Gossip, model, count_fused_acks=True)
+            # Raw accounting: one event per start, delivery, and ack.  The
+            # fused engine drops exactly the fused-ack events.
+            assert raw.events_fired == g.num_nodes + 2 * raw.messages, repr(model)
+            diverged = raw.events_fired - fused.events_fired
+            assert 0 <= diverged <= raw.acks, repr(model)
+            assert raw.outputs == fused.outputs
+
+
 class TestDeterminism:
     @pytest.mark.parametrize("model", standard_adversaries(7), ids=repr)
     def test_identical_reruns(self, model):

@@ -84,6 +84,36 @@ class TestSlowEdges:
         slow_now = model(4, 9, 1, 0.0) == TAU
         assert (model(9, 4, 7, 3.0) == TAU) == slow_now
 
+    @settings(max_examples=200, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        u=st.integers(min_value=0, max_value=200),
+        v=st.integers(min_value=0, max_value=200),
+        edges=st.one_of(
+            st.none(),
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=200),
+                    st.integers(min_value=0, max_value=200),
+                ).filter(lambda e: e[0] != e[1]),
+                max_size=20,
+            ),
+        ),
+    )
+    def test_slow_class_is_symmetric(self, seed, u, v, edges):
+        """A link's acknowledgment must share its message's speed class:
+        ``_is_slow(u, v) == _is_slow(v, u)`` for hashed halves and explicit
+        edge sets alike (either orientation in the set marks the edge)."""
+        if u == v:
+            v = u + 1
+        model = SlowEdgesDelay(seed=seed, edges=edges)
+        assert model._is_slow(u, v) == model._is_slow(v, u)
+        # The delay *class* (slow = TAU, fast < TAU) is symmetric too, over
+        # both the direct-call path and the per-link streams.
+        for seq in (1, 2, -1):
+            assert (model(u, v, seq, 0.0) == TAU) == (model(v, u, seq, 0.0) == TAU)
+        assert (model.link_stream(u, v)(1) == TAU) == (model.link_stream(v, u)(-1) == TAU)
+
 
 class TestDirectionalSkew:
     def test_directions_differ(self):
@@ -114,3 +144,45 @@ def test_every_model_respects_the_bound(u, v, seq, now, seed):
     for model in standard_adversaries(seed):
         d = model(u, v, seq, now)
         assert 0 < d <= TAU
+
+
+class TestStreamConsistency:
+    """The cached per-link fast paths must be bit-equal to direct calls.
+
+    The transport trusts ``link_stream`` / ``pair_stream`` without
+    re-validating, and engine equivalence relies on the three APIs never
+    drifting apart — cross-checked here for every model over 10k
+    (u, v, seq) triples, including the negative (acknowledgment) sequence
+    numbers the transport draws with.
+    """
+
+    # 50 directed pairs x 100 seqs x 2 signs = 10,000 triples per model.
+    PAIRS = [(3 * i % 29, (5 * i + 7) % 31 + 29) for i in range(50)]
+    SEQS = [s for k in range(1, 101) for s in (k, -k)]
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=[repr(m) for m in ALL_MODELS])
+    def test_link_stream_matches_direct_calls(self, model):
+        for u, v in self.PAIRS:
+            stream = model.link_stream(u, v)
+            for seq in self.SEQS:
+                assert stream(seq) == model(u, v, seq, 0.0), (u, v, seq)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=[repr(m) for m in ALL_MODELS])
+    def test_pair_stream_matches_direct_calls(self, model):
+        """pair(seq) == (message draw at seq, reverse-link draw at -seq)."""
+        for u, v in self.PAIRS:
+            pair = model.pair_stream(u, v)
+            for seq in self.SEQS:
+                assert pair(seq) == (
+                    model(u, v, seq, 0.0),
+                    model(v, u, -seq, 0.0),
+                ), (u, v, seq)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=[repr(m) for m in ALL_MODELS])
+    def test_stream_results_respect_the_bound(self, model):
+        for u, v in self.PAIRS[:10]:
+            pair = model.pair_stream(u, v)
+            for seq in self.SEQS[:40]:
+                d, a = pair(seq)
+                assert 0 < d <= TAU
+                assert 0 < a <= TAU

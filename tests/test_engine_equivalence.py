@@ -21,11 +21,13 @@ import pytest
 
 from repro.apps.programs import bfs_spec, broadcast_echo_spec, flood_max_spec
 from repro.core.bfs_runner import registry_for_threshold
+from repro.core.sweep import SynchronizerSweep
 from repro.core.synchronizer import SynchronizerProcess, pulse_bound_for
 from repro.net import topology
 from repro.net.async_runtime import AsyncResult, AsyncRuntime, Process
 from repro.net.delays import standard_adversaries
 from repro.net.graph import Graph
+from repro.net.sweep import AsyncSweep
 
 
 class _RefLink:
@@ -263,6 +265,74 @@ def test_max_time_equivalence(seed, max_time):
         assert new.time_to_quiescence == ref.time_to_quiescence, repr(model)
         assert new.outputs == ref.outputs
         assert new.messages == ref.messages
+
+
+@pytest.mark.parametrize("topo", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("seed", [0, 1])
+def test_raw_event_accounting_matches_reference(topo, seed):
+    """``count_fused_acks=True`` restores the seed engine's exact event
+    count: fused vs raw diverge only by the fused-ack count."""
+    graph = TOPOLOGIES[topo]()
+    for model in standard_adversaries(seed):
+        ref = ReferenceRuntime(graph, Gossip, model).run()
+        raw = AsyncRuntime(graph, Gossip, model, count_fused_acks=True).run()
+        fused = AsyncRuntime(graph, Gossip, model).run()
+        assert raw.events_fired == ref.events_fired, repr(model)
+        assert 0 <= raw.events_fired - fused.events_fired <= raw.acks
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("max_time", [0.5, 1.5, 2.5, 7.0])
+def test_raw_event_accounting_under_deadline(seed, max_time):
+    """Raw accounting agrees with the reference engine even when the run is
+    cut off with reservations outstanding on both sides of the deadline."""
+    graph = topology.path_graph(3)
+    for model in standard_adversaries(seed):
+        ref = ReferenceRuntime(graph, Gossip, model).run(max_time=max_time)
+        raw = AsyncRuntime(graph, Gossip, model, count_fused_acks=True).run(
+            max_time=max_time
+        )
+        assert raw.events_fired == ref.events_fired, repr(model)
+        assert raw.stop_reason == ref.stop_reason, repr(model)
+
+
+@pytest.mark.parametrize("seed", [0, 2])
+def test_sweep_replays_match_reference_engine(seed):
+    """AsyncSweep replays are trace-identical to the reference engine for
+    every delay model, over one shared skeleton."""
+    graph = topology.grid_graph(3, 4)
+    sweep = AsyncSweep(graph, Gossip)
+    for model in standard_adversaries(seed):
+        ref_trace, new_trace = [], []
+        ref_result = ReferenceRuntime(
+            graph, Gossip, model,
+            trace=lambda t, u, v, p: ref_trace.append((t, u, v, p)),
+        ).run()
+        new_result = sweep.run(
+            model, trace=lambda t, u, v, p: new_trace.append((t, u, v, p))
+        )
+        _assert_equivalent(ref_trace, ref_result, new_trace, new_result)
+
+
+@pytest.mark.parametrize("seed", [0, 2])
+def test_synchronizer_sweep_replays_match_reference_engine(seed):
+    """The full synchronizer stack through SynchronizerSweep is
+    trace-equivalent to the reference engine per delay model — one shared
+    cover/registry/pulse-bound setup cannot perturb a single event."""
+    graph = topology.cycle_graph(12)
+    spec = bfs_spec(0)
+    sweep = SynchronizerSweep(graph, spec)
+    for model in standard_adversaries(seed):
+        ref_trace, new_trace = [], []
+        ref_result = ReferenceRuntime(
+            graph, sweep.process_cls, model,
+            trace=lambda t, u, v, p: ref_trace.append((t, u, v, p)),
+        ).run()
+        runtime = sweep._sweep.runtime(
+            model, trace=lambda t, u, v, p: new_trace.append((t, u, v, p))
+        )
+        new_result = runtime.run()
+        _assert_equivalent(ref_trace, ref_result, new_trace, new_result)
 
 
 @pytest.mark.parametrize("spec_factory", [

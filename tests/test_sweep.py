@@ -1,0 +1,120 @@
+"""Sweep engines must be byte-identical to standalone runs, per delay model.
+
+The whole point of :class:`repro.net.sweep.AsyncSweep` and the protocol
+sweeps in :mod:`repro.core.sweep` is to amortize setup *without changing a
+single event*: every replay must equal the corresponding standalone run —
+same delivery traces, outputs, message counts, times — and replay order must
+not leak state between models.
+"""
+
+import pytest
+
+from repro.apps.programs import bfs_spec, broadcast_echo_spec, flood_max_spec
+from repro.core import (
+    SynchronizerSweep,
+    ThresholdedBFSSweep,
+    run_synchronized,
+    run_thresholded_bfs,
+    sweep_synchronized,
+)
+from repro.net import AsyncRuntime, AsyncSweep, Process, topology
+from repro.net.delays import standard_adversaries
+
+
+class Gossip(Process):
+    def on_start(self):
+        self.best = self.ctx.node_id
+        for v in self.ctx.neighbors:
+            self.ctx.send(v, self.best)
+
+    def on_message(self, sender, value):
+        if value > self.best:
+            self.best = value
+            self.ctx.set_output(value)
+            for v in self.ctx.neighbors:
+                self.ctx.send(v, value)
+
+
+def _trace_run(runner, model):
+    trace = []
+    result = runner(model, lambda t, u, v, p: trace.append((t, u, v, p)))
+    return trace, result
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_async_sweep_matches_standalone_runs(seed):
+    """One AsyncSweep instance replayed over the whole adversary family is
+    trace-identical to fresh per-model AsyncRuntime runs."""
+    graph = topology.grid_graph(3, 4)
+    sweep = AsyncSweep(graph, Gossip)
+    for model in standard_adversaries(seed):
+        sweep_trace, sweep_result = _trace_run(
+            lambda m, t: sweep.run(m, trace=t), model
+        )
+        solo_trace, solo_result = _trace_run(
+            lambda m, t: AsyncRuntime(graph, Gossip, m, trace=t).run(), model
+        )
+        assert sweep_trace == solo_trace
+        assert sweep_result == solo_result
+
+
+def test_async_sweep_replays_are_order_independent():
+    """Replaying A, B, A must give A the same result both times (no state
+    can leak through the shared skeleton)."""
+    graph = topology.cycle_graph(10)
+    models = standard_adversaries(3)
+    sweep = AsyncSweep(graph, Gossip)
+    first = sweep.run(models[2])
+    for model in models:
+        sweep.run(model)
+    again = sweep.run(models[2])
+    assert first == again
+
+
+@pytest.mark.parametrize("spec_factory", [
+    lambda: bfs_spec(0),
+    lambda: broadcast_echo_spec(0),
+    flood_max_spec,
+])
+def test_synchronizer_sweep_matches_run_synchronized(spec_factory):
+    graph = topology.cycle_graph(12)
+    spec = spec_factory()
+    sweep = SynchronizerSweep(graph, spec)
+    for model in standard_adversaries(1):
+        solo = run_synchronized(graph, spec, model)
+        replay = sweep.run(model)
+        assert replay == solo, repr(model)
+
+
+def test_sweep_synchronized_wrapper_aligns_with_models():
+    graph = topology.grid_graph(3, 3)
+    spec = bfs_spec(0)
+    models = standard_adversaries(5)
+    results = sweep_synchronized(graph, spec, models)
+    assert len(results) == len(models)
+    for model, result in zip(models, results):
+        assert result == run_synchronized(graph, spec, model), repr(model)
+
+
+@pytest.mark.parametrize("threshold", [4, 8])
+def test_thresholded_bfs_sweep_matches_standalone(threshold):
+    graph = topology.cycle_graph(24)
+    sweep = ThresholdedBFSSweep(graph, 0, threshold)
+    for model in standard_adversaries(2):
+        solo = run_thresholded_bfs(graph, 0, threshold, model)
+        replay = sweep.run(model)
+        assert replay.distances == solo.distances, repr(model)
+        assert replay.parents == solo.parents, repr(model)
+        assert replay.result == solo.result, repr(model)
+
+
+def test_thresholded_bfs_sweep_distances_are_model_independent():
+    """Correctness across the family: every adversary yields the oracle
+    distances (the guarantee the sweep exists to measure cheaply)."""
+    graph = topology.grid_graph(4, 4)
+    truth = graph.bfs_distances(0)
+    sweep = ThresholdedBFSSweep(graph, 0, 8)
+    for outcome in sweep.run_all(standard_adversaries(7)):
+        for v in graph.nodes:
+            expected = truth[v] if truth[v] <= 8 else float("inf")
+            assert outcome.distances[v] == expected
