@@ -8,9 +8,11 @@ node outputs, and ``--check`` fails on any mismatch (the engine must stay
 byte-for-byte reproducible, not merely fast).
 
 The matrix includes the 5-delay-model sweep workloads (cycle+grid at n=256,
-setup included per rep) next to their independent-runs counterparts; the
-``--quick`` CI gate covers the thresholded-BFS sweep at the same -30%
-threshold as the single-run entries, and ``--write`` records the measured
+and the n=512 multi-source cells with sampled initiator sets — the
+ROADMAP's fix for the Θ(n²) all-initiator blowup) next to their
+independent-runs counterparts; the ``--quick`` CI gate covers the
+thresholded-BFS sweep and the n=512 smoke cell at the same -30% threshold
+as the single-run entries, and ``--write`` records the measured
 sweep-vs-independent speedups under ``sweep_speedups``.
 
 Usage:
@@ -44,7 +46,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.apps.programs import bfs_spec  # noqa: E402
+from repro.apps.programs import bfs_spec, multi_bfs_spec  # noqa: E402
 from repro.core import (  # noqa: E402
     SynchronizerSweep,
     ThresholdedBFSSweep,
@@ -153,13 +155,14 @@ class _SweepAggregate:
 def _run_sweep_tbfs(_):
     # Fresh graphs per call: the timed reps include the sweep's one-time
     # setup (covers, registry, infos), which is the whole point of the
-    # comparison against the independent runs below.
+    # comparison against the independent runs below.  ``run_all`` replays
+    # the family under one sweep-wide GC pause (DESIGN.md §8).
     agg = _SweepAggregate()
     for gi, graph in enumerate((topology.cycle_graph(256),
                                 topology.grid_graph(16, 16))):
         sweep = ThresholdedBFSSweep(graph, 0, 16)
-        for mi, model in enumerate(_sweep_models()):
-            agg.add((gi, mi), sweep.run(model).result)
+        for mi, outcome in enumerate(sweep.run_all(_sweep_models())):
+            agg.add((gi, mi), outcome.result)
     return agg
 
 
@@ -168,8 +171,22 @@ def _run_sweep_sync(_):
     for gi, graph in enumerate((topology.cycle_graph(256),
                                 topology.grid_graph(16, 16))):
         sweep = SynchronizerSweep(graph, bfs_spec(0))
-        for mi, model in enumerate(_sweep_models()):
-            agg.add((gi, mi), sweep.run(model))
+        for mi, result in enumerate(sweep.run_all(_sweep_models())):
+            agg.add((gi, mi), result)
+    return agg
+
+
+def _run_sweep_ms512(_):
+    # n=512 cells with a sampled initiator set (16 evenly spaced sources):
+    # multi-source BFS keeps the pulse bound near n/32 and the message
+    # volume near-linear, where the all-initiator flood-max program costs
+    # Θ(n²) on the cycle (ROADMAP).
+    agg = _SweepAggregate()
+    for gi, graph in enumerate((topology.cycle_graph(512),
+                                topology.grid_graph(16, 32))):
+        sweep = SynchronizerSweep(graph, multi_bfs_spec(16))
+        for mi, result in enumerate(sweep.run_all(_sweep_models())):
+            agg.add((gi, mi), result)
     return agg
 
 
@@ -194,6 +211,15 @@ def _run_independent_sync(_):
     return agg
 
 
+def _run_independent_ms512(_):
+    agg = _SweepAggregate()
+    for gi, build in enumerate((lambda: topology.cycle_graph(512),
+                                lambda: topology.grid_graph(16, 32))):
+        for mi, model in enumerate(_sweep_models()):
+            agg.add((gi, mi), run_synchronized(build(), multi_bfs_spec(16), model))
+    return agg
+
+
 # (name, graph builder, runner, in_quick, reps override or None).
 WORKLOADS = [
     ("sync-bfs/cycle/64", lambda: topology.cycle_graph(64), _run_synchronized,
@@ -214,44 +240,116 @@ WORKLOADS = [
     # --write under "sweep_speedups".
     ("sweep-tbfs16-5x/cycle+grid/256", lambda: None, _run_sweep_tbfs,
      True, 3),
+    # The sync pair runs best-of-5 (symmetric on both sides): the speedup
+    # between two multi-second walls needs more min-filtering against host
+    # noise than the CI-gated cells can afford.
     ("sweep-sync-5x/cycle+grid/256", lambda: None, _run_sweep_sync,
-     False, 3),
+     False, 5),
     ("independent-tbfs16-5x/cycle+grid/256", lambda: None, _run_independent_tbfs,
      False, 3),
     ("independent-sync-5x/cycle+grid/256", lambda: None, _run_independent_sync,
+     False, 5),
+    # n=512 sweep cells (sampled initiator sets — see _run_sweep_ms512).
+    # The sweep cell doubles as the CI --quick smoke test for the large-n
+    # regime; its independent counterpart stays in the full matrix only.
+    ("sweep-ms512-5x/cycle+grid/512", lambda: None, _run_sweep_ms512,
+     True, 3),
+    ("independent-ms512-5x/cycle+grid/512", lambda: None, _run_independent_ms512,
      False, 3),
 ]
 
+#: Sweep-vs-independent workload pairs recorded under ``sweep_speedups``:
+#: kind -> (sweep entry, independent entry).
+SWEEP_PAIRS = {
+    "tbfs16": ("sweep-tbfs16-5x/cycle+grid/256",
+               "independent-tbfs16-5x/cycle+grid/256"),
+    "sync": ("sweep-sync-5x/cycle+grid/256",
+             "independent-sync-5x/cycle+grid/256"),
+    "ms512": ("sweep-ms512-5x/cycle+grid/512",
+              "independent-ms512-5x/cycle+grid/512"),
+}
+
+
+def _record_entry(results: dict, name: str, walls: list, result) -> None:
+    best = min(walls)
+    results[name] = {
+        "wall_best": round(best, 5),
+        "wall_median": round(statistics.median(walls), 5),
+        "messages": result.messages,
+        "events_fired": result.events_fired,
+        "msgs_per_sec": round(result.messages / best) if best else 0,
+        "outputs_digest": _digest(result.outputs),
+    }
+    print(f"{name:36s} best {best*1e3:8.1f} ms   "
+          f"{results[name]['msgs_per_sec']:>9,} msgs/s   "
+          f"{result.messages:>7} msgs   {results[name]['outputs_digest']}")
+
 
 def measure(quick: bool, reps: int = 5) -> dict:
+    """Time the workload matrix.
+
+    The sweep-vs-independent pairs (``SWEEP_PAIRS``) are timed with
+    *interleaved* reps — sweep, independent, sweep, independent, ... — so
+    host-load drift on shared machines hits both sides of each recorded
+    speedup equally (the same trick as the seed-reference interleaved
+    A/B); a load spike then inflates both walls instead of silently
+    biasing the ratio.  Everything else runs rep-by-rep as before.
+    """
     results = {}
+    selected = {}
     for name, build, runner, in_quick, reps_override in WORKLOADS:
         if quick and not in_quick:
+            continue
+        selected[name] = (build, runner, reps_override or reps)
+    interleaved = {}
+    for sweep_name, indep_name in SWEEP_PAIRS.values():
+        if sweep_name in selected and indep_name in selected:
+            interleaved[sweep_name] = indep_name
+            interleaved[indep_name] = sweep_name
+    for name, (build, runner, n_reps) in selected.items():
+        if name in interleaved:
+            partner = interleaved[name]
+            if partner in results or name in results:
+                continue  # the pair was timed when its first member came up
+            p_build, p_runner, p_reps = selected[partner]
+            graph = build()
+            p_graph = p_build()
+            runner(graph)  # warm caches (covers, pulse bounds, infos)
+            p_runner(p_graph)
+            walls, p_walls = [], []
+            result = p_result = None
+            for _ in range(max(n_reps, p_reps)):
+                t0 = time.perf_counter()
+                result = runner(graph)
+                walls.append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                p_result = p_runner(p_graph)
+                p_walls.append(time.perf_counter() - t0)
+            _record_entry(results, name, walls, result)
+            _record_entry(results, partner, p_walls, p_result)
             continue
         graph = build()
         runner(graph)  # warm caches (covers, pulse bounds, infos)
         walls = []
         result = None
-        for _ in range(reps_override or reps):
+        for _ in range(n_reps):
             t0 = time.perf_counter()
             result = runner(graph)
             walls.append(time.perf_counter() - t0)
-        best = min(walls)
-        results[name] = {
-            "wall_best": round(best, 5),
-            "wall_median": round(statistics.median(walls), 5),
-            "messages": result.messages,
-            "events_fired": result.events_fired,
-            "msgs_per_sec": round(result.messages / best),
-            "outputs_digest": _digest(result.outputs),
-        }
-        print(f"{name:36s} best {best*1e3:8.1f} ms   "
-              f"{results[name]['msgs_per_sec']:>9,} msgs/s   "
-              f"{result.messages:>7} msgs   {results[name]['outputs_digest']}")
+        _record_entry(results, name, walls, result)
     return results
 
 
 def check(current: dict, committed: dict, threshold: float) -> int:
+    """Compare ``current`` against the committed baseline.
+
+    Degrades gracefully on incomplete baselines (fresh clone, partial
+    ``--write``): a workload entry that is missing, lacks a field, or
+    records a zero/absent floor is skipped with a warning rather than
+    dying on a ``KeyError``/``ZeroDivisionError``.  The exit code is
+    nonzero only for real regressions — determinism mismatches or a
+    throughput drop beyond ``threshold``.
+    """
     # Rescale the committed floors by relative host speed, so the absolute
     # msgs/sec recorded on the authoring machine transfers to slower (or
     # faster) CI runners.
@@ -260,6 +358,8 @@ def check(current: dict, committed: dict, threshold: float) -> int:
         scale = _calibrate() / base_cal
         print(f"host speed vs baseline host: x{scale:.2f}")
     else:
+        if base_cal is not None:
+            print("WARNING: baseline calibration is 0; floors not rescaled")
         scale = 1.0
     failures = []
     for name, entry in current.items():
@@ -267,19 +367,32 @@ def check(current: dict, committed: dict, threshold: float) -> int:
         if base is None:
             print(f"NOTE: {name} not in committed baseline, skipping")
             continue
-        if entry["messages"] != base["messages"]:
+        base_messages = base.get("messages")
+        if base_messages is None:
+            print(f"WARNING: {name}: baseline lacks 'messages', skipping")
+        elif entry["messages"] != base_messages:
             failures.append(
-                f"{name}: message count changed {base['messages']} -> {entry['messages']}"
+                f"{name}: message count changed {base_messages} -> {entry['messages']}"
             )
-        if entry["outputs_digest"] != base["outputs_digest"]:
+        base_digest = base.get("outputs_digest")
+        if base_digest is None:
+            print(f"WARNING: {name}: baseline lacks 'outputs_digest', skipping")
+        elif entry["outputs_digest"] != base_digest:
             failures.append(
-                f"{name}: outputs digest changed {base['outputs_digest']}"
+                f"{name}: outputs digest changed {base_digest}"
                 f" -> {entry['outputs_digest']}"
             )
-        floor = base["msgs_per_sec"] * scale * (1.0 - threshold)
+        base_rate = base.get("msgs_per_sec")
+        if not base_rate:
+            # 0.0 or missing: a sub-resolution wall clock or a partial
+            # --write recorded no meaningful floor to hold this host to.
+            print(f"WARNING: {name}: baseline records no throughput floor,"
+                  " skipping throughput check")
+            continue
+        floor = base_rate * scale * (1.0 - threshold)
         if entry["msgs_per_sec"] < floor:
             failures.append(
-                f"{name}: throughput regressed {base['msgs_per_sec']:,} ->"
+                f"{name}: throughput regressed {base_rate:,} ->"
                 f" {entry['msgs_per_sec']:,} msgs/s"
                 f" (host-scaled floor {floor:,.0f})"
             )
@@ -301,14 +414,18 @@ def _sweep_speedups(current: dict) -> dict:
     wall ratio is the amortization win.
     """
     out = {}
-    for kind in ("tbfs16", "sync"):
-        sweep = current.get(f"sweep-{kind}-5x/cycle+grid/256")
-        indep = current.get(f"independent-{kind}-5x/cycle+grid/256")
+    for kind, (sweep_name, indep_name) in SWEEP_PAIRS.items():
+        sweep = current.get(sweep_name)
+        indep = current.get(indep_name)
         if sweep and indep:
             if sweep["outputs_digest"] != indep["outputs_digest"]:
                 raise AssertionError(
                     f"{kind}: sweep and independent runs diverged"
                 )
+            if not sweep["wall_best"]:
+                print(f"WARNING: {kind}: sweep wall clock below resolution,"
+                      " speedup not recorded")
+                continue
             out[kind] = {
                 "independent_wall_best": indep["wall_best"],
                 "sweep_wall_best": sweep["wall_best"],
@@ -331,7 +448,12 @@ def main() -> int:
 
     if args.check:
         if not BENCH_PATH.exists():
-            print("no committed BENCH_core.json; nothing to check against")
+            # The baseline is committed, so a missing file means a broken
+            # checkout or path refactor — fail loudly rather than letting
+            # the CI gate silently pass with nothing to check against.
+            # (Partial/zero baselines are tolerated inside check().)
+            print("ERROR: no committed BENCH_core.json; the perf gate has"
+                  " nothing to check against")
             return 1
         committed = json.loads(BENCH_PATH.read_text())
         return check(current, committed, args.threshold)
@@ -351,7 +473,7 @@ def main() -> int:
             "seed_reference": SEED_REFERENCE,
             "speedup_vs_seed_this_run": (
                 round(SEED_REFERENCE["wall_best"] / acceptance["wall_best"], 2)
-                if acceptance else None
+                if acceptance and acceptance["wall_best"] else None
             ),
             "sweep_speedups": _sweep_speedups(current),
             "workloads": current,

@@ -21,6 +21,7 @@ from ..net.program import (
     ProgramSpec,
     PulseApi,
     all_nodes_initiate,
+    sampled_initiators,
     single_initiator,
 )
 
@@ -79,6 +80,18 @@ class BfsProgram(NodeProgram):
 
 def bfs_spec(source: NodeId) -> ProgramSpec:
     return ProgramSpec("sync-bfs", BfsProgram, single_initiator(source))
+
+
+def multi_bfs_spec(sources: int) -> ProgramSpec:
+    """Multi-source BFS from ``sources`` evenly sampled initiators.
+
+    The n=512+ sweep workload (ROADMAP / DESIGN.md §8): the sampled set
+    keeps the pulse bound near ``n / (2 * sources)`` and the message volume
+    near-linear, where an all-initiator flood costs Θ(n²) on a cycle.
+    """
+    return ProgramSpec(
+        f"sync-bfs-ms{sources}", BfsProgram, sampled_initiators(sources)
+    )
 
 
 class BroadcastEchoProgram(NodeProgram):

@@ -83,10 +83,17 @@ class ThresholdedBFSProcess(Process):
             threshold=self.threshold,
             send=ctx.send,
             on_complete=self._on_complete,
+            # getattr: reference/teaching engines run the same process class
+            # without a dense link table; the core then falls back to
+            # node-id sends (the identity link map).
+            links=getattr(ctx, "links", None),
+            send_link=getattr(ctx, "send_link", None),
         )
         # Shadow the class method: the transport calls the node engine
-        # directly (one frame less per delivered message).
+        # directly (one frame less per delivered message), and the opcode
+        # table lets it skip the guarded ``handle`` wrapper entirely.
         self.on_message = self.core.handle
+        self.on_message_table = self.core._dispatch
 
     def _on_complete(self, pulse: Optional[int]) -> None:
         self.ctx.set_output(

@@ -11,20 +11,30 @@ One primitive covers several of the paper's building blocks:
 * leader election (Section 6): convergecast the minimum candidate identifier
   per cluster and broadcast it.
 
-An *instance* is identified by ``(cluster_id, tag)``.  Every node on the
-cluster tree (members and Steiner relays alike) eventually contributes one
-value; a node forwards up once it holds its own value and one value per
-child, and the root broadcasts the combined result down.  Cost: exactly two
+An *instance* is identified by ``(cluster_id, tag)``; on the wire the
+pair travels as the packed key of :func:`repro.core.registration.pack_key`
+(one pre-hashed int for int tags), so an aggregate message is
+``(op, key, value)`` and handlers index their instance dict without
+building a tuple per message (DESIGN.md §8).  Every node on the cluster
+tree (members and Steiner relays alike) eventually contributes one value;
+a node forwards up once it holds its own value and one value per child,
+and the root broadcasts the combined result down.  Cost: exactly two
 messages per tree edge per instance and one round trip of the tree height —
 the counts Theorem 3.1 charges.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from ..net.graph import NodeId
-from .registration import ClusterView
+from .registration import (
+    IDENTITY_LINKS,
+    ClusterView,
+    Key,
+    pack_key,
+    unpack_key,
+)
 
 #: Wire opcodes (DESIGN.md §6): message kinds are small consecutive ints so
 #: hosts dispatch through a tuple index instead of a string-compare chain.
@@ -36,7 +46,6 @@ OP_AGG_DOWN = 1
 _AGG_OPS = (OP_AGG_UP, OP_AGG_DOWN)
 
 Tag = Any
-Key = Tuple[int, Tag]
 MergeFn = Callable[[Any, Any], Any]
 
 
@@ -44,10 +53,18 @@ class _InstanceState:
     """Per-(cluster, tag) aggregation state (plain slots: allocated per
     instance on the hot path)."""
 
-    __slots__ = ("view", "contributed", "value", "child_values", "missing",
-                 "sent_up", "result", "done", "priority")
+    __slots__ = ("key", "cluster_id", "tag", "view", "contributed", "value",
+                 "child_values", "missing", "sent_up", "result", "done",
+                 "priority", "parent_link", "children_links")
 
-    def __init__(self, view: "ClusterView", priority: Any) -> None:
+    def __init__(self, key: Key, cluster_id: int, tag: Tag,
+                 view: "ClusterView", priority: Any,
+                 links: Mapping[NodeId, int]) -> None:
+        # The identity travels with the instance so emits reuse the packed
+        # wire key and ``on_result`` never decodes.
+        self.key = key
+        self.cluster_id = cluster_id
+        self.tag = tag
         self.view = view  # this node's tree view, bound at creation
         self.contributed = False
         self.value: Any = None
@@ -58,9 +75,17 @@ class _InstanceState:
         self.sent_up = False
         self.result: Any = None
         self.done = False
-        # The instance's link priority, resolved once at creation so emits
-        # skip the per-tag dict probe.
+        # The instance's link priority and tree destinations, resolved once
+        # at creation so emits skip the per-tag / per-destination probes.
         self.priority = priority
+        parent = view.parent
+        self.parent_link = None if parent is None else links[parent]
+        # map() keeps the resolution frame-free (instances are allocated on
+        # the hot path, and most are leaves with no children at all).
+        children = view.children
+        self.children_links = (
+            tuple(map(links.__getitem__, children)) if children else ()
+        )
 
 
 class ClusterAggregateModule:
@@ -83,10 +108,25 @@ class ClusterAggregateModule:
         on_result: Callable[[int, Tag, Any], None],
         merge_fn: Callable[[Tag], MergeFn],
         priority_fn: Callable[[Tag], Any],
+        links: Optional[Mapping[NodeId, int]] = None,
+        send_link: Optional[Callable[[int, Tuple, Any], None]] = None,
     ) -> None:
+        """``links``/``send_link`` wire the module onto the transport's
+        dense link table (``ProcessContext.links`` / ``.send_link``):
+        instances resolve their tree destinations to link ids once and
+        every emit takes the int-indexed fast path.  Hosts that wrap
+        ``send`` (payload tagging, standalone tests) omit them and keep
+        node-id sends."""
         self.node_id = node_id
         self.clusters = clusters
-        self._send = send
+        if send_link is None or links is None:
+            # Either half missing degrades the whole pair to node-id sends
+            # (a lone send_link with no link map could only fail later and
+            # farther from the misconfiguration site).
+            links = IDENTITY_LINKS
+            send_link = send
+        self._links = links
+        self._send_link = send_link
         self.on_result = on_result
         self.merge_fn = merge_fn
         self.priority_fn = priority_fn
@@ -94,23 +134,29 @@ class ClusterAggregateModule:
         self._merges: Dict[Tag, MergeFn] = {}
         self.messages_sent = 0
 
-    def _instance(self, cluster_id: int, tag: Tag) -> _InstanceState:
-        key = (cluster_id, tag)
-        instance = self._instances.get(key)
-        if instance is None:
-            view = self.clusters.get(cluster_id)
-            if view is None:
-                raise ValueError(
-                    f"node {self.node_id} is not on the tree of cluster {cluster_id}"
-                )
-            instance = _InstanceState(view, self.priority_fn(tag))
-            self._instances[key] = instance
+    def _make_instance(self, key: Key, cluster_id: int, tag: Tag) -> _InstanceState:
+        view = self.clusters.get(cluster_id)
+        if view is None:
+            raise ValueError(
+                f"node {self.node_id} is not on the tree of cluster {cluster_id}"
+            )
+        instance = _InstanceState(
+            key, cluster_id, tag, view, self.priority_fn(tag), self._links
+        )
+        self._instances[key] = instance
         return instance
 
-    def _emit(self, to: NodeId, op: int, cluster_id: int, tag: Tag, value: Any,
-              priority: Any) -> None:
-        self.messages_sent += 1
-        self._send(to, (op, cluster_id, tag, value), priority)
+    def _instance(self, cluster_id: int, tag: Tag) -> _InstanceState:
+        key = pack_key(cluster_id, tag)
+        instance = self._instances.get(key)
+        if instance is None:
+            instance = self._make_instance(key, cluster_id, tag)
+        return instance
+
+    def _instance_from_wire(self, key: Key) -> _InstanceState:
+        """Handler miss path: first message of an instance at this node."""
+        cluster_id, tag = unpack_key(key)
+        return self._make_instance(key, cluster_id, tag)
 
     # ------------------------------------------------------------------
     def contribute(self, cluster_id: int, tag: Tag, value: Any) -> None:
@@ -122,20 +168,21 @@ class ClusterAggregateModule:
             )
         instance.contributed = True
         instance.value = value
-        self._maybe_forward(cluster_id, tag, instance)
+        self._maybe_forward(instance)
 
     def result_of(self, cluster_id: int, tag: Tag) -> Optional[Any]:
-        key = (cluster_id, tag)
+        key = pack_key(cluster_id, tag)
         instance = self._instances.get(key)
         return instance.result if instance is not None and instance.done else None
 
     # ------------------------------------------------------------------
-    def _maybe_forward(self, cluster_id: int, tag: Tag, instance: _InstanceState) -> None:
+    def _maybe_forward(self, instance: _InstanceState) -> None:
         if instance.sent_up or not instance.contributed:
             return
         if instance.missing:
             return
         view = instance.view
+        tag = instance.tag
         merge = self._merges.get(tag)
         if merge is None:
             merge = self._merges[tag] = self.merge_fn(tag)
@@ -145,18 +192,26 @@ class ClusterAggregateModule:
             combined = merge(combined, child_values[child])
         instance.sent_up = True
         if view.parent is None:
-            self._finish(cluster_id, tag, instance, combined)
+            self._finish(instance, combined)
         else:
-            self._emit(view.parent, OP_AGG_UP, cluster_id, tag, combined,
-                       instance.priority)
+            self.messages_sent += 1
+            self._send_link(
+                instance.parent_link, (OP_AGG_UP, instance.key, combined),
+                instance.priority,
+            )
 
-    def _finish(self, cluster_id: int, tag: Tag, instance: _InstanceState, result: Any) -> None:
+    def _finish(self, instance: _InstanceState, result: Any) -> None:
         instance.result = result
         instance.done = True
-        priority = instance.priority
-        for child in instance.view.children:
-            self._emit(child, OP_AGG_DOWN, cluster_id, tag, result, priority)
-        self.on_result(cluster_id, tag, result)
+        children_links = instance.children_links
+        if children_links:
+            priority = instance.priority
+            send_link = self._send_link
+            payload = (OP_AGG_DOWN, instance.key, result)
+            for child_link in children_links:
+                self.messages_sent += 1
+                send_link(child_link, payload, priority)
+        self.on_result(instance.cluster_id, instance.tag, result)
 
     # ------------------------------------------------------------------
     def handle(self, sender: NodeId, payload: Tuple) -> bool:
@@ -176,35 +231,32 @@ class ClusterAggregateModule:
             raise ValueError(f"unknown aggregate message kind {payload[0]!r}")
 
     def handle_up(self, sender: NodeId, payload: Tuple) -> None:
-        """One convergecast value — ``(OP_AGG_UP, cluster_id, tag, value)``."""
-        cluster_id = payload[1]
-        tag = payload[2]
-        # _instance inlined for the common (existing-instance) case.
-        instance = self._instances.get((cluster_id, tag))
+        """One convergecast value — ``(OP_AGG_UP, key, value)``."""
+        key = payload[1]
+        instance = self._instances.get(key)
         if instance is None:
-            instance = self._instance(cluster_id, tag)
+            instance = self._instance_from_wire(key)
         if sender in instance.child_values:
             raise ValueError(
                 f"duplicate convergecast value from {sender} in"
-                f" {cluster_id}/{tag}"
+                f" {instance.cluster_id}/{instance.tag}"
             )
         if sender not in instance.view.children:
             raise ValueError(
                 f"convergecast value from non-child {sender} in"
-                f" {cluster_id}/{tag}"
+                f" {instance.cluster_id}/{instance.tag}"
             )
-        instance.child_values[sender] = payload[3]
+        instance.child_values[sender] = payload[2]
         instance.missing -= 1
-        self._maybe_forward(cluster_id, tag, instance)
+        self._maybe_forward(instance)
 
     def handle_down(self, sender: NodeId, payload: Tuple) -> None:
-        """The broadcast result — ``(OP_AGG_DOWN, cluster_id, tag, result)``."""
-        cluster_id = payload[1]
-        tag = payload[2]
-        instance = self._instances.get((cluster_id, tag))
+        """The broadcast result — ``(OP_AGG_DOWN, key, result)``."""
+        key = payload[1]
+        instance = self._instances.get(key)
         if instance is None:
-            instance = self._instance(cluster_id, tag)
-        self._finish(cluster_id, tag, instance, payload[3])
+            instance = self._instance_from_wire(key)
+        self._finish(instance, payload[2])
 
 
 def and_merge(a: Any, b: Any) -> Any:

@@ -8,7 +8,12 @@ and the root's ``Go-Ahead`` walks back down the waiting edges.
 
 The module multiplexes many independent registration stages: state is keyed
 by ``(cluster_id, tag)`` where the tag is the pulse number (one stage per
-pulse, Lemma 2.5).  Messages carry a host-supplied priority so lower stages
+pulse, Lemma 2.5).  On the wire the pair travels as a single *packed key*
+(``(cluster_id << 32) | tag`` whenever the tag is a small non-negative int
+— the synchronizer stack's pulse tags; a plain tuple otherwise), so a
+wave message is ``(op, key)``: handlers index their stage dict with one
+pre-hashed int instead of building and hashing a tuple per message
+(DESIGN.md §8).  Messages carry a host-supplied priority so lower stages
 preempt higher ones on shared links.
 
 Guarantees implemented (and asserted by the tests verbatim):
@@ -32,9 +37,27 @@ pending registration depends on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..net.graph import NodeId
+
+
+class _IdentityLinks:
+    """Fallback link map for hosts wired by node id (DESIGN.md §8).
+
+    Resolves every destination to itself, so ``send_link(links[to], ...)``
+    degrades to the node-id ``send`` for hosts that do not run on the
+    transport's dense link table (standalone module tests, the multi-stage
+    and full-BFS wrappers with their tagging send closures).
+    """
+
+    __slots__ = ()
+
+    def __getitem__(self, key: NodeId) -> NodeId:
+        return key
+
+
+IDENTITY_LINKS = _IdentityLinks()
 
 # Edge marks (our node's view of the edge to parent / to each child).
 CLEAN = "clean"
@@ -60,19 +83,50 @@ OP_REG_GO_AHEAD = 5
 _REG_OPS = (OP_REG_UP, OP_REG_DONE, OP_REG_DEREG, OP_REG_GO_AHEAD)
 
 Tag = Any
-Key = Tuple[int, Tag]
+#: Packed (cluster_id, tag) wire key — an int for int tags, else a tuple.
+Key = Union[int, Tuple[int, Tag]]
 SendFn = Callable[[NodeId, Tuple, Any], None]
+
+_TAG_BITS = 32
+_TAG_MASK = (1 << _TAG_BITS) - 1
+
+
+def pack_key(cluster_id: int, tag: Tag) -> Key:
+    """Pack one (cluster, tag) identity into its wire/dict key.
+
+    Int tags (the synchronizer stack's pulse numbers) pack into one int —
+    pre-hashed on the wire, cheaper to look up than a tuple per message;
+    anything else falls back to the generic tuple key.
+    """
+    if type(tag) is int and 0 <= tag <= _TAG_MASK:
+        return (cluster_id << _TAG_BITS) | tag
+    return (cluster_id, tag)
+
+
+def unpack_key(key: Key) -> Tuple[int, Tag]:
+    """Inverse of :func:`pack_key`."""
+    if type(key) is int:
+        return key >> _TAG_BITS, key & _TAG_MASK
+    return key
 
 
 class _StageState:
     """Per-(cluster, tag) registration state at one node (plain slots:
     allocated per stage on the hot path)."""
 
-    __slots__ = ("view", "state", "finished", "parent_mark", "child_marks",
-                 "dirty_children", "r_in_flight", "pending_child_invokers",
-                 "local_pending", "priority")
+    __slots__ = ("key", "cluster_id", "tag", "view", "state", "finished",
+                 "parent_mark", "child_marks", "dirty_children",
+                 "r_in_flight", "pending_child_invokers", "local_pending",
+                 "priority", "parent_link")
 
-    def __init__(self, view: "ClusterView", finished: bool, priority: Any) -> None:
+    def __init__(self, key: Key, cluster_id: int, tag: Tag,
+                 view: "ClusterView", finished: bool, priority: Any,
+                 parent_link: Optional[int]) -> None:
+        # The identity travels with the stage so emits reuse the packed
+        # wire key and callbacks never decode.
+        self.key = key
+        self.cluster_id = cluster_id
+        self.tag = tag
         self.view = view  # this node's tree view, bound at creation
         self.state = NONE
         self.finished = finished
@@ -82,11 +136,14 @@ class _StageState:
         # the wave handlers need no per-call scan of the marks.
         self.dirty_children = 0
         self.r_in_flight = False
-        self.pending_child_invokers: List[NodeId] = []
+        # Children owed an R confirmation, stored as resolved link ids (they
+        # are only ever used to emit).
+        self.pending_child_invokers: List[int] = []
         self.local_pending = False
-        # The stage's link priority, resolved once at creation so emits skip
-        # the per-tag dict probe.
+        # The stage's link priority and parent link id, resolved once at
+        # creation so emits skip the per-tag / per-destination dict probes.
         self.priority = priority
+        self.parent_link = parent_link
 
 
 @dataclass(frozen=True)
@@ -125,10 +182,24 @@ class RegistrationModule:
         on_registered: Callable[[int, Tag], None],
         on_go_ahead: Callable[[int, Tag], None],
         priority_fn: Callable[[Tag], Any],
+        links: Optional[Mapping[NodeId, int]] = None,
+        send_link: Optional[Callable[[int, Tuple, Any], None]] = None,
     ) -> None:
+        """``links``/``send_link`` wire the module onto the transport's
+        dense link table (``ProcessContext.links`` / ``.send_link``): stages
+        resolve their tree destinations to link ids once and every emit
+        takes the int-indexed fast path.  Hosts that wrap ``send`` (payload
+        tagging, standalone tests) omit them and keep node-id sends."""
         self.node_id = node_id
         self.clusters = clusters
-        self._send = send
+        if send_link is None or links is None:
+            # Either half missing degrades the whole pair to node-id sends
+            # (a lone send_link with no link map could only fail later and
+            # farther from the misconfiguration site).
+            links = IDENTITY_LINKS
+            send_link = send
+        self._links = links
+        self._send_link = send_link
         self.on_registered = on_registered
         self.on_go_ahead = on_go_ahead
         self.priority_fn = priority_fn
@@ -136,23 +207,31 @@ class RegistrationModule:
         self.messages_sent = 0
 
     # ------------------------------------------------------------------
-    def _stage(self, cluster_id: int, tag: Tag) -> _StageState:
-        key = (cluster_id, tag)
-        stage = self._stages.get(key)
-        if stage is None:
-            view = self.clusters.get(cluster_id)
-            if view is None:
-                raise ValueError(
-                    f"node {self.node_id} is not in cluster {cluster_id}"
-                )
-            stage = _StageState(view, view.parent is None, self.priority_fn(tag))
-            self._stages[key] = stage
+    def _make_stage(self, key: Key, cluster_id: int, tag: Tag) -> _StageState:
+        view = self.clusters.get(cluster_id)
+        if view is None:
+            raise ValueError(
+                f"node {self.node_id} is not in cluster {cluster_id}"
+            )
+        parent = view.parent
+        stage = _StageState(
+            key, cluster_id, tag, view, parent is None, self.priority_fn(tag),
+            None if parent is None else self._links[parent],
+        )
+        self._stages[key] = stage
         return stage
 
-    def _emit(self, to: NodeId, op: int, cluster_id: int, tag: Tag,
-              priority: Any) -> None:
-        self.messages_sent += 1
-        self._send(to, (op, cluster_id, tag), priority)
+    def _stage(self, cluster_id: int, tag: Tag) -> _StageState:
+        key = pack_key(cluster_id, tag)
+        stage = self._stages.get(key)
+        if stage is None:
+            stage = self._make_stage(key, cluster_id, tag)
+        return stage
+
+    def _stage_from_wire(self, key: Key) -> _StageState:
+        """Handler miss path: first message of a stage at this node."""
+        cluster_id, tag = unpack_key(key)
+        return self._make_stage(key, cluster_id, tag)
 
     # ------------------------------------------------------------------
     # public operations
@@ -170,7 +249,7 @@ class RegistrationModule:
             self.on_registered(cluster_id, tag)
             return
         stage.local_pending = True
-        self._invoke_r(cluster_id, tag, stage)
+        self._invoke_r(stage)
 
     def deregister(self, cluster_id: int, tag: Tag) -> None:
         """Mark deregistered and launch the D wave; Go-Ahead arrives later."""
@@ -182,62 +261,71 @@ class RegistrationModule:
             )
         stage.state = DEREGISTERED
         if stage.view.parent is None:
-            self._root_maybe_go_ahead(cluster_id, tag, stage)
+            self._root_maybe_go_ahead(stage)
         else:
-            self._run_d(cluster_id, tag, stage)
+            self._run_d(stage)
 
     def state_of(self, cluster_id: int, tag: Tag) -> str:
-        key = (cluster_id, tag)
+        key = pack_key(cluster_id, tag)
         return self._stages[key].state if key in self._stages else NONE
 
     # ------------------------------------------------------------------
     # R wave
     # ------------------------------------------------------------------
-    def _invoke_r(self, cluster_id: int, tag: Tag, stage: _StageState) -> None:
+    def _invoke_r(self, stage: _StageState) -> None:
         if stage.r_in_flight:
             return
         stage.parent_mark = DIRTY
         stage.r_in_flight = True
-        self._emit(stage.view.parent, OP_REG_UP, cluster_id, tag, stage.priority)
+        self.messages_sent += 1
+        self._send_link(
+            stage.parent_link, (OP_REG_UP, stage.key), stage.priority
+        )
 
     def handle_reg_up(self, sender: NodeId, payload: Tuple) -> None:
-        """A child's R wave — ``(OP_REG_UP, cluster_id, tag)``."""
-        cluster_id = payload[1]
-        tag = payload[2]
-        stage = self._stages.get((cluster_id, tag))
+        """A child's R wave — ``(OP_REG_UP, key)``."""
+        key = payload[1]
+        stage = self._stages.get(key)
         if stage is None:
-            stage = self._stage(cluster_id, tag)
+            stage = self._stage_from_wire(key)
         if stage.child_marks.get(sender) != DIRTY:
             stage.dirty_children += 1
         stage.child_marks[sender] = DIRTY
         if stage.finished:
-            self._emit(sender, OP_REG_DONE, cluster_id, tag, stage.priority)
+            self.messages_sent += 1
+            self._send_link(
+                self._links[sender], (OP_REG_DONE, key), stage.priority
+            )
             return
-        stage.pending_child_invokers.append(sender)
-        self._invoke_r(cluster_id, tag, stage)
+        stage.pending_child_invokers.append(self._links[sender])
+        self._invoke_r(stage)
 
     def handle_reg_done(self, sender: NodeId, payload: Tuple) -> None:
-        """The parent's R confirmation — ``(OP_REG_DONE, cluster_id, tag)``."""
-        cluster_id = payload[1]
-        tag = payload[2]
-        stage = self._stages.get((cluster_id, tag))
+        """The parent's R confirmation — ``(OP_REG_DONE, key)``."""
+        key = payload[1]
+        stage = self._stages.get(key)
         if stage is None:
-            stage = self._stage(cluster_id, tag)
+            stage = self._stage_from_wire(key)
         stage.r_in_flight = False
         # The parent's subtree-path to the root is dirty, hence so is ours.
         stage.finished = True
-        for child in stage.pending_child_invokers:
-            self._emit(child, OP_REG_DONE, cluster_id, tag, stage.priority)
-        stage.pending_child_invokers.clear()
+        if stage.pending_child_invokers:
+            send_link = self._send_link
+            done = (OP_REG_DONE, key)
+            priority = stage.priority
+            for child_link in stage.pending_child_invokers:
+                self.messages_sent += 1
+                send_link(child_link, done, priority)
+            stage.pending_child_invokers.clear()
         if stage.local_pending:
             stage.local_pending = False
             stage.state = REGISTERED
-            self.on_registered(cluster_id, tag)
+            self.on_registered(stage.cluster_id, stage.tag)
 
     # ------------------------------------------------------------------
     # D wave
     # ------------------------------------------------------------------
-    def _run_d(self, cluster_id: int, tag: Tag, stage: _StageState) -> None:
+    def _run_d(self, stage: _StageState) -> None:
         if stage.dirty_children:
             return
         if stage.view.parent is None:
@@ -250,59 +338,64 @@ class RegistrationModule:
             return
         stage.parent_mark = WAITING
         stage.finished = False
-        self._emit(stage.view.parent, OP_REG_DEREG, cluster_id, tag, stage.priority)
+        self.messages_sent += 1
+        self._send_link(
+            stage.parent_link, (OP_REG_DEREG, stage.key), stage.priority
+        )
 
     def handle_dereg(self, sender: NodeId, payload: Tuple) -> None:
-        """A child's D wave — ``(OP_REG_DEREG, cluster_id, tag)``."""
-        cluster_id = payload[1]
-        tag = payload[2]
-        stage = self._stages.get((cluster_id, tag))
+        """A child's D wave — ``(OP_REG_DEREG, key)``."""
+        key = payload[1]
+        stage = self._stages.get(key)
         if stage is None:
-            stage = self._stage(cluster_id, tag)
+            stage = self._stage_from_wire(key)
         if stage.child_marks.get(sender) == DIRTY:
             stage.dirty_children -= 1
         stage.child_marks[sender] = WAITING
         if stage.view.parent is None:
-            self._root_maybe_go_ahead(cluster_id, tag, stage)
+            self._root_maybe_go_ahead(stage)
         else:
-            self._run_d(cluster_id, tag, stage)
+            self._run_d(stage)
 
     # ------------------------------------------------------------------
     # Go-Ahead wave
     # ------------------------------------------------------------------
-    def _root_maybe_go_ahead(
-        self, cluster_id: int, tag: Tag, stage: _StageState
-    ) -> None:
+    def _root_maybe_go_ahead(self, stage: _StageState) -> None:
         if stage.dirty_children:
             return
         if stage.state in (REGISTERING, REGISTERED):
             # The root's own registration holds the cluster open.
             return
-        self._run_g(cluster_id, tag, stage)
+        self._run_g(stage)
 
-    def _run_g(self, cluster_id: int, tag: Tag, stage: _StageState) -> None:
+    def _run_g(self, stage: _StageState) -> None:
         if stage.state == DEREGISTERED:
             stage.state = FREE
-            self.on_go_ahead(cluster_id, tag)
+            self.on_go_ahead(stage.cluster_id, stage.tag)
+        # Iteration stays in ascending *node id* order (the emit order is
+        # part of the pinned schedule); the link id is resolved per emit.
         for child, mark in sorted(stage.child_marks.items()):
             if mark == WAITING:
                 stage.child_marks[child] = CLEAN
-                self._emit(child, OP_REG_GO_AHEAD, cluster_id, tag, stage.priority)
+                self.messages_sent += 1
+                self._send_link(
+                    self._links[child], (OP_REG_GO_AHEAD, stage.key),
+                    stage.priority,
+                )
 
     def handle_go_ahead(self, sender: NodeId, payload: Tuple) -> None:
-        """The parent's Go-Ahead — ``(OP_REG_GO_AHEAD, cluster_id, tag)``."""
-        cluster_id = payload[1]
-        tag = payload[2]
-        stage = self._stages.get((cluster_id, tag))
+        """The parent's Go-Ahead — ``(OP_REG_GO_AHEAD, key)``."""
+        key = payload[1]
+        stage = self._stages.get(key)
         if stage is None:
-            stage = self._stage(cluster_id, tag)
+            stage = self._stage_from_wire(key)
         if stage.parent_mark != WAITING:
             # A registration wave re-dirtied this edge while the Go-Ahead was
             # in flight; drop it — a newer Go-Ahead will follow (Lemma 3.5's
             # case analysis).
             return
         stage.parent_mark = CLEAN
-        self._run_g(cluster_id, tag, stage)
+        self._run_g(stage)
 
     # ------------------------------------------------------------------
     def handle(self, sender: NodeId, payload: Tuple) -> bool:

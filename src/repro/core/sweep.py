@@ -27,7 +27,7 @@ from ..net.delays import DelayModel
 from ..net.graph import Graph, NodeId
 from ..net.program import ProgramSpec
 from ..net.async_runtime import AsyncResult
-from ..net.sweep import AsyncSweep
+from ..net.sweep import AsyncSweep, run_models
 from .bfs_runner import (
     BFSOutcome,
     ThresholdedBFSProcess,
@@ -88,7 +88,10 @@ class SynchronizerSweep:
     def run_all(
         self, delay_models: Iterable[DelayModel], max_events: int = 100_000_000
     ) -> List[AsyncResult]:
-        return [self.run(model, max_events=max_events) for model in delay_models]
+        """Replay every model under one sweep-wide GC pause."""
+        return run_models(
+            lambda model: self.run(model, max_events=max_events), delay_models
+        )
 
 
 class ThresholdedBFSSweep:
@@ -145,7 +148,10 @@ class ThresholdedBFSSweep:
     def run_all(
         self, delay_models: Iterable[DelayModel], max_events: int = 50_000_000
     ) -> List[BFSOutcome]:
-        return [self.run(model, max_events=max_events) for model in delay_models]
+        """Replay every model under one sweep-wide GC pause."""
+        return run_models(
+            lambda model: self.run(model, max_events=max_events), delay_models
+        )
 
 
 def sweep_synchronized(

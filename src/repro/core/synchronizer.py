@@ -50,7 +50,7 @@ from .pulse import (
     prev_prev,
     source_pulses,
 )
-from .registration import RegistrationModule
+from .registration import IDENTITY_LINKS, RegistrationModule
 from .registry import CoverRegistry
 
 #: Synchronizer-private wire opcodes, continuing the shared-module range
@@ -123,18 +123,23 @@ class _VNode:
     same information.
     """
 
-    __slots__ = ("pulse", "parent", "parent_is_self", "recipients", "payloads",
+    __slots__ = ("pulse", "parent", "parent_link", "parent_is_self",
+                 "recipients", "recipient_links", "payloads",
                  "sends_pending", "sent", "answers_missing", "children",
                  "self_child", "flows", "ga_released")
 
     def __init__(
-        self, pulse: int, parent: Optional[NodeId], parent_is_self: bool
+        self, pulse: int, parent: Optional[NodeId], parent_is_self: bool,
+        parent_link: Optional[int] = None,
     ) -> None:
         self.pulse = pulse
-        # physical id of parent (v, pulse-1); None = self/root
+        # physical id of parent (v, pulse-1); None = self/root.  The link id
+        # toward it is resolved once at creation (DESIGN.md §8).
         self.parent = parent
+        self.parent_link = parent_link
         self.parent_is_self = parent_is_self
         self.recipients: Tuple[NodeId, ...] = ()
+        self.recipient_links: Tuple[int, ...] = ()
         self.payloads: Tuple[Tuple[NodeId, Any], ...] = ()
         self.sends_pending = 0
         self.sent = False
@@ -171,6 +176,8 @@ class SynchronizerNode:
         max_pulse: int,
         send,  # (to, payload, priority_tuple) -> None
         set_output,  # (value) -> None
+        links=None,  # neighbor -> dense link id (ProcessContext.links)
+        send_link=None,  # (link_id, payload, priority) -> None
     ) -> None:
         if max_pulse < 1 or max_pulse & (max_pulse - 1):
             raise ValueError("max_pulse must be a power of two")
@@ -180,7 +187,14 @@ class SynchronizerNode:
         self.is_initiator = is_initiator
         self.registry = registry
         self.max_pulse = max_pulse
-        self._send = send
+        if send_link is None or links is None:
+            # Either half missing degrades the whole pair to node-id sends
+            # (a lone send_link with no link map could only fail later and
+            # farther from the misconfiguration site).
+            links = IDENTITY_LINKS
+            send_link = send
+        self._links = links
+        self._send_link = send_link
         self.set_output = set_output
 
         views = registry.views_of(node_id)
@@ -191,6 +205,8 @@ class SynchronizerNode:
             on_registered=self._on_registered,
             on_go_ahead=self._on_cluster_go_ahead,
             priority_fn=_reg_priority,
+            links=links,
+            send_link=send_link,
         )
         self.agg = ClusterAggregateModule(
             node_id=node_id,
@@ -199,6 +215,8 @@ class SynchronizerNode:
             on_result=self._on_agg_result,
             merge_fn=_and_merge_for,
             priority_fn=_agg_priority,
+            links=links,
+            send_link=send_link,
         )
         self._api = PulseApi(info)
 
@@ -249,7 +267,9 @@ class SynchronizerNode:
         is_origin = bool(root_sends)
         if is_origin:
             vnode = _VNode(pulse=0, parent=None, parent_is_self=False)
+            links = self._links
             vnode.recipients = tuple(to for to, _ in root_sends)
+            vnode.recipient_links = tuple(links[to] for to, _ in root_sends)
             vnode.payloads = tuple(root_sends)
             self.vnodes[0] = vnode
             for p in self.base_pulses:
@@ -286,8 +306,11 @@ class SynchronizerNode:
         vnode.sends_pending = len(vnode.payloads)
         # One answer owed per distinct recipient, plus the self-answer.
         vnode.answers_missing = len(vnode.recipients) + 1
-        for to, payload in vnode.payloads:
-            self._send(to, (OP_APP, vnode.pulse, payload), vnode.pulse + 1)
+        send_link = self._send_link
+        pulse = vnode.pulse
+        stage = pulse + 1
+        for lid, (to, payload) in zip(vnode.recipient_links, vnode.payloads):
+            send_link(lid, (OP_APP, pulse, payload), stage)
         if vnode.sends_pending == 0:  # pragma: no cover - origins always send
             self._vnode_safe(vnode)
 
@@ -336,16 +359,22 @@ class SynchronizerNode:
                     f"node {self.node_id} sent at pulse {p} without any"
                     f" pulse-{p - 1} trigger: the program is not event-driven"
                 )
+            links = self._links
             vnode = _VNode(
-                pulse=p, parent=chosen_parent, parent_is_self=parent_is_self
+                pulse=p, parent=chosen_parent, parent_is_self=parent_is_self,
+                parent_link=(
+                    None if chosen_parent is None else links[chosen_parent]
+                ),
             )
             vnode.recipients = tuple(to for to, _ in sends)
+            vnode.recipient_links = tuple(links[to] for to, _ in sends)
             vnode.payloads = tuple(sends)
             self.vnodes[p] = vnode
             self._do_sends(vnode)
         # Chosen/not-chosen answers close the parents' child sets.
+        links = self._links
         for u in senders:
-            self._send(u, (OP_CHILD_ANS, p, u == chosen_parent), p)
+            self._send_link(links[u], (OP_CHILD_ANS, p, u == chosen_parent), p)
         if prev_vnode is not None:
             self._child_answer(prev_vnode, self.SELF, sends and parent_is_self)
 
@@ -476,8 +505,8 @@ class SynchronizerNode:
         elif vnode.parent_is_self:
             self._self_flow_report(self.vnodes[vnode.pulse - 1], q, flow.empty)
         else:
-            self._send(
-                vnode.parent, (OP_VFLOW, vnode.pulse - 1, q, flow.empty), q
+            self._send_link(
+                vnode.parent_link, (OP_VFLOW, vnode.pulse - 1, q, flow.empty), q
             )
 
     def _terminus(self, vnode: _VNode, q: int, flow: _VFlow) -> None:
@@ -516,15 +545,18 @@ class SynchronizerNode:
         if q in vnode.ga_released:
             return
         vnode.ga_released.add(q)
+        links = self._links
         if vnode.pulse == q - 1:
+            # Ascending *node id* order (the emit order is part of the
+            # pinned schedule); link ids are resolved per emit.
             for to in sorted(set(vnode.recipients)):
-                self._send(to, (OP_VRELEASE, q), q)
+                self._send_link(links[to], (OP_VRELEASE, q), q)
             self._evaluate(q)  # a pulse-(q-1) sender is itself triggered
             return
         flow = vnode.flow(q)
         for c in vnode.children:
             if flow.reports.get(c) is False:
-                self._send(c, (OP_VGA, q, vnode.pulse + 1), q)
+                self._send_link(links[c], (OP_VGA, q, vnode.pulse + 1), q)
         if vnode.self_child and flow.self_report is False:
             self._release_down(self.vnodes[vnode.pulse + 1], q)
 
@@ -589,12 +621,21 @@ class SynchronizerProcess(Process):
             max_pulse=self.max_pulse,
             send=ctx.send,
             set_output=ctx.set_output,
+            # getattr: reference/teaching engines run the same process class
+            # without a dense link table; the node then falls back to
+            # node-id sends (the identity link map).
+            links=getattr(ctx, "links", None),
+            send_link=getattr(ctx, "send_link", None),
         )
         # Instance-level binds shadow the class methods below so the
         # transport calls straight into the node engine (one frame less per
         # delivered message); the methods remain as documentation and for
-        # subclasses that super()-call.
+        # subclasses that super()-call.  ``on_message_table`` exposes the
+        # opcode-indexed handler tuple to the transport's table fast path
+        # (every synchronizer payload starts with a valid opcode, so the
+        # guarded ``handle`` wrapper is needed only for external callers).
         self.on_message = self.node.handle
+        self.on_message_table = self.node._dispatch
         self.on_delivered = self.node.on_delivered
 
     def on_start(self) -> None:

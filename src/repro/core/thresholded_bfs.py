@@ -45,7 +45,7 @@ from .pulse import (
     prev_prev,
     source_pulses,
 )
-from .registration import RegistrationModule
+from .registration import IDENTITY_LINKS, RegistrationModule
 from .registry import CoverRegistry
 
 UNREACHED = float("inf")
@@ -98,6 +98,8 @@ class ThresholdedBFSCore:
         threshold: int,
         send: SendFn,
         on_complete: Callable[[Optional[int]], None],
+        links=None,  # neighbor -> dense link id (ProcessContext.links)
+        send_link=None,  # (link_id, payload, priority) -> None
     ) -> None:
         if threshold < 1 or threshold & (threshold - 1):
             raise ValueError(f"threshold must be a power of two, got {threshold}")
@@ -112,7 +114,15 @@ class ThresholdedBFSCore:
                 f"layered cover top level {registry.top_level} too small for"
                 f" threshold {threshold}"
             )
-        self._send = send
+        if send_link is None or links is None:
+            # Either half missing degrades the whole pair to node-id sends
+            # (a lone send_link with no link map could only fail later and
+            # farther from the misconfiguration site).
+            links = IDENTITY_LINKS
+            send_link = send
+        self._links = links
+        self._send_link = send_link
+        self._neighbor_links = tuple(links[v] for v in self.neighbors)
         self.on_complete = on_complete
 
         views = registry.views_of(node_id)
@@ -126,6 +136,8 @@ class ThresholdedBFSCore:
             on_registered=self._on_registered,
             on_go_ahead=self._on_cluster_go_ahead,
             priority_fn=_stage_of_pulse_tag,  # tag is the pulse = its stage
+            links=links,
+            send_link=send_link,
         )
         self.agg = ClusterAggregateModule(
             node_id=node_id,
@@ -134,6 +146,8 @@ class ThresholdedBFSCore:
             on_result=self._on_agg_result,
             merge_fn=_and_merge_for,
             priority_fn=self._agg_stage,
+            links=links,
+            send_link=send_link,
         )
         # Opcode-indexed dispatch table (DESIGN.md §6): one tuple index per
         # delivered message, calling straight into the per-kind handlers.
@@ -155,7 +169,9 @@ class ThresholdedBFSCore:
         self.covered = False
         self.pulse: Optional[int] = None
         self.parent: Optional[NodeId] = None
+        self.parent_link: Optional[int] = None
         self.children: List[NodeId] = []
+        self._children_links: List[int] = []
         self.joins_sent = False
         self.answers_pending = 0
         self.answered = False
@@ -266,8 +282,10 @@ class ThresholdedBFSCore:
         self.joins_sent = True
         stage = self.pulse + 1
         self.answers_pending = len(self.neighbors)
-        for v in self.neighbors:
-            self._send(v, (OP_JOIN, self.pulse), stage)
+        send_link = self._send_link
+        payload = (OP_JOIN, self.pulse)
+        for lid in self._neighbor_links:
+            send_link(lid, payload, stage)
         if self.answers_pending == 0:
             self._answers_complete()
 
@@ -279,16 +297,19 @@ class ThresholdedBFSCore:
             )
         sender_pulse = payload[1]
         stage = sender_pulse + 1
+        sender_link = self._links[sender]
         if self.pulse is None and not self.covered:
             self.pulse = sender_pulse + 1
             self.parent = sender
-            self._send(sender, (OP_ANSWER, True), stage)
+            self.parent_link = sender_link
+            self._send_link(sender_link, (OP_ANSWER, True), stage)
         else:
-            self._send(sender, (OP_ANSWER, False), stage)
+            self._send_link(sender_link, (OP_ANSWER, False), stage)
 
     def _handle_answer(self, sender: NodeId, payload: Tuple) -> None:
         if payload[1]:
             self.children.append(sender)
+            self._children_links.append(self._links[sender])
         self.answers_pending -= 1
         if self.answers_pending == 0:
             self._answers_complete()
@@ -392,7 +413,7 @@ class ThresholdedBFSCore:
         if self.pulse == prev_prev(q):
             self._terminus(q, flow)
         else:
-            self._send(self.parent, (OP_FLOW, q, flow.empty), q)
+            self._send_link(self.parent_link, (OP_FLOW, q, flow.empty), q)
 
     def _terminus(self, q: int, flow: _Flow) -> None:
         if self.pulse == 0:
@@ -443,14 +464,18 @@ class ThresholdedBFSCore:
         self._propagate_go_ahead(q)
 
     def _propagate_go_ahead(self, q: int) -> None:
+        send_link = self._send_link
         if self.pulse == q - 1:
-            for c in self.children:
-                self._send(c, (OP_GA, q), q)
+            payload = (OP_GA, q)
+            for lid in self._children_links:
+                send_link(lid, payload, q)
             return
         flow = self._flow(q)
-        for c in self.children:
-            if flow.reports.get(c) is False:
-                self._send(c, (OP_GA, q), q)
+        reports = flow.reports
+        payload = (OP_GA, q)
+        for c, lid in zip(self.children, self._children_links):
+            if reports.get(c) is False:
+                send_link(lid, payload, q)
 
     def _handle_ga(self, sender: NodeId, payload: Tuple) -> None:
         q = payload[1]

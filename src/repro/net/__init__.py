@@ -21,14 +21,18 @@ from .program import (
     PulseApi,
     all_nodes_initiate,
     fixed_initiators,
+    sampled_initiators,
     single_initiator,
 )
 from .sync_runtime import SyncResult, SyncRuntime, run_synchronous
 from .async_runtime import (
     AsyncResult,
     AsyncRuntime,
+    LinkSkeleton,
     Process,
     ProcessContext,
+    UnknownLinkError,
+    link_skeleton_for,
     run_asynchronous,
 )
 from .sweep import AsyncSweep, sweep_asynchronous
@@ -57,14 +61,18 @@ __all__ = [
     "PulseApi",
     "all_nodes_initiate",
     "fixed_initiators",
+    "sampled_initiators",
     "single_initiator",
     "SyncResult",
     "SyncRuntime",
     "run_synchronous",
     "AsyncResult",
     "AsyncRuntime",
+    "LinkSkeleton",
     "Process",
     "ProcessContext",
+    "UnknownLinkError",
+    "link_skeleton_for",
     "run_asynchronous",
     "AsyncSweep",
     "sweep_asynchronous",

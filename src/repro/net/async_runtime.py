@@ -18,23 +18,41 @@ Model implemented here:
 Protocols are :class:`Process` subclasses; one instance runs per node and
 reacts to deliveries via ``on_message``.
 
-Performance architecture (DESIGN.md §6): the runtime *is* the event loop.  It
-subclasses :class:`~repro.net.events.EventQueue` and pops typed records —
-``(time, seq, EV_DELIVER, link, payload, inj_seq, ack_delay)`` and
-``(time, seq, EV_ACK, link, payload)`` — in one inlined dispatch loop, so a
-message costs one record push at injection and usually none at all for its
-acknowledgment: when nobody waits on an ack (no ``on_delivered`` interest,
-nothing queued or outstanding on the link), the ack's ``(time, seq)``
-identity is merely *reserved* and the event is materialized only if a later
-send actually has to wait on it.  When the delay model exposes
-``pair_stream`` the message delay *and* its acknowledgment delay are drawn
-together at injection (one closure call per message) and the ack delay rides
-in the delivery record; the pre-drawn value is discarded — and re-drawn at
-the link's latest injection number, exactly as the historical engine did
-(see ``_ack_delay``) — in the rare case where an ``on_delivered`` callback
-slipped an extra injection onto the link first.  Models without pair streams
-keep the historical draw-at-delivery path, so time-dependent custom models
-observe identical ``now`` values on both engines.
+Performance architecture (DESIGN.md §6, §8): the runtime *is* the event
+loop.  It subclasses :class:`~repro.net.events.EventQueue` and pops typed
+records — ``(time, seq, EV_DELIVER, link_id, payload, inj_seq, ack_delay)``
+and ``(time, seq, EV_ACK, link_id, payload)`` — in one inlined dispatch
+loop.  Per-directed-link state lives in a *struct-of-arrays link table*
+(DESIGN.md §8): dense ``link_id`` ints index parallel lists for the busy
+slot, outbox head, sequence counters, bound handlers, and the fused-ack
+reservation, so a replay allocates a handful of flat lists instead of one
+state object per link, and event records carry a small int instead of an
+object reference.  The dense ids are assigned once per graph (see
+:class:`LinkSkeleton`) and shared across sweep replays.
+
+A message costs one record push at injection and usually none at all for
+its acknowledgment: when nobody waits on an ack (no ``on_delivered``
+interest, nothing queued or outstanding on the link), the ack's
+``(time, seq)`` identity is merely *reserved* and the event is materialized
+only if a later send actually has to wait on it.  When the delay model
+exposes ``pair_stream`` the message delay *and* its acknowledgment delay
+are drawn together at injection (one closure call per message) and the ack
+delay rides in the delivery record; the pre-drawn value is discarded — and
+re-drawn at the link's latest injection number, exactly as the historical
+engine did (see ``_ack_delay``) — in the rare case where an
+``on_delivered`` callback slipped an extra injection onto the link first.
+Models without pair streams keep the historical draw-at-delivery path, so
+time-dependent custom models observe identical ``now`` values on both
+engines.
+
+Same-time deliveries to one destination are *batched*: after dispatching a
+delivery the loop keeps consuming heap-top records as long as they are
+deliveries at the same instant for the same node, reusing the hoisted
+``on_message`` binding without re-entering the outer per-event bookkeeping.
+Records are still consumed strictly in ``(time, seq)`` order — any
+interleaved record (another destination, an acknowledgment, a callback)
+ends the batch — so the schedule is byte-identical to the unbatched loop
+(pinned by ``tests/test_engine_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -43,7 +61,9 @@ import gc
 from dataclasses import dataclass
 from functools import partial
 from heapq import heappop, heappush
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from types import MappingProxyType
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from weakref import WeakKeyDictionary
 
 from .delays import DelayModel, TAU
 from .events import EV_ACK, EV_DELIVER, EventQueue
@@ -51,8 +71,78 @@ from .graph import Graph, NodeId
 
 Payload = Any
 Priority = Tuple[Any, ...]
+LinkId = int
 
 DEFAULT_PRIORITY: Priority = (0,)
+
+
+class UnknownLinkError(ValueError):
+    """A send names a destination with no directed link from the sender.
+
+    Subclasses :class:`ValueError` so callers that guarded against the
+    historical ``ValueError("no link u -> v")`` keep working.
+    """
+
+    def __init__(self, u: NodeId, v: NodeId) -> None:
+        super().__init__(
+            f"no link {u} -> {v}: node {u} has no directed link to {v}"
+            " (sends are restricted to graph neighbors)"
+        )
+        self.u = u
+        self.v = v
+
+
+class LinkSkeleton:
+    """Immutable directed-link table of one graph: the dense id assignment.
+
+    ``link_id`` ints are assigned once per graph — both orientations of
+    every edge, in edge order — and everything derived from the assignment
+    alone lives here: the endpoint arrays ``lu``/``lv`` (link id -> source /
+    destination node) and the per-node outgoing map ``out`` (node ->
+    {neighbor -> link id}).  All of it is immutable after construction, so
+    one skeleton is shared by every runtime over the same graph (sweep
+    replays in particular; see :func:`link_skeleton_for`).
+    """
+
+    __slots__ = ("lu", "lv", "out", "num_links")
+
+    def __init__(self, graph: Graph) -> None:
+        lu: List[NodeId] = []
+        lv: List[NodeId] = []
+        out: Dict[NodeId, Dict[NodeId, LinkId]] = {v: {} for v in graph.nodes}
+        lid = 0
+        for u, v in graph.edges:
+            lu.append(u)
+            lv.append(v)
+            out[u][v] = lid
+            lid += 1
+            lu.append(v)
+            lv.append(u)
+            out[v][u] = lid
+            lid += 1
+        self.lu: Tuple[NodeId, ...] = tuple(lu)
+        self.lv: Tuple[NodeId, ...] = tuple(lv)
+        # Read-only views: the skeleton is shared by every runtime over the
+        # graph (and exposed as ``ProcessContext.links``), so a protocol
+        # mutating its link map must fail loudly instead of corrupting the
+        # per-graph cache.  MappingProxyType lookups stay C-level.
+        self.out: Mapping[NodeId, Mapping[NodeId, LinkId]] = MappingProxyType(
+            {v: MappingProxyType(links) for v, links in out.items()}
+        )
+        self.num_links = lid
+
+
+#: Skeletons are pure functions of the immutable graph; weak keys release
+#: dead graphs.  Standalone runs over one graph share the table exactly as
+#: sweep replays do.
+_SKELETON_CACHE: "WeakKeyDictionary[Graph, LinkSkeleton]" = WeakKeyDictionary()
+
+
+def link_skeleton_for(graph: Graph) -> LinkSkeleton:
+    skeleton = _SKELETON_CACHE.get(graph)
+    if skeleton is None:
+        skeleton = _SKELETON_CACHE[graph] = LinkSkeleton(graph)
+    return skeleton
 
 
 class Process:
@@ -76,6 +166,17 @@ class Process:
     #: small-int opcode.
     ACK_INTEREST_PREFIX: Optional[Any] = None
 
+    #: Optional per-opcode dispatch fast path: a process whose payloads are
+    #: ALL tuples starting with a valid small-int opcode may set (usually as
+    #: an instance attribute) a tuple of bound handlers indexed by opcode.
+    #: The transport then calls ``on_message_table[payload[0]]`` directly,
+    #: skipping one wrapper frame per delivery.  The table is trusted: the
+    #: transport performs no bounds or sign check (in-simulation traffic
+    #: comes from the process's own sends), while the public ``handle``
+    #: entry points of the protocol stack keep their guarded dispatch for
+    #: externally supplied payloads.
+    on_message_table: Optional[Tuple[Callable[[NodeId, Payload], None], ...]] = None
+
     def on_delivered(self, to: NodeId, payload: Payload) -> None:
         """Acknowledgment arrived: ``payload`` was delivered to ``to``.
 
@@ -91,20 +192,30 @@ class ProcessContext:
     """Per-node handle into the runtime: identity, sending, and output.
 
     ``send`` is bound directly to the runtime's enqueue path (a C-level
-    partial application of this node's id), so a protocol send costs one
-    Python frame.
+    partial application of this node's outgoing link map), so a protocol
+    send costs one Python frame.  ``links`` maps each neighbor to the dense
+    id of the directed link toward it, and ``send_link`` is the int-indexed
+    fast path: protocol engines that resolve their destinations once (the
+    synchronizer stack caches parent/children/recipient link ids in their
+    per-stage state) skip the per-send neighbor lookup entirely.
     """
 
-    __slots__ = ("_runtime", "node_id", "neighbors", "send")
+    __slots__ = ("_runtime", "node_id", "neighbors", "links", "send",
+                 "send_link")
 
     def __init__(self, runtime: "AsyncRuntime", node_id: NodeId) -> None:
         self._runtime = runtime
         self.node_id = node_id
         self.neighbors = runtime.graph.neighbors(node_id)
+        #: neighbor -> dense link id (shared skeleton state; a read-only
+        #: mapping — the table is aliased by every runtime over the graph).
+        self.links: Mapping[NodeId, LinkId] = runtime._out[node_id]
         # send(to, payload, priority=DEFAULT_PRIORITY)
-        self.send = partial(
-            runtime._enqueue_from, runtime._out.get(node_id, {}), node_id
-        )
+        self.send = partial(runtime._enqueue_from, self.links, node_id)
+        # send_link(link_id, payload, priority=DEFAULT_PRIORITY): the
+        # closure form with the link-table arrays pre-bound (cell loads
+        # beat attribute loads on the per-send hot path).
+        self.send_link = runtime._send_on
 
     @property
     def now(self) -> float:
@@ -157,56 +268,41 @@ class AsyncResult:
         return self.messages + self.acks
 
 
-class _Link:
-    """Directed link state: one in-flight slot plus a priority outbox.
-
-    The link record also carries the endpoints and the receiver's bound
-    ``on_message`` / the sender's overridden ``on_delivered`` (or ``None``),
-    so the dispatch loop never performs a dict lookup per event.
-    """
-
-    __slots__ = ("u", "v", "busy", "outbox", "seq", "injected", "pending",
-                 "deliver", "delivered", "ack_prefix", "draw", "ack_draw",
-                 "pair", "free_at", "reserved_seq")
-
-    def __init__(self, u: NodeId, v: NodeId) -> None:
-        self.u = u
-        self.v = v
-        self.busy = False
-        self.outbox: List[Tuple[Priority, int, Payload]] = []
-        self.seq = 0
-        self.injected = 0
-        # Scheduled transport records (EV_DELIVER + EV_ACK) outstanding for
-        # this link.  Normally alternates 1 -> 1 -> 0; an ``on_delivered``
-        # callback sending on the link it is being notified about can race
-        # the ack drain and put two messages in flight (a quirk the
-        # reference engine has too).  Ack fusing is only allowed when this
-        # count hits zero — i.e. the delivery being handled is the only
-        # outstanding record.
-        self.pending = 0
-        self.deliver: Callable[[NodeId, Payload], None] = None  # bound in __init__
-        self.delivered: Optional[Callable[[NodeId, Payload], None]] = None
-        self.ack_prefix: Optional[Any] = None
-        # Per-link delay streams (message delay / ack delay), bound when the
-        # delay model supports them; None selects the generic call path.
-        self.draw: Optional[Callable[[int], float]] = None
-        self.ack_draw: Optional[Callable[[int], float]] = None
-        # Fused message+ack draw (``pair_stream``); preferred when bound.
-        self.pair: Optional[Callable[[int], Tuple[float, float]]] = None
-        # Fused-acknowledgment state: when a delivery needs no callback and
-        # the outbox is empty, no ack event is pushed at all — the ack's
-        # (time, seq) identity is *reserved* here and only materialized if a
-        # later send actually has to wait on it (see ``run``).
-        self.free_at = 0.0
-        self.reserved_seq: Optional[int] = None
-
-
 class AsyncRuntime(EventQueue):
-    """Discrete-event executor for one protocol over one graph."""
+    """Discrete-event executor for one protocol over one graph.
+
+    Directed-link state is a struct-of-arrays table indexed by the dense
+    link ids of the graph's :class:`LinkSkeleton` (DESIGN.md §8):
+
+    * ``_busy[lid]`` — the Appendix B in-flight slot;
+    * ``_outbox[lid]`` — the priority outbox heap (``None`` until first used);
+    * ``_seq[lid]`` — outbox FIFO tiebreaker;
+    * ``_injected[lid]`` — injection counter (drives the delay streams and
+      recovers ``messages`` at run end);
+    * ``_pending[lid]`` — scheduled transport records outstanding for the
+      link.  Normally alternates 1 -> 1 -> 0; an ``on_delivered`` callback
+      sending on the link it is being notified about can race the ack drain
+      and put two messages in flight (a quirk the reference engine has too).
+      Ack fusing is only allowed when this count hits zero;
+    * ``_deliver[lid]`` / ``_table[lid]`` — the receiver's bound
+      ``on_message`` and optional opcode dispatch table;
+    * ``_delivered[lid]`` / ``_ack_prefix[lid]`` — the sender's overridden
+      ``on_delivered`` (or ``None``) and its interest prefix;
+    * ``_draw[lid]`` / ``_ack_draw[lid]`` / ``_pair[lid]`` — per-link delay
+      streams, bound when the delay model supports them;
+    * ``_free_at[lid]`` / ``_reserved[lid]`` — fused-acknowledgment state:
+      when a delivery needs no callback and the outbox is empty, no ack
+      event is pushed at all; the ack's (time, seq) identity is *reserved*
+      here and only materialized if a later send has to wait on it.
+    """
 
     __slots__ = (
         "graph", "delay_model", "count_acks", "count_fused_acks", "trace",
-        "_links", "_out", "messages", "acks", "_fused", "outputs",
+        "_skeleton", "_lu", "_lv", "_out", "_busy", "_outbox", "_seq",
+        "_injected", "_pending", "_deliver", "_table", "_delivered",
+        "_ack_prefix", "_draw", "_ack_draw", "_pair", "_free_at",
+        "_reserved", "_send_on", "_enqueue_from", "messages", "acks",
+        "_fused", "outputs",
         "output_time", "_time_to_output", "processes", "_active_seq",
     )
 
@@ -218,16 +314,17 @@ class AsyncRuntime(EventQueue):
         count_acks: bool = True,
         trace: Optional[Callable[[float, NodeId, NodeId, Payload], None]] = None,
         count_fused_acks: bool = False,
-        pairs: Optional[Tuple[Tuple[NodeId, NodeId], ...]] = None,
+        skeleton: Optional[LinkSkeleton] = None,
     ) -> None:
         """``count_fused_acks=True`` restores the paper's raw event
         accounting in ``events_fired`` (fused acknowledgments count as one
         event each, as they did before ack fusing); it does not change the
         schedule, the metrics semantics of ``acks``, or the ``max_events``
         budget, which only meters events that actually enter the heap.
-        ``pairs`` is an optional precomputed tuple of directed links (both
-        orientations of every edge) — sweep harnesses pass it so the
-        skeleton is derived from the graph only once per sweep.
+        ``skeleton`` is the graph's precomputed :class:`LinkSkeleton` —
+        sweep harnesses pass theirs so the dense link-id assignment is
+        derived from the graph only once per sweep; by default it comes
+        from the per-graph cache.
         """
         super().__init__()
         self.graph = graph
@@ -235,46 +332,74 @@ class AsyncRuntime(EventQueue):
         self.count_acks = count_acks
         self.count_fused_acks = count_fused_acks
         self.trace = trace
-        self._links: Dict[Tuple[NodeId, NodeId], _Link] = {}
-        self._out: Dict[NodeId, Dict[NodeId, _Link]] = {}
+        if skeleton is None:
+            skeleton = link_skeleton_for(graph)
+        self._skeleton = skeleton
+        lu = self._lu = skeleton.lu
+        lv = self._lv = skeleton.lv
+        self._out = skeleton.out
+        n_links = skeleton.num_links
+        # Mutable per-replay link state: flat parallel lists (outboxes stay
+        # None until a send actually queues — `if outbox[lid]` treats None
+        # and empty alike).
+        self._busy = [False] * n_links
+        self._outbox: List[Optional[List[Tuple[Priority, int, Payload]]]] = (
+            [None] * n_links
+        )
+        self._seq = [0] * n_links
+        self._injected = [0] * n_links
+        self._pending = [0] * n_links
+        self._free_at = [0.0] * n_links
+        self._reserved: List[Optional[int]] = [None] * n_links
         stream_factory = getattr(delay_model, "link_stream", None)
         pair_factory = getattr(delay_model, "pair_stream", None)
-        if pairs is None:
-            pairs = tuple(
-                pair for u, v in graph.edges for pair in ((u, v), (v, u))
-            )
-        for a, b in pairs:
-            link = _Link(a, b)
-            if pair_factory is not None:
-                # The fused draw covers injection; ``ack_draw`` stays bound
-                # as the fallback for re-drawn acknowledgments (see run), and
-                # ``draw`` is never consulted.
-                link.pair = pair_factory(a, b)
-                if stream_factory is not None:
-                    link.ack_draw = stream_factory(b, a)
-            elif stream_factory is not None:
-                link.draw = stream_factory(a, b)
-                link.ack_draw = stream_factory(b, a)
-            self._links[(a, b)] = link
-            self._out.setdefault(a, {})[b] = link
+        if pair_factory is not None:
+            # The fused draw covers injection; ``_ack_draw`` stays bound as
+            # the fallback for re-drawn acknowledgments (see run), and
+            # ``_draw`` is never consulted.
+            self._pair = [
+                pair_factory(lu[i], lv[i]) for i in range(n_links)
+            ]
+            self._draw: List[Optional[Callable[[int], float]]] = [None] * n_links
+            if stream_factory is not None:
+                self._ack_draw = [
+                    stream_factory(lv[i], lu[i]) for i in range(n_links)
+                ]
+            else:
+                self._ack_draw = [None] * n_links
+        elif stream_factory is not None:
+            self._pair = [None] * n_links
+            self._draw = [stream_factory(lu[i], lv[i]) for i in range(n_links)]
+            self._ack_draw = [stream_factory(lv[i], lu[i]) for i in range(n_links)]
+        else:
+            self._pair = [None] * n_links
+            self._draw = [None] * n_links
+            self._ack_draw = [None] * n_links
         self.messages = 0
         self.acks = 0
         self._fused = 0
         self._active_seq = -1  # seq of the event being dispatched
+        self._send_on, self._enqueue_from = self._make_senders()
         self.outputs: Dict[NodeId, Any] = {}
         self.output_time: Dict[NodeId, float] = {}
         self._time_to_output = 0.0
         self.processes: Dict[NodeId, Process] = {}
         for v in graph.nodes:
             self.processes[v] = process_factory(ProcessContext(self, v))
+        processes = self.processes
         base_delivered = Process.on_delivered
-        for link in self._links.values():
-            dst = self.processes[link.v]
-            src = self.processes[link.u]
-            link.deliver = dst.on_message
+        deliver = self._deliver = [None] * n_links
+        table = self._table = [None] * n_links
+        delivered = self._delivered = [None] * n_links
+        ack_prefix = self._ack_prefix = [None] * n_links
+        for lid in range(n_links):
+            dst = processes[lv[lid]]
+            src = processes[lu[lid]]
+            deliver[lid] = dst.on_message
+            table[lid] = dst.on_message_table
             if type(src).on_delivered is not base_delivered:
-                link.delivered = src.on_delivered
-                link.ack_prefix = type(src).ACK_INTEREST_PREFIX
+                delivered[lid] = src.on_delivered
+                ack_prefix[lid] = type(src).ACK_INTEREST_PREFIX
 
     # ------------------------------------------------------------------
     def _record_output(self, node: NodeId, value: Any) -> None:
@@ -291,108 +416,220 @@ class AsyncRuntime(EventQueue):
         self, u: NodeId, v: NodeId, payload: Payload,
         priority: Priority = DEFAULT_PRIORITY,
     ) -> None:
-        self._enqueue_from(self._out.get(u, {}), u, v, payload, priority)
+        links = self._out.get(u)
+        if links is None:
+            raise UnknownLinkError(u, v)
+        self._enqueue_from(links, u, v, payload, priority)
 
-    def _enqueue_from(
-        self, links: Dict[NodeId, _Link], u: NodeId, v: NodeId, payload: Payload,
-        priority: Priority = DEFAULT_PRIORITY,
-    ) -> None:
-        link = links.get(v)
-        if link is None:
-            raise ValueError(f"no link {u} -> {v}")
-        if link.busy:
-            rs = link.reserved_seq
-            if rs is None:
-                heappush(link.outbox, (priority, link.seq, payload))
-                link.seq += 1
+    def _make_senders(self) -> Tuple[Callable[..., None], Callable[..., None]]:
+        """Build the two enqueue fast paths as sibling closures.
+
+        ``send_on(lid, payload, priority)`` is the int-indexed path bound to
+        ``ProcessContext.send_link``; ``enqueue_from(links, u, v, payload,
+        priority)`` is the node-id path behind ``ProcessContext.send`` (one
+        dict probe, then the same body).  The link-table arrays, the heap,
+        and the sequence counter are captured in cells: a protocol send then
+        costs one Python frame with cell loads instead of attribute traffic
+        (this is the hottest code in a synchronizer run after the dispatch
+        loop itself — the body is deliberately duplicated across the two
+        closures rather than shared through a second frame).  Only the
+        loop-mutated scalars (``_now``, ``_active_seq``, ``_fused``) go
+        through ``self``.
+        """
+        busy_a = self._busy
+        outbox_a = self._outbox
+        seq_a = self._seq
+        injected_a = self._injected
+        pending_a = self._pending
+        pair_a = self._pair
+        draw_a = self._draw
+        free_at_a = self._free_at
+        reserved_a = self._reserved
+        heap = self._heap
+        counter = self._counter
+        push = heappush
+        pop = heappop
+        rt = self
+
+        def send_on(
+            lid: LinkId, payload: Payload,
+            priority: Priority = DEFAULT_PRIORITY,
+        ) -> None:
+            """Enqueue on a directed link by dense id (DESIGN.md §8)."""
+            if busy_a[lid]:
+                rs = reserved_a[lid]
+                if rs is None:
+                    ob = outbox_a[lid]
+                    if ob is None:
+                        ob = outbox_a[lid] = []
+                    seq = seq_a[lid]
+                    seq_a[lid] = seq + 1
+                    push(ob, (priority, seq, payload))
+                    return
+                free_at = free_at_a[lid]
+                now = rt._now
+                if free_at > now or (free_at == now and rs > rt._active_seq):
+                    # The fused ack has not logically fired yet: materialize
+                    # the deferred drain event under its reserved
+                    # (time, seq) identity — exactly where an eagerly-pushed
+                    # ack would sit in the order — and queue the message
+                    # behind it.  The ack is no longer fused (it fires as a
+                    # real event), so the fused-ack accounting credit moves
+                    # back to the ordinary counter.
+                    reserved_a[lid] = None
+                    pending_a[lid] += 1
+                    rt._fused -= 1
+                    push(heap, (free_at, rs, EV_ACK, lid, None))
+                    ob = outbox_a[lid]
+                    if ob is None:
+                        ob = outbox_a[lid] = []
+                    seq = seq_a[lid]
+                    seq_a[lid] = seq + 1
+                    push(ob, (priority, seq, payload))
+                    return
+                # The fused ack lies in the logical past: the link is free
+                # and the reserved event would have been a no-op; drop it.
+                reserved_a[lid] = None
+            elif outbox_a[lid]:
+                # Only possible while the sender's ``on_delivered`` callback
+                # runs (busy already cleared, outbox not yet drained): the
+                # new message must still contend with the queued ones.
+                ob = outbox_a[lid]
+                seq = seq_a[lid]
+                seq_a[lid] = seq + 1
+                push(ob, (priority, seq, payload))
+                payload = pop(ob)[2]
+            # _inject inlined (this is the per-send hot path; the frame
+            # matters).  ``messages`` is not incremented here: it is
+            # recovered at run end as the sum of the per-link injection
+            # counters.  A delivery record carries its injection number and
+            # (on the pair path) the pre-drawn ack delay; models without
+            # pair streams ship ``None`` and the ack is drawn at delivery
+            # as before.
+            busy_a[lid] = True
+            seq = injected_a[lid] + 1
+            injected_a[lid] = seq
+            pending_a[lid] += 1
+            pair = pair_a[lid]
+            if pair is not None:
+                delay, ack = pair(seq)
+                push(
+                    heap,
+                    (rt._now + delay, next(counter), EV_DELIVER, lid,
+                     payload, seq, ack),
+                )
                 return
-            free_at = link.free_at
-            now = self._now
-            if free_at > now or (free_at == now and rs > self._active_seq):
-                # The fused ack has not logically fired yet: materialize the
-                # deferred drain event under its reserved (time, seq)
-                # identity — exactly where an eagerly-pushed ack would sit in
-                # the order — and queue the message behind it.  The ack is no
-                # longer fused (it fires as a real event), so the fused-ack
-                # accounting credit moves back to the ordinary counter.
-                link.reserved_seq = None
-                link.pending += 1
-                self._fused -= 1
-                heappush(self._heap, (free_at, rs, EV_ACK, link, None))
-                heappush(link.outbox, (priority, link.seq, payload))
-                link.seq += 1
+            draw = draw_a[lid]
+            if draw is None:
+                rt._inject_generic(lid, payload, seq)
                 return
-            # The fused ack lies in the logical past: the link is free and
-            # the reserved event would have been a no-op; drop it.
-            link.reserved_seq = None
-        elif link.outbox:
-            # Only possible while the sender's ``on_delivered`` callback
-            # runs (busy already cleared, outbox not yet drained): the new
-            # message must still contend with the queued ones.
-            heappush(link.outbox, (priority, link.seq, payload))
-            link.seq += 1
-            payload = heappop(link.outbox)[2]
-        # _inject inlined (this is the per-send hot path; the frame matters).
-        # ``messages`` is not incremented here: it is recovered at run end as
-        # the sum of per-link injection counters.  A delivery record carries
-        # its injection number and (on the pair path) the pre-drawn ack
-        # delay; models without pair streams ship ``None`` and the ack is
-        # drawn at delivery as before.
-        link.busy = True
-        seq = link.injected + 1
-        link.injected = seq
-        link.pending += 1
-        pair = link.pair
-        if pair is not None:
-            delay, ack = pair(seq)
-            heappush(
-                self._heap,
-                (self._now + delay, next(self._counter), EV_DELIVER, link,
-                 payload, seq, ack),
+            push(
+                heap,
+                (rt._now + draw(seq), next(counter), EV_DELIVER, lid,
+                 payload, seq, None),
             )
-            return
-        draw = link.draw
-        if draw is None:
-            self._inject_generic(link, payload, seq)
-            return
-        heappush(
-            self._heap,
-            (self._now + draw(seq), next(self._counter), EV_DELIVER, link,
-             payload, seq, None),
-        )
 
-    def _inject(self, link: _Link, payload: Payload) -> None:
-        link.busy = True
-        seq = link.injected + 1
-        link.injected = seq
-        link.pending += 1
-        pair = link.pair
+        def enqueue_from(
+            links: Mapping[NodeId, LinkId], u: NodeId, v: NodeId,
+            payload: Payload, priority: Priority = DEFAULT_PRIORITY,
+        ) -> None:
+            """Node-id send path: one dict probe, then the same body."""
+            lid = links.get(v)
+            if lid is None:
+                # Raised at the send site with both endpoints named: an
+                # isolated node or a non-neighbor destination must fail
+                # loudly here, not as a bare KeyError deep in the link
+                # table.
+                raise UnknownLinkError(u, v)
+            if busy_a[lid]:
+                rs = reserved_a[lid]
+                if rs is None:
+                    ob = outbox_a[lid]
+                    if ob is None:
+                        ob = outbox_a[lid] = []
+                    seq = seq_a[lid]
+                    seq_a[lid] = seq + 1
+                    push(ob, (priority, seq, payload))
+                    return
+                free_at = free_at_a[lid]
+                now = rt._now
+                if free_at > now or (free_at == now and rs > rt._active_seq):
+                    # See send_on: materialize the reserved drain event.
+                    reserved_a[lid] = None
+                    pending_a[lid] += 1
+                    rt._fused -= 1
+                    push(heap, (free_at, rs, EV_ACK, lid, None))
+                    ob = outbox_a[lid]
+                    if ob is None:
+                        ob = outbox_a[lid] = []
+                    seq = seq_a[lid]
+                    seq_a[lid] = seq + 1
+                    push(ob, (priority, seq, payload))
+                    return
+                reserved_a[lid] = None
+            elif outbox_a[lid]:
+                ob = outbox_a[lid]
+                seq = seq_a[lid]
+                seq_a[lid] = seq + 1
+                push(ob, (priority, seq, payload))
+                payload = pop(ob)[2]
+            busy_a[lid] = True
+            seq = injected_a[lid] + 1
+            injected_a[lid] = seq
+            pending_a[lid] += 1
+            pair = pair_a[lid]
+            if pair is not None:
+                delay, ack = pair(seq)
+                push(
+                    heap,
+                    (rt._now + delay, next(counter), EV_DELIVER, lid,
+                     payload, seq, ack),
+                )
+                return
+            draw = draw_a[lid]
+            if draw is None:
+                rt._inject_generic(lid, payload, seq)
+                return
+            push(
+                heap,
+                (rt._now + draw(seq), next(counter), EV_DELIVER, lid,
+                 payload, seq, None),
+            )
+
+        return send_on, enqueue_from
+
+    def _inject(self, lid: LinkId, payload: Payload) -> None:
+        self._busy[lid] = True
+        seq = self._injected[lid] + 1
+        self._injected[lid] = seq
+        self._pending[lid] += 1
+        pair = self._pair[lid]
         if pair is not None:
             # Pair path: one closure call draws the message delay and the
             # ack delay the reverse stream would produce at -seq.
             delay, ack = pair(seq)
             heappush(
                 self._heap,
-                (self._now + delay, next(self._counter), EV_DELIVER, link,
+                (self._now + delay, next(self._counter), EV_DELIVER, lid,
                  payload, seq, ack),
             )
             return
-        draw = link.draw
+        draw = self._draw[lid]
         if draw is None:
-            self._inject_generic(link, payload, seq)
+            self._inject_generic(lid, payload, seq)
             return
         # Stream path: the delay model guarantees the (0, TAU] bound.
         heappush(
             self._heap,
-            (self._now + draw(seq), next(self._counter), EV_DELIVER, link,
+            (self._now + draw(seq), next(self._counter), EV_DELIVER, lid,
              payload, seq, None),
         )
 
-    def _inject_generic(self, link: _Link, payload: Payload, seq: int) -> None:
+    def _inject_generic(self, lid: LinkId, payload: Payload, seq: int) -> None:
         """Draw from an arbitrary DelayModel callable, with bound checks."""
         now = self._now
-        u = link.u
-        v = link.v
+        u = self._lu[lid]
+        v = self._lv[lid]
         delay_model = self.delay_model
         delay = delay_model(u, v, seq, now)
         if not 0.0 < delay <= TAU:
@@ -401,23 +638,25 @@ class AsyncRuntime(EventQueue):
             )
         heappush(
             self._heap,
-            (now + delay, next(self._counter), EV_DELIVER, link, payload,
+            (now + delay, next(self._counter), EV_DELIVER, lid, payload,
              seq, None),
         )
 
-    def _ack_delay(self, link: _Link) -> float:
+    def _ack_delay(self, lid: LinkId) -> float:
         """Ack delay drawn at delivery time, as the reference engine does.
 
-        Uses ``-link.injected`` (the link's latest injection number): if an
+        Uses ``-injected`` (the link's latest injection number): if an
         ``on_delivered`` callback slipped an extra injection in before this
         delivery's acknowledgment was scheduled, the draw must see it —
         byte-for-byte reproducibility against the pre-rework engine depends
         on this detail.
         """
-        ack_draw = link.ack_draw
+        ack_draw = self._ack_draw[lid]
         if ack_draw is not None:
-            return ack_draw(-link.injected)
-        ack_delay = self.delay_model(link.v, link.u, -link.injected, self._now)
+            return ack_draw(-self._injected[lid])
+        ack_delay = self.delay_model(
+            self._lv[lid], self._lu[lid], -self._injected[lid], self._now
+        )
         if not 0.0 < ack_delay <= TAU:
             raise ValueError("delay model produced an invalid ack delay")
         return ack_delay
@@ -434,17 +673,32 @@ class AsyncRuntime(EventQueue):
 
         # The dispatch loop, inlined: every construct here is deliberate —
         # record pops, per-kind branches, and the ack push run without any
-        # per-event closure or method-resolution cost.  ``fired`` and ``acks``
-        # live in locals and are written back in the ``finally`` so metrics
-        # survive early exits and protocol exceptions alike.  Cyclic GC is
-        # paused for the duration (a discrete-event loop allocates tuples at
-        # a rate that trips gen-0 collection constantly and creates no cycles
-        # of its own); the prior GC state is restored on the way out.
+        # per-event closure or method-resolution cost.  The link table is
+        # hoisted into locals (flat list indexing beats attribute traffic on
+        # a per-link object).  ``fired`` and ``acks`` live in locals and are
+        # written back in the ``finally`` so metrics survive early exits and
+        # protocol exceptions alike.  Cyclic GC is paused for the duration
+        # (a discrete-event loop allocates tuples at a rate that trips gen-0
+        # collection constantly and creates no cycles of its own); the
+        # ``try/finally`` guarantees the prior GC state is restored even
+        # when a ``Process`` handler raises mid-run.
         heap = self._heap
         pop = heappop
         push = heappush
         counter = self._counter
         trace = self.trace
+        lu = self._lu
+        lv = self._lv
+        busy_a = self._busy
+        outbox_a = self._outbox
+        injected_a = self._injected
+        pending_a = self._pending
+        deliver_a = self._deliver
+        table_a = self._table
+        delivered_a = self._delivered
+        prefix_a = self._ack_prefix
+        free_at_a = self._free_at
+        reserved_a = self._reserved
         budget = -1 if max_events is None else max_events  # -1: unbounded
         stop_reason = "quiescent"
         fired = self._fired
@@ -469,51 +723,78 @@ class AsyncRuntime(EventQueue):
                     fired += 1
                     kind = record[2]
                     if kind == EV_DELIVER:
-                        link = record[3]
-                        payload = record[4]
-                        acks += 1
-                        # Pre-drawn ack delay (pair path); discarded when an
-                        # on_delivered callback slipped an extra injection in
-                        # before this delivery — the historical engine draws
-                        # at the link's *latest* injection number.
-                        ack = record[6]
-                        if ack is None or link.injected != record[5]:
-                            ack = self._ack_delay(link)
-                        p_cnt = link.pending - 1
-                        delivered = link.delivered
-                        if link.outbox or p_cnt or not link.busy or (
-                            delivered is not None
-                            and (link.ack_prefix is None
-                                 or payload[0] == link.ack_prefix)
-                        ):
-                            link.pending = p_cnt + 1
-                            push(heap, (now + ack,
-                                        next(counter), EV_ACK, link, payload))
-                        else:
-                            # Fuse: no callback, nothing queued, nothing else
-                            # outstanding — reserve the ack's identity
-                            # instead of pushing an event.
-                            link.pending = 0
-                            self._fused += 1
-                            t_ack = now + ack
-                            link.free_at = t_ack
-                            link.reserved_seq = next(counter)
-                            if t_ack > horizon:
-                                horizon = t_ack
-                        link.deliver(link.u, payload)
+                        lid = record[3]
+                        dst = lv[lid]
+                        table = table_a[lid]
+                        # Same-time batch: keep consuming heap-top records
+                        # while they are deliveries at this instant for this
+                        # destination (strict (time, seq) order — any other
+                        # record ends the batch).
+                        while True:
+                            payload = record[4]
+                            acks += 1
+                            # Pre-drawn ack delay (pair path); discarded when
+                            # an on_delivered callback slipped an extra
+                            # injection in before this delivery — the
+                            # historical engine draws at the link's *latest*
+                            # injection number.
+                            ack = record[6]
+                            if ack is None or injected_a[lid] != record[5]:
+                                ack = self._ack_delay(lid)
+                            p_cnt = pending_a[lid] - 1
+                            delivered = delivered_a[lid]
+                            if outbox_a[lid] or p_cnt or not busy_a[lid] or (
+                                delivered is not None
+                                and (prefix_a[lid] is None
+                                     or payload[0] == prefix_a[lid])
+                            ):
+                                pending_a[lid] = p_cnt + 1
+                                push(heap, (now + ack,
+                                            next(counter), EV_ACK, lid,
+                                            payload))
+                            else:
+                                # Fuse: no callback, nothing queued, nothing
+                                # else outstanding — reserve the ack's
+                                # identity instead of pushing an event.
+                                pending_a[lid] = 0
+                                self._fused += 1
+                                t_ack = now + ack
+                                free_at_a[lid] = t_ack
+                                reserved_a[lid] = next(counter)
+                                if t_ack > horizon:
+                                    horizon = t_ack
+                            if table is not None:
+                                table[payload[0]](lu[lid], payload)
+                            else:
+                                deliver_a[lid](lu[lid], payload)
+                            if not heap:
+                                break
+                            nxt = heap[0]
+                            if nxt[0] != now or nxt[2] != EV_DELIVER:
+                                break
+                            lid = nxt[3]
+                            if lv[lid] != dst:
+                                break
+                            if budget == 0:
+                                break
+                            budget -= 1
+                            record = pop(heap)
+                            self._active_seq = record[1]
+                            fired += 1
                     elif kind == EV_ACK:
-                        link = record[3]
-                        link.pending -= 1
-                        link.busy = False
-                        delivered = link.delivered
+                        lid = record[3]
+                        pending_a[lid] -= 1
+                        busy_a[lid] = False
+                        delivered = delivered_a[lid]
                         if delivered is not None:
                             payload = record[4]
                             if payload is not None:
-                                prefix = link.ack_prefix
+                                prefix = prefix_a[lid]
                                 if prefix is None or payload[0] == prefix:
-                                    delivered(link.v, payload)
-                        if link.outbox:
-                            self._inject(link, heappop(link.outbox)[2])
+                                    delivered(lv[lid], payload)
+                        ob = outbox_a[lid]
+                        if ob:
+                            self._inject(lid, heappop(ob)[2])
                     else:
                         record[3]()
             else:
@@ -532,49 +813,72 @@ class AsyncRuntime(EventQueue):
                     fired += 1
                     kind = record[2]
                     if kind == EV_DELIVER:
-                        link = record[3]
-                        payload = record[4]
-                        if trace is not None:
-                            trace(now, link.u, link.v, payload)
-                        acks += 1
-                        ack = record[6]
-                        if ack is None or link.injected != record[5]:
-                            ack = self._ack_delay(link)
-                        p_cnt = link.pending - 1
-                        delivered = link.delivered
-                        if link.outbox or p_cnt or not link.busy or (
-                            delivered is not None
-                            and (link.ack_prefix is None
-                                 or payload[0] == link.ack_prefix)
-                        ):
-                            link.pending = p_cnt + 1
-                            push(heap, (now + ack,
-                                        next(counter), EV_ACK, link, payload))
-                        else:
-                            # Fuse: no callback, nothing queued, nothing else
-                            # outstanding — reserve the ack's identity
-                            # instead of pushing an event.
-                            link.pending = 0
-                            self._fused += 1
-                            t_ack = now + ack
-                            link.free_at = t_ack
-                            link.reserved_seq = next(counter)
-                            if t_ack > horizon:
-                                horizon = t_ack
-                        link.deliver(link.u, payload)
+                        lid = record[3]
+                        dst = lv[lid]
+                        table = table_a[lid]
+                        while True:
+                            payload = record[4]
+                            if trace is not None:
+                                trace(now, lu[lid], dst, payload)
+                            acks += 1
+                            ack = record[6]
+                            if ack is None or injected_a[lid] != record[5]:
+                                ack = self._ack_delay(lid)
+                            p_cnt = pending_a[lid] - 1
+                            delivered = delivered_a[lid]
+                            if outbox_a[lid] or p_cnt or not busy_a[lid] or (
+                                delivered is not None
+                                and (prefix_a[lid] is None
+                                     or payload[0] == prefix_a[lid])
+                            ):
+                                pending_a[lid] = p_cnt + 1
+                                push(heap, (now + ack,
+                                            next(counter), EV_ACK, lid,
+                                            payload))
+                            else:
+                                # Fuse: reserve the ack's identity instead of
+                                # pushing an event (see the fast variant).
+                                pending_a[lid] = 0
+                                self._fused += 1
+                                t_ack = now + ack
+                                free_at_a[lid] = t_ack
+                                reserved_a[lid] = next(counter)
+                                if t_ack > horizon:
+                                    horizon = t_ack
+                            if table is not None:
+                                table[payload[0]](lu[lid], payload)
+                            else:
+                                deliver_a[lid](lu[lid], payload)
+                            # Same-time batch (records at ``now`` passed the
+                            # deadline check with the batch head).
+                            if not heap:
+                                break
+                            nxt = heap[0]
+                            if nxt[0] != now or nxt[2] != EV_DELIVER:
+                                break
+                            lid = nxt[3]
+                            if lv[lid] != dst:
+                                break
+                            if budget == 0:
+                                break
+                            budget -= 1
+                            record = pop(heap)
+                            self._active_seq = record[1]
+                            fired += 1
                     elif kind == EV_ACK:
-                        link = record[3]
-                        link.pending -= 1
-                        link.busy = False
-                        delivered = link.delivered
+                        lid = record[3]
+                        pending_a[lid] -= 1
+                        busy_a[lid] = False
+                        delivered = delivered_a[lid]
                         if delivered is not None:
                             payload = record[4]
                             if payload is not None:
-                                prefix = link.ack_prefix
+                                prefix = prefix_a[lid]
                                 if prefix is None or payload[0] == prefix:
-                                    delivered(link.v, payload)
-                        if link.outbox:
-                            self._inject(link, heappop(link.outbox)[2])
+                                    delivered(lv[lid], payload)
+                        ob = outbox_a[lid]
+                        if ob:
+                            self._inject(lid, heappop(ob)[2])
                     else:
                         record[3]()
         finally:
@@ -582,9 +886,7 @@ class AsyncRuntime(EventQueue):
                 gc.enable()
             self._fired = fired
             self.acks = acks
-            self.messages = sum(
-                link.injected for link in self._links.values()
-            )
+            self.messages = sum(self._injected)
         quiescence = self._now
         if max_time is None:
             if stop_reason == "quiescent" and horizon > quiescence:
@@ -599,9 +901,9 @@ class AsyncRuntime(EventQueue):
             # event either (the reference engine stops before it), so the
             # raw-accounting credit is withdrawn alongside.
             late = False
-            for link in self._links.values():
-                if link.reserved_seq is not None:
-                    t = link.free_at
+            for lid in range(len(reserved_a)):
+                if reserved_a[lid] is not None:
+                    t = free_at_a[lid]
                     if t > max_time:
                         late = True
                         self._fused -= 1

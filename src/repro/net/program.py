@@ -184,3 +184,28 @@ def fixed_initiators(nodes: Iterable[NodeId]) -> Callable[[Graph], Set[NodeId]]:
         return set(frozen)
 
     return pick
+
+
+def sampled_initiators(count: int) -> Callable[[Graph], Set[NodeId]]:
+    """Evenly spaced sample of ``count`` initiators — deterministic, no RNG.
+
+    The scaling fix for all-initiator programs at n=512+ (ROADMAP): a
+    flood-max-style program started from every node costs Θ(n²) messages on
+    a cycle, which dominates large sweeps with traffic the synchronizer
+    machinery under test contributes nothing to.  A sampled initiator set
+    keeps the program genuinely multi-source while its message volume stays
+    near-linear in n.  Nodes are picked at stride ``n / count`` starting
+    from 0, so the same spec is reproducible across runs and comparable
+    across graph sizes.
+    """
+    if count < 1:
+        raise ValueError(f"need at least one initiator, got {count}")
+
+    def pick(graph: Graph) -> Set[NodeId]:
+        n = graph.num_nodes
+        k = min(count, n)
+        stride = n / k
+        # Floors of strictly increasing multiples of stride >= 1: distinct.
+        return {int(i * stride) for i in range(k)}
+
+    return pick

@@ -5,14 +5,15 @@ replayed under a whole family of adversarial delay models (E5 overhead
 curves, E10 event-driven vs clock, E11 thresholded BFS).  Running each model
 through a fresh :func:`~repro.net.async_runtime.run_asynchronous` pays the
 full setup again per model; :class:`AsyncSweep` snapshots everything a run
-derives from the *graph* once — the directed-link skeleton in particular —
-and replays a fresh :class:`~repro.net.async_runtime.AsyncRuntime` per
-delay model from that shared immutable state.
+derives from the *graph* once — the dense link-id skeleton
+(:class:`~repro.net.async_runtime.LinkSkeleton`) in particular — and
+replays a fresh :class:`~repro.net.async_runtime.AsyncRuntime` per delay
+model from that shared immutable state.
 
 What is and is not shared (the contract the equivalence tests pin):
 
-* shared across replays: the graph, the directed-link pair skeleton, the
-  process factory (protocol sweeps such as
+* shared across replays: the graph, the link-id skeleton (endpoint arrays
+  and per-node outgoing maps), the process factory (protocol sweeps such as
   :class:`repro.core.sweep.SynchronizerSweep` attach covers, registry views,
   pulse tables and node infos to it exactly once), and the accounting flags;
 * rebuilt per replay: every piece of mutable state — link slots, outboxes,
@@ -23,20 +24,75 @@ What is and is not shared (the contract the equivalence tests pin):
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Tuple
+import gc
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, List, Optional
 
-from .async_runtime import AsyncResult, AsyncRuntime, Payload, Process, ProcessContext
+from .async_runtime import (
+    AsyncResult,
+    AsyncRuntime,
+    Payload,
+    Process,
+    ProcessContext,
+    link_skeleton_for,
+)
 from .delays import DelayModel
 from .graph import Graph, NodeId
 
 TraceFn = Callable[[float, NodeId, NodeId, Payload], None]
 
 
+@contextmanager
+def paused_gc() -> Iterator[None]:
+    """One cyclic-GC pause around a whole sweep (DESIGN.md §8).
+
+    Each replay's dead engine is a cycle cluster refcounting cannot
+    reclaim; under one sweep-wide pause the clusters are collected together
+    at the end instead of being rescanned generation by generation after
+    every replay.  ``AsyncRuntime.run`` sees GC already disabled and
+    leaves it alone, so the schedule is unchanged.  No-op when the caller
+    already disabled GC.
+    """
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        yield
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+#: Dead replay engines accumulate as uncollected cycle clusters while the
+#: sweep-wide pause holds; collect after this many replays so peak memory
+#: stays bounded for long delay-model families without giving up the
+#: per-event pause win (typical 5-model sweeps never trigger it).
+REPLAYS_PER_COLLECT = 8
+
+
+def run_models(run_one: Callable[[DelayModel], Any],
+               delay_models: Iterable[DelayModel]) -> List[Any]:
+    """Replay every model through ``run_one`` under one GC pause.
+
+    Shared by the transport- and protocol-level ``run_all`` methods:
+    results align with the input order, and every
+    :data:`REPLAYS_PER_COLLECT` replays the dead engines are collected
+    explicitly (``gc.collect`` works while the collector is disabled).
+    """
+    with paused_gc():
+        results: List[Any] = []
+        for i, model in enumerate(delay_models):
+            if i and i % REPLAYS_PER_COLLECT == 0:
+                gc.collect()
+            results.append(run_one(model))
+        return results
+
+
 class AsyncSweep:
     """Replay one (graph, protocol) workload under many delay models."""
 
     __slots__ = ("graph", "process_factory", "count_acks", "count_fused_acks",
-                 "_pairs")
+                 "_skeleton")
 
     def __init__(
         self,
@@ -49,10 +105,10 @@ class AsyncSweep:
         self.process_factory = process_factory
         self.count_acks = count_acks
         self.count_fused_acks = count_fused_acks
-        # Directed-link skeleton, derived from the graph once per sweep.
-        self._pairs: Tuple[Tuple[NodeId, NodeId], ...] = tuple(
-            pair for u, v in graph.edges for pair in ((u, v), (v, u))
-        )
+        # Dense link-id skeleton, derived from the graph once per sweep
+        # (and shared with any standalone runtime over the same graph
+        # through the per-graph cache).
+        self._skeleton = link_skeleton_for(graph)
 
     def runtime(self, delay_model: DelayModel, trace: Optional[TraceFn] = None) -> AsyncRuntime:
         """A fresh runtime over the shared skeleton (one replay's engine)."""
@@ -63,7 +119,7 @@ class AsyncSweep:
             count_acks=self.count_acks,
             trace=trace,
             count_fused_acks=self.count_fused_acks,
-            pairs=self._pairs,
+            skeleton=self._skeleton,
         )
 
     def run(
@@ -84,11 +140,15 @@ class AsyncSweep:
         max_time: Optional[float] = None,
         max_events: Optional[int] = None,
     ) -> List[AsyncResult]:
-        """Replay every model in order; results align with the input order."""
-        return [
-            self.run(model, max_time=max_time, max_events=max_events)
-            for model in delay_models
-        ]
+        """Replay every model in order; results align with the input order.
+
+        Runs under one sweep-wide GC pause (:func:`run_models`)."""
+        return run_models(
+            lambda model: self.run(
+                model, max_time=max_time, max_events=max_events
+            ),
+            delay_models,
+        )
 
 
 def sweep_asynchronous(

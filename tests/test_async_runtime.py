@@ -1,12 +1,16 @@
 """Tests for the asynchronous runtime: ack discipline, priorities, metrics."""
 
+import gc
+
 import pytest
 
 from repro.net import (
     AsyncRuntime,
     ConstantDelay,
+    Graph,
     Process,
     UniformDelay,
+    UnknownLinkError,
     run_asynchronous,
     standard_adversaries,
     topology,
@@ -125,8 +129,30 @@ class TestMetricsAndOutputs:
             def on_message(self, sender, payload):
                 pass
 
+        # UnknownLinkError subclasses ValueError and names both endpoints.
         with pytest.raises(ValueError, match="no link"):
             run_asynchronous(g, Bad, ConstantDelay(1.0))
+        with pytest.raises(UnknownLinkError, match=r"no link 0 -> 2"):
+            run_asynchronous(g, Bad, ConstantDelay(1.0))
+
+    def test_send_from_isolated_node_rejected(self):
+        # Node 2 has no incident edges at all: its outgoing link map is
+        # empty, and a send from it must fail with the same clear error —
+        # not a bare KeyError from deep inside the link table.
+        g = Graph(3, [(0, 1)])
+
+        class LonelySender(Process):
+            def on_start(self):
+                if self.ctx.node_id == 2:
+                    self.ctx.send(0, ("hello",))
+
+            def on_message(self, sender, payload):  # pragma: no cover
+                pass
+
+        with pytest.raises(UnknownLinkError, match=r"no link 2 -> 0") as exc:
+            run_asynchronous(g, LonelySender, ConstantDelay(1.0))
+        assert exc.value.u == 2
+        assert exc.value.v == 0
 
     def test_stop_reason_quiescent(self):
         g = topology.path_graph(2)
@@ -251,6 +277,60 @@ class TestFusedAckAccounting:
             diverged = raw.events_fired - fused.events_fired
             assert 0 <= diverged <= raw.acks, repr(model)
             assert raw.outputs == fused.outputs
+
+
+class TestGcPauseRestoration:
+    """The dispatch loop's GC pause must not leak a disabled collector."""
+
+    def test_gc_reenabled_after_raising_process(self):
+        g = topology.path_graph(2)
+
+        class Exploder(Process):
+            def on_start(self):
+                if self.ctx.node_id == 0:
+                    self.ctx.send(1, ("boom",))
+
+            def on_message(self, sender, payload):
+                raise RuntimeError("handler exploded mid-run")
+
+        assert gc.isenabled()
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_asynchronous(g, Exploder, ConstantDelay(1.0))
+        assert gc.isenabled()
+
+    def test_gc_left_alone_when_disabled_by_caller(self):
+        g = topology.path_graph(2)
+        gc.disable()
+        try:
+            result = run_asynchronous(g, Echo, ConstantDelay(1.0))
+            assert result.stop_reason == "quiescent"
+            # The runtime must not have re-enabled a collector the caller
+            # (e.g. a sweep-wide pause) had turned off.
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
+    def test_metrics_written_back_after_raising_process(self):
+        g = topology.path_graph(2)
+        delivered = []
+
+        class Exploder(Process):
+            def on_start(self):
+                if self.ctx.node_id == 0:
+                    self.ctx.send(1, ("a",))
+                    self.ctx.send(1, ("b",))
+
+            def on_message(self, sender, payload):
+                delivered.append(payload)
+                if payload == ("b",):
+                    raise RuntimeError("late failure")
+
+        runtime = AsyncRuntime(g, Exploder, ConstantDelay(1.0))
+        with pytest.raises(RuntimeError, match="late failure"):
+            runtime.run()
+        # The finally block recovered the injection counters.
+        assert runtime.messages == 2
+        assert delivered == [("a",), ("b",)]
 
 
 class TestDeterminism:

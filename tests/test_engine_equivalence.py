@@ -18,6 +18,8 @@ acks themselves are still counted and still bound quiescence time).
 import heapq
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.apps.programs import bfs_spec, broadcast_echo_spec, flood_max_spec
 from repro.core.bfs_runner import registry_for_threshold
@@ -204,6 +206,70 @@ class PriorityPingPong(Process):
     def on_delivered(self, to, payload):
         tally = getattr(self, "tally", 0)
         self.tally = tally + 1
+
+
+class AckChainSender(Process):
+    """Bursts on one link and keeps sending from ``on_delivered``.
+
+    This drives the reference engine's double-inject quirk: the callback
+    fires after ``busy`` clears but before the outbox drains, so its send
+    and the drain each inject — two messages in flight on one link.  The
+    rebuilt transport must then *discard* the ack delay pre-drawn by the
+    pair stream and re-draw it at the link's latest injection number
+    (``_ack_delay``), or the schedules diverge.
+    """
+
+    burst = 3
+    extra = 5
+
+    def on_start(self):
+        if self.ctx.node_id == 0:
+            for i in range(self.burst):
+                self.ctx.send(1, ("m", i))
+
+    def on_message(self, sender, payload):
+        log = getattr(self, "log", [])
+        log.append((self.ctx.now, payload))
+        self.log = log
+        self.ctx.set_output(list(log))
+
+    def on_delivered(self, to, payload):
+        sent = getattr(self, "sent_extra", 0)
+        if self.ctx.node_id == 0 and sent < self.extra:
+            self.sent_extra = sent + 1
+            self.ctx.send(to, ("x", sent))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    burst=st.integers(min_value=1, max_value=4),
+    extra=st.integers(min_value=0, max_value=6),
+    model_idx=st.integers(min_value=0, max_value=7),
+)
+def test_double_inject_ack_fallback_equivalence(seed, burst, extra, model_idx):
+    """Property: an ``on_delivered`` callback injecting onto the same link
+    observes the re-drawn ack delay at the *latest* injection number on
+    both engines — the pre-drawn pair-stream value must be discarded
+    whenever the callback's send slipped an extra injection in first."""
+    graph = topology.path_graph(2)
+    process_cls = type(
+        "AckChain", (AckChainSender,), {"burst": burst, "extra": extra}
+    )
+    # Fresh model instances per engine: the hashed models memoize per-link
+    # state, and the draws must come out identical from a cold start.
+    ref_model = standard_adversaries(seed)[model_idx]
+    new_model = standard_adversaries(seed)[model_idx]
+    ref_trace, new_trace = [], []
+    ref_result = ReferenceRuntime(
+        graph, process_cls, ref_model,
+        trace=lambda t, u, v, p: ref_trace.append((t, u, v, p)),
+    ).run()
+    new_result = AsyncRuntime(
+        graph, process_cls, new_model,
+        trace=lambda t, u, v, p: new_trace.append((t, u, v, p)),
+    ).run()
+    _assert_equivalent(ref_trace, ref_result, new_trace, new_result)
 
 
 TOPOLOGIES = {

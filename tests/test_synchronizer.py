@@ -11,11 +11,13 @@ from repro.apps.programs import (
     bfs_spec,
     broadcast_echo_spec,
     flood_max_spec,
+    multi_bfs_spec,
     neighbor_sum_spec,
     path_token_spec,
     pulse_wave_spec,
     standard_programs,
 )
+from repro.net.program import sampled_initiators
 from repro.core import pulse_bound_for, registry_for_threshold, run_synchronized
 from repro.net import (
     ConstantDelay,
@@ -137,6 +139,40 @@ class TestContractEnforcement:
         g = topology.path_graph(10)
         with pytest.raises(RuntimeError, match="pulse bound"):
             run_synchronized(g, bfs_spec(0), ConstantDelay(1.0), max_pulse=2)
+
+
+class TestSampledInitiators:
+    """The n=512+ sweep workload ingredient (ROADMAP / DESIGN.md §8)."""
+
+    def test_sample_is_deterministic_and_evenly_spaced(self):
+        g = topology.cycle_graph(48)
+        picked = sampled_initiators(4)(g)
+        assert picked == {0, 12, 24, 36}
+        assert sampled_initiators(4)(g) == picked
+
+    def test_sample_clamps_to_graph_size(self):
+        g = topology.path_graph(3)
+        assert sampled_initiators(16)(g) == {0, 1, 2}
+        with pytest.raises(ValueError, match="at least one"):
+            sampled_initiators(0)
+
+    def test_multi_bfs_matches_truth_under_synchronizer(self):
+        g = topology.cycle_graph(48)
+        spec = multi_bfs_spec(4)
+        sources = spec.initiators(g)
+        truth = g.bfs_distances(sources)
+        for model in (ADVERSARIES[0], ADVERSARIES[2], ADVERSARIES[3]):
+            result = run_synchronized(g, spec, model)
+            for v in g.nodes:
+                assert result.outputs[v][0] == truth[v], repr(model)
+
+    def test_multi_bfs_message_volume_near_linear(self):
+        # The point of sampling: an all-initiator flood costs Θ(n²) on a
+        # cycle, the sampled multi-source BFS stays near-linear.
+        g = topology.cycle_graph(128)
+        sampled = run_synchronized(g, multi_bfs_spec(16), ConstantDelay(1.0))
+        flooded = run_synchronized(g, flood_max_spec(), ConstantDelay(1.0))
+        assert sampled.messages < flooded.messages / 4
 
 
 class TestDeterminism:
