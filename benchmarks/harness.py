@@ -31,7 +31,14 @@ Notes from trial runs (keep in mind before comparing numbers):
   cancel out).
 * CPython-specific micro-optimizations in the transport (bigint-free
   32-bit mixing, frame-avoidance closures) are harmless under PyPy — the
-  JIT sees through them either way.
+  JIT sees through them either way; the §9 packed records and block-drawn
+  delay buffers (flat int/float arrays, no per-message closure frames)
+  are shaped *for* the JIT and are where PyPy gains the most.
+* CI runs this recipe on every push: the ``pypy`` job in
+  ``.github/workflows/ci.yml`` runs the tier-1 tests plus
+  ``perf_regression.py --quick`` (print-only — per the above, never
+  ``--check`` or ``--write`` against the CPython-calibrated baseline
+  from PyPy).
 """
 
 from __future__ import annotations

@@ -8,8 +8,9 @@ node outputs, and ``--check`` fails on any mismatch (the engine must stay
 byte-for-byte reproducible, not merely fast).
 
 The matrix includes the 5-delay-model sweep workloads (cycle+grid at n=256,
-and the n=512 multi-source cells with sampled initiator sets — the
-ROADMAP's fix for the Θ(n²) all-initiator blowup) next to their
+and the n=512 / n=1024 multi-source cells with sampled initiator sets — the
+ROADMAP's fix for the Θ(n²) all-initiator blowup; the n=1024 cells are
+full-matrix only, so CI ``--quick`` stays fast) next to their
 independent-runs counterparts; the ``--quick`` CI gate covers the
 thresholded-BFS sweep and the n=512 smoke cell at the same -30% threshold
 as the single-run entries, and ``--write`` records the measured
@@ -190,6 +191,22 @@ def _run_sweep_ms512(_):
     return agg
 
 
+def _run_sweep_ms1024(_):
+    # n=1024 subsampled measurement cells (ROADMAP: the size axis beyond
+    # 512): 32 evenly spaced sources keep the initiator stride — and so the
+    # pulse bound (~n/2k = 16) and per-cell message volume — aligned with
+    # the ms512 cells, so the two sizes chart a clean scaling curve.  Full
+    # matrix only: these cells are multi-second, far too slow for the CI
+    # --quick gate.
+    agg = _SweepAggregate()
+    for gi, graph in enumerate((topology.cycle_graph(1024),
+                                topology.grid_graph(32, 32))):
+        sweep = SynchronizerSweep(graph, multi_bfs_spec(32))
+        for mi, result in enumerate(sweep.run_all(_sweep_models())):
+            agg.add((gi, mi), result)
+    return agg
+
+
 def _run_independent_tbfs(_):
     # Independent runs: a fresh graph per model defeats every per-graph
     # cache, so each run pays cover/registry/info setup — what five separate
@@ -217,6 +234,15 @@ def _run_independent_ms512(_):
                                 lambda: topology.grid_graph(16, 32))):
         for mi, model in enumerate(_sweep_models()):
             agg.add((gi, mi), run_synchronized(build(), multi_bfs_spec(16), model))
+    return agg
+
+
+def _run_independent_ms1024(_):
+    agg = _SweepAggregate()
+    for gi, build in enumerate((lambda: topology.cycle_graph(1024),
+                                lambda: topology.grid_graph(32, 32))):
+        for mi, model in enumerate(_sweep_models()):
+            agg.add((gi, mi), run_synchronized(build(), multi_bfs_spec(32), model))
     return agg
 
 
@@ -256,6 +282,13 @@ WORKLOADS = [
      True, 3),
     ("independent-ms512-5x/cycle+grid/512", lambda: None, _run_independent_ms512,
      False, 3),
+    # n=1024 subsampled measurement cells (multi_bfs_spec(32), sampled
+    # initiators) — full matrix only, so the CI --quick gate stays fast;
+    # best-of-2 because each side is many seconds of wall.
+    ("sweep-ms1024-5x/cycle+grid/1024", lambda: None, _run_sweep_ms1024,
+     False, 2),
+    ("independent-ms1024-5x/cycle+grid/1024", lambda: None,
+     _run_independent_ms1024, False, 2),
 ]
 
 #: Sweep-vs-independent workload pairs recorded under ``sweep_speedups``:
@@ -267,6 +300,8 @@ SWEEP_PAIRS = {
              "independent-sync-5x/cycle+grid/256"),
     "ms512": ("sweep-ms512-5x/cycle+grid/512",
               "independent-ms512-5x/cycle+grid/512"),
+    "ms1024": ("sweep-ms1024-5x/cycle+grid/1024",
+               "independent-ms1024-5x/cycle+grid/1024"),
 }
 
 

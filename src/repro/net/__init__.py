@@ -1,6 +1,6 @@
 """Network substrate: graphs, topologies, and the two message-passing simulators."""
 
-from .graph import Edge, Graph, NodeId, edge_key, validate_tree
+from .graph import Edge, Graph, NodeId, UnknownLinkError, edge_key, validate_tree
 from .events import EventQueue
 from .delays import (
     TAU,
@@ -31,7 +31,6 @@ from .async_runtime import (
     LinkSkeleton,
     Process,
     ProcessContext,
-    UnknownLinkError,
     link_skeleton_for,
     run_asynchronous,
 )

@@ -18,41 +18,62 @@ Model implemented here:
 Protocols are :class:`Process` subclasses; one instance runs per node and
 reacts to deliveries via ``on_message``.
 
-Performance architecture (DESIGN.md §6, §8): the runtime *is* the event
-loop.  It subclasses :class:`~repro.net.events.EventQueue` and pops typed
-records — ``(time, seq, EV_DELIVER, link_id, payload, inj_seq, ack_delay)``
-and ``(time, seq, EV_ACK, link_id, payload)`` — in one inlined dispatch
-loop.  Per-directed-link state lives in a *struct-of-arrays link table*
-(DESIGN.md §8): dense ``link_id`` ints index parallel lists for the busy
-slot, outbox head, sequence counters, bound handlers, and the fused-ack
-reservation, so a replay allocates a handful of flat lists instead of one
-state object per link, and event records carry a small int instead of an
-object reference.  The dense ids are assigned once per graph (see
-:class:`LinkSkeleton`) and shared across sweep replays.
+Performance architecture (DESIGN.md §6, §8, §9): the runtime *is* the event
+loop.  It subclasses :class:`~repro.net.events.EventQueue` and pops
+*packed-int records* — the common transport record is the 3-tuple
+``(time, seq, code)`` with ``code = (kind << LINK_BITS) | link_id`` — in
+one inlined dispatch loop.  Per-directed-link state lives in a
+*struct-of-arrays link table* (DESIGN.md §8): dense ``link_id`` ints index
+parallel lists for the busy slot, outbox head, sequence counters, bound
+handlers, and the fused-ack reservation; the packed codes themselves are
+precomputed int objects on the shared :class:`LinkSkeleton`, so pushing an
+event allocates nothing beyond its record tuple.
 
-A message costs one record push at injection and usually none at all for
-its acknowledgment: when nobody waits on an ack (no ``on_delivered``
-interest, nothing queued or outstanding on the link), the ack's
-``(time, seq)`` identity is merely *reserved* and the event is materialized
-only if a later send actually has to wait on it.  When the delay model
-exposes ``pair_stream`` the message delay *and* its acknowledgment delay
-are drawn together at injection (one closure call per message) and the ack
-delay rides in the delivery record; the pre-drawn value is discarded — and
-re-drawn at the link's latest injection number, exactly as the historical
-engine did (see ``_ack_delay``) — in the rare case where an
-``on_delivered`` callback slipped an extra injection onto the link first.
-Models without pair streams keep the historical draw-at-delivery path, so
-time-dependent custom models observe identical ``now`` values on both
-engines.
+A packed delivery's payload and pre-drawn acknowledgment delay ride in
+per-link *side slots* (DESIGN.md §9) instead of in the record.  Slot
+occupancy is the link's outstanding-record count: an injection finding
+``pending == 0`` owns the slot (the Appendix B discipline makes this the
+overwhelmingly common case); any other injection — only possible during
+the ``on_delivered`` double-inject race — falls back to a "fat"
+:data:`~repro.net.events.EV_DELIVER_PAYLOAD` record carrying its fields
+inline (same ``(time, seq)`` identity, so schedules are unchanged) and
+*invalidates* the slot's pre-drawn ack delay, which encodes the historical
+redraw rule (see ``_ack_delay``) without a per-delivery sequence check.
+
+Acknowledgments split into two kinds at delivery time: a sender that wants
+its ``on_delivered`` callback for this payload gets an
+:data:`~repro.net.events.EV_ACK_PAYLOAD` record (payload inline); everyone
+else gets a bare :data:`~repro.net.events.EV_ACK` 3-tuple whose dispatch
+is nothing but "free the link, drain the outbox" — no callback or
+interest checks per acknowledgment.
+
+Delay randomness is drawn in *blocks*: when the delay model exposes
+``block_stream`` (all shipped models do), each link's next
+:data:`~repro.net.delays.BLOCK_PAIRS` (message delay, ack delay) pairs are
+filled into one flat per-runtime float array in a single closure call, and
+a send consumes two list loads instead of calling into the model at all.
+Per-link injection numbers are strictly sequential, so a block is always
+consumed in order and refilled exactly at its boundary; sweeps pass one
+shared buffer across replays (:mod:`repro.net.sweep`) so the allocation is
+paid once per sweep.  Models exposing only ``pair_stream`` keep the
+one-closure-call-per-message path, and models with neither keep the
+historical draw-at-delivery path, so time-dependent custom models observe
+identical ``now`` values on both engines.
+
+A message usually costs no acknowledgment event at all: when nobody waits
+on an ack (no ``on_delivered`` interest, nothing queued or outstanding on
+the link), the ack's ``(time, seq)`` identity is merely *reserved* and the
+event is materialized only if a later send actually has to wait on it.
 
 Same-time deliveries to one destination are *batched*: after dispatching a
 delivery the loop keeps consuming heap-top records as long as they are
-deliveries at the same instant for the same node, reusing the hoisted
-``on_message`` binding without re-entering the outer per-event bookkeeping.
-Records are still consumed strictly in ``(time, seq)`` order — any
-interleaved record (another destination, an acknowledgment, a callback)
-ends the batch — so the schedule is byte-identical to the unbatched loop
-(pinned by ``tests/test_engine_equivalence.py``).
+packed deliveries at the same instant for the same node, reusing the
+hoisted ``on_message`` binding without re-entering the outer per-event
+bookkeeping.  Records are still consumed strictly in ``(time, seq)`` order
+— any interleaved record (another destination, an acknowledgment, a
+callback, a fat delivery) ends the batch — so the schedule is
+byte-identical to the unbatched loop (pinned by
+``tests/test_engine_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -62,12 +83,19 @@ from dataclasses import dataclass
 from functools import partial
 from heapq import heappop, heappush
 from types import MappingProxyType
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, MutableSequence, Optional, Tuple
 from weakref import WeakKeyDictionary
 
-from .delays import DelayModel, TAU
-from .events import EV_ACK, EV_DELIVER, EventQueue
-from .graph import Graph, NodeId
+from .delays import BLOCK_PAIRS, DelayModel, TAU
+from .events import (
+    CODE_ACK,
+    CODE_ACK_PAYLOAD,
+    CODE_DELIVER,
+    CODE_DELIVER_PAYLOAD,
+    LINK_MASK,
+    EventQueue,
+)
+from .graph import Graph, NodeId, UnknownLinkError
 
 Payload = Any
 Priority = Tuple[Any, ...]
@@ -75,21 +103,34 @@ LinkId = int
 
 DEFAULT_PRIORITY: Priority = (0,)
 
+#: Floats per link in a block buffer: BLOCK_PAIRS interleaved
+#: (message delay, ack delay) pairs.  Must be a power of two: the send hot
+#: path detects block exhaustion as ``cursor & (BLOCK_SPAN - 1) == 0``
+#: (cursors rest at a region boundary exactly when the previous cycle is
+#: fully consumed), which costs no per-link limit load.
+BLOCK_SPAN = 2 * BLOCK_PAIRS
+if BLOCK_SPAN & (BLOCK_SPAN - 1):
+    # A plain raise, not an assert: stripped asserts under ``python -O``
+    # would let a mis-tuned BLOCK_PAIRS silently serve stale buffer values
+    # as delays (the mask-based exhaustion test needs power-of-two regions).
+    raise ValueError(
+        f"BLOCK_PAIRS must be a power of two, got {BLOCK_PAIRS}"
+    )
 
-class UnknownLinkError(ValueError):
-    """A send names a destination with no directed link from the sender.
 
-    Subclasses :class:`ValueError` so callers that guarded against the
-    historical ``ValueError("no link u -> v")`` keep working.
+def make_block_buffer(num_links: int) -> MutableSequence[float]:
+    """A zeroed flat delay-block buffer for ``num_links`` links.
+
+    A plain list: fills store the float objects they compute, and the send
+    path reads them back by reference — two float allocations per message,
+    exactly what the per-message ``pair_stream`` call paid.  (An
+    ``array('d')`` was measured and rejected: unboxing on fill plus
+    re-boxing on read doubles the float allocations per message, which
+    costs more than the raw-double layout saves — and with
+    :data:`~repro.net.delays.BLOCK_PAIRS` small, the resident float set
+    stays a few hundred KB even at n=1024.)
     """
-
-    def __init__(self, u: NodeId, v: NodeId) -> None:
-        super().__init__(
-            f"no link {u} -> {v}: node {u} has no directed link to {v}"
-            " (sends are restricted to graph neighbors)"
-        )
-        self.u = u
-        self.v = v
+    return [0.0] * (BLOCK_SPAN * num_links)
 
 
 class LinkSkeleton:
@@ -98,13 +139,19 @@ class LinkSkeleton:
     ``link_id`` ints are assigned once per graph — both orientations of
     every edge, in edge order — and everything derived from the assignment
     alone lives here: the endpoint arrays ``lu``/``lv`` (link id -> source /
-    destination node) and the per-node outgoing map ``out`` (node ->
-    {neighbor -> link id}).  All of it is immutable after construction, so
-    one skeleton is shared by every runtime over the same graph (sweep
-    replays in particular; see :func:`link_skeleton_for`).
+    destination node), the per-node outgoing map ``out`` (node ->
+    {neighbor -> link id}), the packed event codes of every link
+    (``deliver_codes[lid] == CODE_DELIVER + lid`` etc. — precomputed int
+    *objects*, so the hot paths never allocate an int per event), and the
+    per-link block bounds ``blk_lims`` (``(lid + 1) * BLOCK_SPAN``, the
+    exclusive end of link ``lid``'s region in a flat block buffer).  All of
+    it is immutable after construction, so one skeleton is shared by every
+    runtime over the same graph (sweep replays in particular; see
+    :func:`link_skeleton_for`).
     """
 
-    __slots__ = ("lu", "lv", "out", "num_links")
+    __slots__ = ("lu", "lv", "out", "num_links", "deliver_codes",
+                 "ack_codes", "ack_payload_codes", "fat_codes", "blk_lims")
 
     def __init__(self, graph: Graph) -> None:
         lu: List[NodeId] = []
@@ -120,6 +167,11 @@ class LinkSkeleton:
             lv.append(u)
             out[v][u] = lid
             lid += 1
+        if lid > LINK_MASK + 1:
+            raise ValueError(
+                f"graph has {lid} directed links; packed event codes support"
+                f" at most {LINK_MASK + 1} (raise LINK_BITS in repro.net.events)"
+            )
         self.lu: Tuple[NodeId, ...] = tuple(lu)
         self.lv: Tuple[NodeId, ...] = tuple(lv)
         # Read-only views: the skeleton is shared by every runtime over the
@@ -130,6 +182,12 @@ class LinkSkeleton:
             {v: MappingProxyType(links) for v, links in out.items()}
         )
         self.num_links = lid
+        self.deliver_codes = tuple(CODE_DELIVER + i for i in range(lid))
+        self.ack_codes = tuple(CODE_ACK + i for i in range(lid))
+        self.ack_payload_codes = tuple(CODE_ACK_PAYLOAD + i for i in range(lid))
+        self.fat_codes = tuple(CODE_DELIVER_PAYLOAD + i for i in range(lid))
+        self.blk_lims = tuple(range(BLOCK_SPAN, (lid + 1) * BLOCK_SPAN,
+                                    BLOCK_SPAN))
 
 
 #: Skeletons are pure functions of the immutable graph; weak keys release
@@ -272,7 +330,7 @@ class AsyncRuntime(EventQueue):
     """Discrete-event executor for one protocol over one graph.
 
     Directed-link state is a struct-of-arrays table indexed by the dense
-    link ids of the graph's :class:`LinkSkeleton` (DESIGN.md §8):
+    link ids of the graph's :class:`LinkSkeleton` (DESIGN.md §8, §9):
 
     * ``_busy[lid]`` — the Appendix B in-flight slot;
     * ``_outbox[lid]`` — the priority outbox heap (``None`` until first used);
@@ -283,13 +341,23 @@ class AsyncRuntime(EventQueue):
       link.  Normally alternates 1 -> 1 -> 0; an ``on_delivered`` callback
       sending on the link it is being notified about can race the ack drain
       and put two messages in flight (a quirk the reference engine has too).
-      Ack fusing is only allowed when this count hits zero;
+      Doubles as the side-slot occupancy test (an injection finding it
+      nonzero goes fat) and gates ack fusing (only allowed at zero);
+    * ``_slot_payload[lid]`` / ``_slot_ack[lid]`` — the side slots of the
+      one packed delivery the link may have in flight: payload, and the
+      pre-drawn ack delay or ``None`` (``None`` forces the delivery-time
+      redraw at the link's latest injection number; fat injections
+      invalidate the slot ack to trigger exactly the historical
+      double-inject redraws);
     * ``_deliver[lid]`` / ``_table[lid]`` — the receiver's bound
       ``on_message`` and optional opcode dispatch table;
     * ``_delivered[lid]`` / ``_ack_prefix[lid]`` — the sender's overridden
       ``on_delivered`` (or ``None``) and its interest prefix;
-    * ``_draw[lid]`` / ``_ack_draw[lid]`` / ``_pair[lid]`` — per-link delay
-      streams, bound when the delay model supports them;
+    * ``_blk_fill[lid]`` / ``_blk_i[lid]`` (+ the flat ``_blk_buf``) —
+      per-link block-fill closures and cursors when the delay model
+      exposes ``block_stream``; ``_pair[lid]`` / ``_draw[lid]`` /
+      ``_ack_draw[lid]`` — the per-message stream fallbacks (``_ack_draw``
+      is bound lazily, only for links that ever re-draw an ack);
     * ``_free_at[lid]`` / ``_reserved[lid]`` — fused-acknowledgment state:
       when a delivery needs no callback and the outbox is empty, no ack
       event is pushed at all; the ack's (time, seq) identity is *reserved*
@@ -299,10 +367,12 @@ class AsyncRuntime(EventQueue):
     __slots__ = (
         "graph", "delay_model", "count_acks", "count_fused_acks", "trace",
         "_skeleton", "_lu", "_lv", "_out", "_busy", "_outbox", "_seq",
-        "_injected", "_pending", "_deliver", "_table", "_delivered",
-        "_ack_prefix", "_draw", "_ack_draw", "_pair", "_free_at",
-        "_reserved", "_send_on", "_enqueue_from", "messages", "acks",
-        "_fused", "outputs",
+        "_injected", "_pending", "_slot_payload", "_slot_ack",
+        "_deliver", "_table", "_delivered",
+        "_ack_prefix", "_draw", "_ack_draw", "_pair", "_stream_factory",
+        "_blk_fill", "_blk_buf", "_blk_i", "_free_at",
+        "_reserved", "_send_on", "_enqueue_from", "_inject_link",
+        "messages", "acks", "_fused", "outputs",
         "output_time", "_time_to_output", "processes", "_active_seq",
     )
 
@@ -315,6 +385,7 @@ class AsyncRuntime(EventQueue):
         trace: Optional[Callable[[float, NodeId, NodeId, Payload], None]] = None,
         count_fused_acks: bool = False,
         skeleton: Optional[LinkSkeleton] = None,
+        block_buffer: Optional[MutableSequence[float]] = None,
     ) -> None:
         """``count_fused_acks=True`` restores the paper's raw event
         accounting in ``events_fired`` (fused acknowledgments count as one
@@ -324,7 +395,12 @@ class AsyncRuntime(EventQueue):
         ``skeleton`` is the graph's precomputed :class:`LinkSkeleton` —
         sweep harnesses pass theirs so the dense link-id assignment is
         derived from the graph only once per sweep; by default it comes
-        from the per-graph cache.
+        from the per-graph cache.  ``block_buffer`` is the flat delay-block
+        array (``num_links * BLOCK_SPAN`` floats) — sweeps pass one shared
+        buffer so the allocation is paid once per sweep; it is pure scratch
+        (every value is re-derived from the delay model's pure streams on
+        refill), but the caller must not run two runtimes sharing one
+        buffer concurrently.  By default each runtime allocates its own.
         """
         super().__init__()
         self.graph = graph
@@ -349,37 +425,58 @@ class AsyncRuntime(EventQueue):
         self._seq = [0] * n_links
         self._injected = [0] * n_links
         self._pending = [0] * n_links
+        self._slot_payload: List[Payload] = [None] * n_links
+        self._slot_ack: List[Optional[float]] = [None] * n_links
         self._free_at = [0.0] * n_links
         self._reserved: List[Optional[int]] = [None] * n_links
+        block_factory = getattr(delay_model, "block_stream", None)
         stream_factory = getattr(delay_model, "link_stream", None)
         pair_factory = getattr(delay_model, "pair_stream", None)
-        if pair_factory is not None:
-            # The fused draw covers injection; ``_ack_draw`` stays bound as
-            # the fallback for re-drawn acknowledgments (see run), and
-            # ``_draw`` is never consulted.
-            self._pair = [
-                pair_factory(lu[i], lv[i]) for i in range(n_links)
+        # Lazily binds reverse streams for re-drawn acknowledgments only
+        # (see _ack_delay); None when the model has no link_stream.
+        self._stream_factory = stream_factory
+        self._ack_draw: List[Optional[Callable[[int], float]]] = [None] * n_links
+        if block_factory is not None:
+            # Block path: delays come from the flat buffer; the pair/draw
+            # slots stay empty.  Cursors start at the exclusive region end,
+            # so the first send on a link triggers a fill at its injection
+            # number (blocks therefore stay aligned even across run() calls
+            # on a buffer another replay has dirtied).
+            self._blk_fill = [
+                block_factory(lu[i], lv[i]) for i in range(n_links)
             ]
+            if block_buffer is None:
+                block_buffer = make_block_buffer(n_links)
+            self._blk_buf: Optional[MutableSequence[float]] = block_buffer
+            self._blk_i: Optional[List[int]] = list(skeleton.blk_lims)
+            self._pair: List[Optional[Callable]] = [None] * n_links
             self._draw: List[Optional[Callable[[int], float]]] = [None] * n_links
-            if stream_factory is not None:
-                self._ack_draw = [
-                    stream_factory(lv[i], lu[i]) for i in range(n_links)
+        else:
+            self._blk_fill = None
+            self._blk_buf = None
+            self._blk_i = None
+            if pair_factory is not None:
+                # The fused draw covers injection; ``_draw`` is never
+                # consulted.
+                self._pair = [
+                    pair_factory(lu[i], lv[i]) for i in range(n_links)
+                ]
+                self._draw = [None] * n_links
+            elif stream_factory is not None:
+                self._pair = [None] * n_links
+                self._draw = [
+                    stream_factory(lu[i], lv[i]) for i in range(n_links)
                 ]
             else:
-                self._ack_draw = [None] * n_links
-        elif stream_factory is not None:
-            self._pair = [None] * n_links
-            self._draw = [stream_factory(lu[i], lv[i]) for i in range(n_links)]
-            self._ack_draw = [stream_factory(lv[i], lu[i]) for i in range(n_links)]
-        else:
-            self._pair = [None] * n_links
-            self._draw = [None] * n_links
-            self._ack_draw = [None] * n_links
+                self._pair = [None] * n_links
+                self._draw = [None] * n_links
         self.messages = 0
         self.acks = 0
         self._fused = 0
         self._active_seq = -1  # seq of the event being dispatched
-        self._send_on, self._enqueue_from = self._make_senders()
+        self._send_on, self._enqueue_from, self._inject_link = (
+            self._make_senders()
+        )
         self.outputs: Dict[NodeId, Any] = {}
         self.output_time: Dict[NodeId, float] = {}
         self._time_to_output = 0.0
@@ -421,30 +518,56 @@ class AsyncRuntime(EventQueue):
             raise UnknownLinkError(u, v)
         self._enqueue_from(links, u, v, payload, priority)
 
-    def _make_senders(self) -> Tuple[Callable[..., None], Callable[..., None]]:
-        """Build the two enqueue fast paths as sibling closures.
+    def _make_senders(
+        self,
+    ) -> Tuple[Callable[..., None], Callable[..., None], Callable[..., None]]:
+        """Build the three enqueue fast paths as sibling closures.
 
         ``send_on(lid, payload, priority)`` is the int-indexed path bound to
         ``ProcessContext.send_link``; ``enqueue_from(links, u, v, payload,
         priority)`` is the node-id path behind ``ProcessContext.send`` (one
-        dict probe, then the same body).  The link-table arrays, the heap,
-        and the sequence counter are captured in cells: a protocol send then
-        costs one Python frame with cell loads instead of attribute traffic
-        (this is the hottest code in a synchronizer run after the dispatch
-        loop itself — the body is deliberately duplicated across the two
-        closures rather than shared through a second frame).  Only the
-        loop-mutated scalars (``_now``, ``_active_seq``, ``_fused``) go
-        through ``self``.
+        dict probe, then the same body); ``inject(lid, payload)`` is the
+        outbox-drain tail the acknowledgment dispatch calls for queued
+        messages.  The link-table arrays, the side slots, the block state,
+        the heap, and the sequence counter are captured in cells: a protocol
+        send then costs one Python frame with cell loads instead of
+        attribute traffic (this is the hottest code in a synchronizer run
+        after the dispatch loop itself — the body is deliberately duplicated
+        across the closures rather than shared through a second frame).
+        Only the loop-mutated scalars (``_now``, ``_active_seq``,
+        ``_fused``) go through ``self``.
+
+        Two closure families exist: the block family (delay model exposes
+        ``block_stream``; delays are two flat-buffer loads per send) and
+        the stream family (historical ``pair_stream``/``link_stream``/
+        generic fallbacks, one closure call per message).  The choice is
+        made once here, so the per-send body carries no "has blocks?"
+        branch.
         """
+        if self._blk_fill is not None:
+            return self._make_block_senders()
+        return self._make_stream_senders()
+
+    def _make_block_senders(self):
         busy_a = self._busy
         outbox_a = self._outbox
         seq_a = self._seq
         injected_a = self._injected
         pending_a = self._pending
-        pair_a = self._pair
-        draw_a = self._draw
+        slot_p_a = self._slot_payload
+        slot_ack_a = self._slot_ack
+        blk_fill_a = self._blk_fill
+        blk_i_a = self._blk_i
+        buf = self._blk_buf
         free_at_a = self._free_at
         reserved_a = self._reserved
+        skeleton = self._skeleton
+        dcode_a = skeleton.deliver_codes
+        acode_a = skeleton.ack_codes
+        fcode_a = skeleton.fat_codes
+        span = BLOCK_SPAN
+        mask = BLOCK_SPAN - 1  # span is a power of two (asserted below)
+        pairs = BLOCK_PAIRS
         heap = self._heap
         counter = self._counter
         push = heappush
@@ -479,7 +602,7 @@ class AsyncRuntime(EventQueue):
                     reserved_a[lid] = None
                     pending_a[lid] += 1
                     rt._fused -= 1
-                    push(heap, (free_at, rs, EV_ACK, lid, None))
+                    push(heap, (free_at, rs, acode_a[lid]))
                     ob = outbox_a[lid]
                     if ob is None:
                         ob = outbox_a[lid] = []
@@ -499,34 +622,37 @@ class AsyncRuntime(EventQueue):
                 seq_a[lid] = seq + 1
                 push(ob, (priority, seq, payload))
                 payload = pop(ob)[2]
-            # _inject inlined (this is the per-send hot path; the frame
+            # Inject, inlined (this is the per-send hot path; the frame
             # matters).  ``messages`` is not incremented here: it is
             # recovered at run end as the sum of the per-link injection
-            # counters.  A delivery record carries its injection number and
-            # (on the pair path) the pre-drawn ack delay; models without
-            # pair streams ship ``None`` and the ack is drawn at delivery
-            # as before.
+            # counters.  The (delay, ack) pair comes from the link's block
+            # region, refilled at its boundary; the payload and pre-drawn
+            # ack go to the side slots when this is the link's only
+            # outstanding record, else to a fat record (which stales the
+            # slot's pre-drawn ack — the historical redraw rule).
             busy_a[lid] = True
             seq = injected_a[lid] + 1
             injected_a[lid] = seq
-            pending_a[lid] += 1
-            pair = pair_a[lid]
-            if pair is not None:
-                delay, ack = pair(seq)
-                push(
-                    heap,
-                    (rt._now + delay, next(counter), EV_DELIVER, lid,
-                     payload, seq, ack),
-                )
+            i = blk_i_a[lid]
+            if not i & mask:
+                # Block exhausted: cursors sit at a region boundary exactly
+                # when all pairs of the previous cycle are consumed (regions
+                # are power-of-two sized), so no per-link limit is loaded.
+                i -= span
+                blk_fill_a[lid](buf, i, seq, pairs)
+            blk_i_a[lid] = i + 2
+            p = pending_a[lid]
+            pending_a[lid] = p + 1
+            if p == 0:
+                slot_p_a[lid] = payload
+                slot_ack_a[lid] = buf[i + 1]
+                push(heap, (rt._now + buf[i], next(counter), dcode_a[lid]))
                 return
-            draw = draw_a[lid]
-            if draw is None:
-                rt._inject_generic(lid, payload, seq)
-                return
+            slot_ack_a[lid] = None
             push(
                 heap,
-                (rt._now + draw(seq), next(counter), EV_DELIVER, lid,
-                 payload, seq, None),
+                (rt._now + buf[i], next(counter), fcode_a[lid], payload,
+                 seq, buf[i + 1]),
             )
 
         def enqueue_from(
@@ -558,7 +684,7 @@ class AsyncRuntime(EventQueue):
                     reserved_a[lid] = None
                     pending_a[lid] += 1
                     rt._fused -= 1
-                    push(heap, (free_at, rs, EV_ACK, lid, None))
+                    push(heap, (free_at, rs, acode_a[lid]))
                     ob = outbox_a[lid]
                     if ob is None:
                         ob = outbox_a[lid] = []
@@ -576,70 +702,268 @@ class AsyncRuntime(EventQueue):
             busy_a[lid] = True
             seq = injected_a[lid] + 1
             injected_a[lid] = seq
-            pending_a[lid] += 1
+            i = blk_i_a[lid]
+            if not i & mask:
+                # Block exhausted: cursors sit at a region boundary exactly
+                # when all pairs of the previous cycle are consumed (regions
+                # are power-of-two sized), so no per-link limit is loaded.
+                i -= span
+                blk_fill_a[lid](buf, i, seq, pairs)
+            blk_i_a[lid] = i + 2
+            p = pending_a[lid]
+            pending_a[lid] = p + 1
+            if p == 0:
+                slot_p_a[lid] = payload
+                slot_ack_a[lid] = buf[i + 1]
+                push(heap, (rt._now + buf[i], next(counter), dcode_a[lid]))
+                return
+            slot_ack_a[lid] = None
+            push(
+                heap,
+                (rt._now + buf[i], next(counter), fcode_a[lid], payload,
+                 seq, buf[i + 1]),
+            )
+
+        def inject(lid: LinkId, payload: Payload) -> None:
+            """Outbox-drain tail: the link is known free (ack just fired)."""
+            busy_a[lid] = True
+            seq = injected_a[lid] + 1
+            injected_a[lid] = seq
+            i = blk_i_a[lid]
+            if not i & mask:
+                # Block exhausted: cursors sit at a region boundary exactly
+                # when all pairs of the previous cycle are consumed (regions
+                # are power-of-two sized), so no per-link limit is loaded.
+                i -= span
+                blk_fill_a[lid](buf, i, seq, pairs)
+            blk_i_a[lid] = i + 2
+            p = pending_a[lid]
+            pending_a[lid] = p + 1
+            if p == 0:
+                slot_p_a[lid] = payload
+                slot_ack_a[lid] = buf[i + 1]
+                push(heap, (rt._now + buf[i], next(counter), dcode_a[lid]))
+                return
+            slot_ack_a[lid] = None
+            push(
+                heap,
+                (rt._now + buf[i], next(counter), fcode_a[lid], payload,
+                 seq, buf[i + 1]),
+            )
+
+        return send_on, enqueue_from, inject
+
+    def _make_stream_senders(self):
+        """The per-message-closure family (pair/draw/generic fallbacks)."""
+        busy_a = self._busy
+        outbox_a = self._outbox
+        seq_a = self._seq
+        injected_a = self._injected
+        pending_a = self._pending
+        slot_p_a = self._slot_payload
+        slot_ack_a = self._slot_ack
+        pair_a = self._pair
+        draw_a = self._draw
+        free_at_a = self._free_at
+        reserved_a = self._reserved
+        skeleton = self._skeleton
+        dcode_a = skeleton.deliver_codes
+        acode_a = skeleton.ack_codes
+        fcode_a = skeleton.fat_codes
+        heap = self._heap
+        counter = self._counter
+        push = heappush
+        pop = heappop
+        rt = self
+
+        def send_on(
+            lid: LinkId, payload: Payload,
+            priority: Priority = DEFAULT_PRIORITY,
+        ) -> None:
+            """Enqueue on a directed link by dense id (DESIGN.md §8)."""
+            if busy_a[lid]:
+                rs = reserved_a[lid]
+                if rs is None:
+                    ob = outbox_a[lid]
+                    if ob is None:
+                        ob = outbox_a[lid] = []
+                    seq = seq_a[lid]
+                    seq_a[lid] = seq + 1
+                    push(ob, (priority, seq, payload))
+                    return
+                free_at = free_at_a[lid]
+                now = rt._now
+                if free_at > now or (free_at == now and rs > rt._active_seq):
+                    # Materialize the reserved drain event (see the block
+                    # family's send_on for the full story).
+                    reserved_a[lid] = None
+                    pending_a[lid] += 1
+                    rt._fused -= 1
+                    push(heap, (free_at, rs, acode_a[lid]))
+                    ob = outbox_a[lid]
+                    if ob is None:
+                        ob = outbox_a[lid] = []
+                    seq = seq_a[lid]
+                    seq_a[lid] = seq + 1
+                    push(ob, (priority, seq, payload))
+                    return
+                reserved_a[lid] = None
+            elif outbox_a[lid]:
+                ob = outbox_a[lid]
+                seq = seq_a[lid]
+                seq_a[lid] = seq + 1
+                push(ob, (priority, seq, payload))
+                payload = pop(ob)[2]
+            busy_a[lid] = True
+            seq = injected_a[lid] + 1
+            injected_a[lid] = seq
             pair = pair_a[lid]
             if pair is not None:
                 delay, ack = pair(seq)
-                push(
-                    heap,
-                    (rt._now + delay, next(counter), EV_DELIVER, lid,
-                     payload, seq, ack),
-                )
+            else:
+                draw = draw_a[lid]
+                if draw is None:
+                    rt._inject_generic(lid, payload, seq)
+                    return
+                delay = draw(seq)
+                ack = None
+            p = pending_a[lid]
+            pending_a[lid] = p + 1
+            if p == 0:
+                slot_p_a[lid] = payload
+                slot_ack_a[lid] = ack
+                push(heap, (rt._now + delay, next(counter), dcode_a[lid]))
                 return
-            draw = draw_a[lid]
-            if draw is None:
-                rt._inject_generic(lid, payload, seq)
-                return
+            slot_ack_a[lid] = None
             push(
                 heap,
-                (rt._now + draw(seq), next(counter), EV_DELIVER, lid,
-                 payload, seq, None),
+                (rt._now + delay, next(counter), fcode_a[lid], payload,
+                 seq, ack),
             )
 
-        return send_on, enqueue_from
-
-    def _inject(self, lid: LinkId, payload: Payload) -> None:
-        self._busy[lid] = True
-        seq = self._injected[lid] + 1
-        self._injected[lid] = seq
-        self._pending[lid] += 1
-        pair = self._pair[lid]
-        if pair is not None:
-            # Pair path: one closure call draws the message delay and the
-            # ack delay the reverse stream would produce at -seq.
-            delay, ack = pair(seq)
-            heappush(
-                self._heap,
-                (self._now + delay, next(self._counter), EV_DELIVER, lid,
-                 payload, seq, ack),
+        def enqueue_from(
+            links: Mapping[NodeId, LinkId], u: NodeId, v: NodeId,
+            payload: Payload, priority: Priority = DEFAULT_PRIORITY,
+        ) -> None:
+            """Node-id send path: one dict probe, then the same body."""
+            lid = links.get(v)
+            if lid is None:
+                raise UnknownLinkError(u, v)
+            if busy_a[lid]:
+                rs = reserved_a[lid]
+                if rs is None:
+                    ob = outbox_a[lid]
+                    if ob is None:
+                        ob = outbox_a[lid] = []
+                    seq = seq_a[lid]
+                    seq_a[lid] = seq + 1
+                    push(ob, (priority, seq, payload))
+                    return
+                free_at = free_at_a[lid]
+                now = rt._now
+                if free_at > now or (free_at == now and rs > rt._active_seq):
+                    reserved_a[lid] = None
+                    pending_a[lid] += 1
+                    rt._fused -= 1
+                    push(heap, (free_at, rs, acode_a[lid]))
+                    ob = outbox_a[lid]
+                    if ob is None:
+                        ob = outbox_a[lid] = []
+                    seq = seq_a[lid]
+                    seq_a[lid] = seq + 1
+                    push(ob, (priority, seq, payload))
+                    return
+                reserved_a[lid] = None
+            elif outbox_a[lid]:
+                ob = outbox_a[lid]
+                seq = seq_a[lid]
+                seq_a[lid] = seq + 1
+                push(ob, (priority, seq, payload))
+                payload = pop(ob)[2]
+            busy_a[lid] = True
+            seq = injected_a[lid] + 1
+            injected_a[lid] = seq
+            pair = pair_a[lid]
+            if pair is not None:
+                delay, ack = pair(seq)
+            else:
+                draw = draw_a[lid]
+                if draw is None:
+                    rt._inject_generic(lid, payload, seq)
+                    return
+                delay = draw(seq)
+                ack = None
+            p = pending_a[lid]
+            pending_a[lid] = p + 1
+            if p == 0:
+                slot_p_a[lid] = payload
+                slot_ack_a[lid] = ack
+                push(heap, (rt._now + delay, next(counter), dcode_a[lid]))
+                return
+            slot_ack_a[lid] = None
+            push(
+                heap,
+                (rt._now + delay, next(counter), fcode_a[lid], payload,
+                 seq, ack),
             )
-            return
-        draw = self._draw[lid]
-        if draw is None:
-            self._inject_generic(lid, payload, seq)
-            return
-        # Stream path: the delay model guarantees the (0, TAU] bound.
-        heappush(
-            self._heap,
-            (self._now + draw(seq), next(self._counter), EV_DELIVER, lid,
-             payload, seq, None),
-        )
+
+        def inject(lid: LinkId, payload: Payload) -> None:
+            """Outbox-drain tail: the link is known free (ack just fired)."""
+            busy_a[lid] = True
+            seq = injected_a[lid] + 1
+            injected_a[lid] = seq
+            pair = pair_a[lid]
+            if pair is not None:
+                delay, ack = pair(seq)
+            else:
+                draw = draw_a[lid]
+                if draw is None:
+                    rt._inject_generic(lid, payload, seq)
+                    return
+                delay = draw(seq)
+                ack = None
+            p = pending_a[lid]
+            pending_a[lid] = p + 1
+            if p == 0:
+                slot_p_a[lid] = payload
+                slot_ack_a[lid] = ack
+                push(heap, (rt._now + delay, next(counter), dcode_a[lid]))
+                return
+            slot_ack_a[lid] = None
+            push(
+                heap,
+                (rt._now + delay, next(counter), fcode_a[lid], payload,
+                 seq, ack),
+            )
+
+        return send_on, enqueue_from, inject
 
     def _inject_generic(self, lid: LinkId, payload: Payload, seq: int) -> None:
         """Draw from an arbitrary DelayModel callable, with bound checks."""
         now = self._now
         u = self._lu[lid]
         v = self._lv[lid]
-        delay_model = self.delay_model
-        delay = delay_model(u, v, seq, now)
+        delay = self.delay_model(u, v, seq, now)
         if not 0.0 < delay <= TAU:
             raise ValueError(
                 f"delay model produced {delay} outside (0, {TAU}] on {u}->{v}"
             )
+        skeleton = self._skeleton
+        p = self._pending[lid]
+        self._pending[lid] = p + 1
+        if p == 0:
+            self._slot_payload[lid] = payload
+            self._slot_ack[lid] = None
+            heappush(
+                self._heap,
+                (now + delay, next(self._counter), skeleton.deliver_codes[lid]),
+            )
+            return
+        self._slot_ack[lid] = None
         heappush(
             self._heap,
-            (now + delay, next(self._counter), EV_DELIVER, lid, payload,
-             seq, None),
+            (now + delay, next(self._counter), skeleton.fat_codes[lid],
+             payload, seq, None),
         )
 
     def _ack_delay(self, lid: LinkId) -> float:
@@ -649,9 +973,19 @@ class AsyncRuntime(EventQueue):
         ``on_delivered`` callback slipped an extra injection in before this
         delivery's acknowledgment was scheduled, the draw must see it —
         byte-for-byte reproducibility against the pre-rework engine depends
-        on this detail.
+        on this detail (fat injections invalidate the slot's pre-drawn ack
+        precisely to route those deliveries here).  Reverse streams are
+        bound lazily, one per link that ever re-draws (the block and pair
+        fast paths pre-draw virtually all acknowledgments, so most replays
+        bind none).
         """
         ack_draw = self._ack_draw[lid]
+        if ack_draw is None:
+            factory = self._stream_factory
+            if factory is not None:
+                ack_draw = self._ack_draw[lid] = factory(
+                    self._lv[lid], self._lu[lid]
+                )
         if ack_draw is not None:
             return ack_draw(-self._injected[lid])
         ack_delay = self.delay_model(
@@ -660,6 +994,55 @@ class AsyncRuntime(EventQueue):
         if not 0.0 < ack_delay <= TAU:
             raise ValueError("delay model produced an invalid ack delay")
         return ack_delay
+
+    def _deliver_fat(self, record: Tuple, now: float) -> float:
+        """Dispatch one fat delivery record (the double-inject race only).
+
+        Returns the fused-ack time when the acknowledgment was fused, else
+        0.0 (the caller folds it into its quiescence horizon).  Mirrors the
+        packed-delivery branch of the run loop exactly, reading the payload
+        / injection number / pre-drawn ack from the record instead of the
+        side slots; rare enough that attribute traffic does not matter.
+        """
+        lid = record[2] - CODE_DELIVER_PAYLOAD
+        payload = record[3]
+        if self.trace is not None:
+            self.trace(now, self._lu[lid], self._lv[lid], payload)
+        ack = record[5]
+        if ack is None or self._injected[lid] != record[4]:
+            ack = self._ack_delay(lid)
+        pending_a = self._pending
+        p_cnt = pending_a[lid] - 1
+        delivered = self._delivered[lid]
+        fused_at = 0.0
+        if delivered is not None and (
+            self._ack_prefix[lid] is None
+            or payload[0] == self._ack_prefix[lid]
+        ):
+            heappush(
+                self._heap,
+                (now + ack, next(self._counter),
+                 self._skeleton.ack_payload_codes[lid], payload),
+            )
+        elif self._outbox[lid] or p_cnt or not self._busy[lid]:
+            heappush(
+                self._heap,
+                (now + ack, next(self._counter),
+                 self._skeleton.ack_codes[lid]),
+            )
+        else:
+            # The caller (run loop) counts the fuse when it sees the
+            # nonzero return — ``fused`` is a loop local there.
+            pending_a[lid] = 0
+            fused_at = now + ack
+            self._free_at[lid] = fused_at
+            self._reserved[lid] = next(self._counter)
+        table = self._table[lid]
+        if table is not None:
+            table[payload[0]](self._lu[lid], payload)
+        else:
+            self._deliver[lid](self._lu[lid], payload)
+        return fused_at
 
     # ------------------------------------------------------------------
     def run(
@@ -670,15 +1053,25 @@ class AsyncRuntime(EventQueue):
         processes = self.processes
         for v in self.graph.nodes:  # ``nodes`` is an ascending range
             self.schedule(0.0, processes[v].on_start)
+        if self._blk_i is not None:
+            # Force a refill on every link: a shared block buffer may have
+            # been dirtied by another replay since construction (sweeps
+            # hand one buffer across replays).  Refills re-derive the same
+            # values from the model's pure streams, so this is free for a
+            # fresh runtime and correct for a resumed one.
+            self._blk_i[:] = self._skeleton.blk_lims
 
         # The dispatch loop, inlined: every construct here is deliberate —
         # record pops, per-kind branches, and the ack push run without any
         # per-event closure or method-resolution cost.  The link table is
         # hoisted into locals (flat list indexing beats attribute traffic on
-        # a per-link object).  ``fired`` and ``acks`` live in locals and are
-        # written back in the ``finally`` so metrics survive early exits and
-        # protocol exceptions alike.  Cyclic GC is paused for the duration
-        # (a discrete-event loop allocates tuples at a rate that trips gen-0
+        # a per-link object), and a record's kind is decided by comparing
+        # its packed code against the kind bases (packed deliveries — the
+        # hottest kind — in a single comparison, bare acknowledgments in
+        # two).  ``fired`` and ``acks`` live in locals and are written back
+        # in the ``finally`` so metrics survive early exits and protocol
+        # exceptions alike.  Cyclic GC is paused for the duration (a
+        # discrete-event loop allocates tuples at a rate that trips gen-0
         # collection constantly and creates no cycles of its own); the
         # ``try/finally`` guarantees the prior GC state is restored even
         # when a ``Process`` handler raises mid-run.
@@ -691,18 +1084,32 @@ class AsyncRuntime(EventQueue):
         lv = self._lv
         busy_a = self._busy
         outbox_a = self._outbox
-        injected_a = self._injected
         pending_a = self._pending
+        slot_p_a = self._slot_payload
+        slot_ack_a = self._slot_ack
         deliver_a = self._deliver
         table_a = self._table
         delivered_a = self._delivered
         prefix_a = self._ack_prefix
         free_at_a = self._free_at
         reserved_a = self._reserved
-        budget = -1 if max_events is None else max_events  # -1: unbounded
+        acode_a = self._skeleton.ack_codes
+        apcode_a = self._skeleton.ack_payload_codes
+        inject = self._inject_link
+        # One counter meters both the event budget and ``events_fired``:
+        # each dispatched record decrements ``budget`` exactly once (batch
+        # included), so the fired count is recovered at exit as the number
+        # of decrements — one bignum increment per event instead of two.
+        # The sentinel for "unbounded" is a value no run can exhaust.
+        budget = (1 << 62) if max_events is None else max_events
+        budget0 = budget
         stop_reason = "quiescent"
-        fired = self._fired
         acks = self.acks
+        # Fuses counted in a local (one add per fused message instead of an
+        # attribute read-modify-write); the send paths' rare materializations
+        # decrement ``self._fused`` directly, and the two are combined in
+        # the ``finally``.
+        fused = 0
         # Latest fused-ack time never materialized as an event; quiescence
         # still accounts for it (Appendix B pays for acknowledgments).
         horizon = 0.0
@@ -720,44 +1127,61 @@ class AsyncRuntime(EventQueue):
                     record = pop(heap)
                     self._now = now = record[0]
                     self._active_seq = record[1]
-                    fired += 1
-                    kind = record[2]
-                    if kind == EV_DELIVER:
-                        lid = record[3]
+                    code = record[2]
+                    if code >= CODE_DELIVER:
+                        lid = code - CODE_DELIVER
                         dst = lv[lid]
                         table = table_a[lid]
                         # Same-time batch: keep consuming heap-top records
-                        # while they are deliveries at this instant for this
-                        # destination (strict (time, seq) order — any other
-                        # record ends the batch).
+                        # while they are packed deliveries at this instant
+                        # for this destination (strict (time, seq) order —
+                        # any other record ends the batch).
                         while True:
-                            payload = record[4]
+                            payload = slot_p_a[lid]
                             acks += 1
-                            # Pre-drawn ack delay (pair path); discarded when
-                            # an on_delivered callback slipped an extra
-                            # injection in before this delivery — the
-                            # historical engine draws at the link's *latest*
-                            # injection number.
-                            ack = record[6]
-                            if ack is None or injected_a[lid] != record[5]:
+                            # Pre-drawn ack delay; a fat injection racing
+                            # this delivery invalidated it, so None covers
+                            # both draw-at-delivery models and the
+                            # historical double-inject redraw.
+                            ack = slot_ack_a[lid]
+                            if ack is None:
+                                # Redraw path: a generic draw-at-delivery
+                                # model, or a fat injection raced this
+                                # delivery (it invalidates the slot ack) —
+                                # only then can other records be outstanding
+                                # or the link be free, so only here does the
+                                # materialize test need the full condition.
                                 ack = self._ack_delay(lid)
-                            p_cnt = pending_a[lid] - 1
-                            delivered = delivered_a[lid]
-                            if outbox_a[lid] or p_cnt or not busy_a[lid] or (
-                                delivered is not None
-                                and (prefix_a[lid] is None
-                                     or payload[0] == prefix_a[lid])
-                            ):
-                                pending_a[lid] = p_cnt + 1
-                                push(heap, (now + ack,
-                                            next(counter), EV_ACK, lid,
-                                            payload))
+                                mat = (outbox_a[lid] or pending_a[lid] - 1
+                                       or not busy_a[lid])
                             else:
-                                # Fuse: no callback, nothing queued, nothing
-                                # else outstanding — reserve the ack's
-                                # identity instead of pushing an event.
+                                # Packed-delivery invariant: a live slot ack
+                                # means nothing else happened on the link —
+                                # exactly one outstanding record (this one),
+                                # still busy, every send queued — so the
+                                # outbox load alone decides.  The kind split
+                                # is decided here so ack dispatch re-checks
+                                # nothing.
+                                mat = outbox_a[lid]
+                            delivered = delivered_a[lid]
+                            if delivered is not None and (
+                                prefix_a[lid] is None
+                                or payload[0] == prefix_a[lid]
+                            ):
+                                # The sender wants this payload's callback:
+                                # the ack materializes regardless of mat.
+                                push(heap, (now + ack, next(counter),
+                                            apcode_a[lid], payload))
+                            elif mat:
+                                push(heap, (now + ack, next(counter),
+                                            acode_a[lid]))
+                            else:
+                                # Fuse: no callback, nothing queued,
+                                # nothing else outstanding — reserve the
+                                # ack's identity instead of pushing an
+                                # event.
                                 pending_a[lid] = 0
-                                self._fused += 1
+                                fused += 1
                                 t_ack = now + ack
                                 free_at_a[lid] = t_ack
                                 reserved_a[lid] = next(counter)
@@ -770,9 +1194,9 @@ class AsyncRuntime(EventQueue):
                             if not heap:
                                 break
                             nxt = heap[0]
-                            if nxt[0] != now or nxt[2] != EV_DELIVER:
+                            if nxt[0] != now or nxt[2] < CODE_DELIVER:
                                 break
-                            lid = nxt[3]
+                            lid = nxt[2] - CODE_DELIVER
                             if lv[lid] != dst:
                                 break
                             if budget == 0:
@@ -780,21 +1204,32 @@ class AsyncRuntime(EventQueue):
                             budget -= 1
                             record = pop(heap)
                             self._active_seq = record[1]
-                            fired += 1
-                    elif kind == EV_ACK:
-                        lid = record[3]
+                    elif code >= CODE_ACK:
+                        # Bare acknowledgment: free the link, drain the
+                        # outbox — no callback or interest checks.
+                        lid = code - CODE_ACK
                         pending_a[lid] -= 1
                         busy_a[lid] = False
-                        delivered = delivered_a[lid]
-                        if delivered is not None:
-                            payload = record[4]
-                            if payload is not None:
-                                prefix = prefix_a[lid]
-                                if prefix is None or payload[0] == prefix:
-                                    delivered(lv[lid], payload)
                         ob = outbox_a[lid]
                         if ob:
-                            self._inject(lid, heappop(ob)[2])
+                            inject(lid, heappop(ob)[2])
+                    elif code >= CODE_ACK_PAYLOAD:
+                        # The sender wants this payload's on_delivered
+                        # (decided at delivery time — nothing re-checked).
+                        lid = code - CODE_ACK_PAYLOAD
+                        pending_a[lid] -= 1
+                        busy_a[lid] = False
+                        delivered_a[lid](lv[lid], record[3])
+                        ob = outbox_a[lid]
+                        if ob:
+                            inject(lid, heappop(ob)[2])
+                    elif code >= CODE_DELIVER_PAYLOAD:
+                        acks += 1
+                        h = self._deliver_fat(record, now)
+                        if h:
+                            fused += 1
+                            if h > horizon:
+                                horizon = h
                     else:
                         record[3]()
             else:
@@ -810,36 +1245,43 @@ class AsyncRuntime(EventQueue):
                     record = pop(heap)
                     self._now = now = record[0]
                     self._active_seq = record[1]
-                    fired += 1
-                    kind = record[2]
-                    if kind == EV_DELIVER:
-                        lid = record[3]
+                    code = record[2]
+                    if code >= CODE_DELIVER:
+                        lid = code - CODE_DELIVER
                         dst = lv[lid]
                         table = table_a[lid]
                         while True:
-                            payload = record[4]
+                            payload = slot_p_a[lid]
                             if trace is not None:
                                 trace(now, lu[lid], dst, payload)
                             acks += 1
-                            ack = record[6]
-                            if ack is None or injected_a[lid] != record[5]:
+                            ack = slot_ack_a[lid]
+                            if ack is None:
+                                # See the fast variant: redraw implies the
+                                # full materialize test.
                                 ack = self._ack_delay(lid)
-                            p_cnt = pending_a[lid] - 1
-                            delivered = delivered_a[lid]
-                            if outbox_a[lid] or p_cnt or not busy_a[lid] or (
-                                delivered is not None
-                                and (prefix_a[lid] is None
-                                     or payload[0] == prefix_a[lid])
-                            ):
-                                pending_a[lid] = p_cnt + 1
-                                push(heap, (now + ack,
-                                            next(counter), EV_ACK, lid,
-                                            payload))
+                                mat = (outbox_a[lid] or pending_a[lid] - 1
+                                       or not busy_a[lid])
                             else:
-                                # Fuse: reserve the ack's identity instead of
-                                # pushing an event (see the fast variant).
+                                # Packed-delivery invariant: the outbox
+                                # load alone decides.
+                                mat = outbox_a[lid]
+                            delivered = delivered_a[lid]
+                            if delivered is not None and (
+                                prefix_a[lid] is None
+                                or payload[0] == prefix_a[lid]
+                            ):
+                                push(heap, (now + ack, next(counter),
+                                            apcode_a[lid], payload))
+                            elif mat:
+                                push(heap, (now + ack, next(counter),
+                                            acode_a[lid]))
+                            else:
+                                # Fuse: reserve the ack's identity
+                                # instead of pushing an event (see the
+                                # fast variant).
                                 pending_a[lid] = 0
-                                self._fused += 1
+                                fused += 1
                                 t_ack = now + ack
                                 free_at_a[lid] = t_ack
                                 reserved_a[lid] = next(counter)
@@ -854,9 +1296,9 @@ class AsyncRuntime(EventQueue):
                             if not heap:
                                 break
                             nxt = heap[0]
-                            if nxt[0] != now or nxt[2] != EV_DELIVER:
+                            if nxt[0] != now or nxt[2] < CODE_DELIVER:
                                 break
-                            lid = nxt[3]
+                            lid = nxt[2] - CODE_DELIVER
                             if lv[lid] != dst:
                                 break
                             if budget == 0:
@@ -864,28 +1306,36 @@ class AsyncRuntime(EventQueue):
                             budget -= 1
                             record = pop(heap)
                             self._active_seq = record[1]
-                            fired += 1
-                    elif kind == EV_ACK:
-                        lid = record[3]
+                    elif code >= CODE_ACK:
+                        lid = code - CODE_ACK
                         pending_a[lid] -= 1
                         busy_a[lid] = False
-                        delivered = delivered_a[lid]
-                        if delivered is not None:
-                            payload = record[4]
-                            if payload is not None:
-                                prefix = prefix_a[lid]
-                                if prefix is None or payload[0] == prefix:
-                                    delivered(lv[lid], payload)
                         ob = outbox_a[lid]
                         if ob:
-                            self._inject(lid, heappop(ob)[2])
+                            inject(lid, heappop(ob)[2])
+                    elif code >= CODE_ACK_PAYLOAD:
+                        lid = code - CODE_ACK_PAYLOAD
+                        pending_a[lid] -= 1
+                        busy_a[lid] = False
+                        delivered_a[lid](lv[lid], record[3])
+                        ob = outbox_a[lid]
+                        if ob:
+                            inject(lid, heappop(ob)[2])
+                    elif code >= CODE_DELIVER_PAYLOAD:
+                        acks += 1
+                        h = self._deliver_fat(record, now)
+                        if h:
+                            fused += 1
+                            if h > horizon:
+                                horizon = h
                     else:
                         record[3]()
         finally:
             if gc_was_enabled:
                 gc.enable()
-            self._fired = fired
+            self._fired += budget0 - budget
             self.acks = acks
+            self._fused += fused
             self.messages = sum(self._injected)
         quiescence = self._now
         if max_time is None:

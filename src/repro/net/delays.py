@@ -115,6 +115,37 @@ class DelayModel(Protocol):
 # the rare delivery whose link acquired an extra in-flight injection (see
 # ``AsyncRuntime``): such acks must be re-drawn at the link's *latest*
 # injection number to stay byte-identical with the reference engine.
+#
+# Finally, models may expose ``block_stream(u, v) -> fill`` where
+#
+#     fill(buf, base, start, n) -> None
+#
+# writes the (message delay, ack delay) pairs for injection numbers
+# ``start, start+1, ..., start+n-1`` into the flat float buffer ``buf`` at
+# ``buf[base + 2*k]`` / ``buf[base + 2*k + 1]`` — exactly the values
+# ``pair_stream(u, v)(start + k)`` would return, bit-for-bit (pinned by
+# ``tests/test_delays.py`` over 10k triples including block boundaries).
+# ``buf`` is any index-assignable float sequence — the transport passes a
+# plain list (see ``make_block_buffer``; an ``array('d')`` was measured
+# and rejected there), but fills must stick to indexed stores rather than
+# list-slice assignment so array-like buffers keep working too.  The
+# transport refills one
+# block of :data:`BLOCK_PAIRS` pairs per call and then serves
+# :data:`BLOCK_PAIRS` consecutive injections from two indexed loads each,
+# eliminating the per-message closure call (and its result tuple) from the
+# send hot path; per-link injection numbers are strictly sequential, so
+# blocks are always drawn in order and never re-queried.  A block is
+# filled eagerly — a link that sends fewer than BLOCK_PAIRS messages
+# wastes the tail draws — which is why the block is small.
+
+#: Pairs per block fill.  Small on purpose: a block is drawn eagerly, so a
+#: link that sends m messages wastes ``(-m) % BLOCK_PAIRS`` tail draws, and
+#: every resident block adds float objects to the engine's working set —
+#: measured at n=256-1024, the cache pressure of big blocks costs more than
+#: the amortization saves (DESIGN.md §9).  8 keeps the wasted tail and the
+#: footprint (16 floats per active link) negligible while still cutting the
+#: per-message model call to one-eighth.
+BLOCK_PAIRS = 8
 
 
 class ConstantDelay:
@@ -136,6 +167,15 @@ class ConstantDelay:
         pair = (self.value, self.value)
         return lambda seq: pair
 
+    def block_stream(self, u: NodeId, v: NodeId):
+        value = self.value
+
+        def fill(buf, base: int, start: int, n: int) -> None:
+            for i in range(base, base + 2 * n):
+                buf[i] = value
+
+        return fill
+
     def __repr__(self) -> str:
         return f"ConstantDelay({self.value})"
 
@@ -149,7 +189,7 @@ class UniformDelay:
     """
 
     __slots__ = ("seed", "low", "high", "_span", "_seed64", "_links", "_streams",
-                 "_pairs")
+                 "_pairs", "_blocks")
 
     def __init__(self, seed: int, low: float = _MIN_DELAY, high: float = TAU) -> None:
         if not 0 < low <= high <= TAU:
@@ -162,6 +202,7 @@ class UniformDelay:
         self._links: Dict[Tuple[NodeId, NodeId], float] = {}
         self._streams: Dict[Tuple[NodeId, NodeId], object] = {}
         self._pairs: Dict[Tuple[NodeId, NodeId], object] = {}
+        self._blocks: Dict[Tuple[NodeId, NodeId], object] = {}
 
     def __call__(self, u: NodeId, v: NodeId, seq: int, now: float) -> float:
         links = self._links
@@ -205,6 +246,28 @@ class UniformDelay:
 
         self._pairs[(u, v)] = pair
         return pair
+
+    def block_stream(self, u: NodeId, v: NodeId):
+        fill = self._blocks.get((u, v))
+        if fill is not None:
+            return fill
+        fwd = _link_base(self._seed64, u, v) * _INV_2_32
+        rev = _link_base(self._seed64, v, u) * _INV_2_32
+        low = self.low
+        span = self._span
+
+        def fill(buf, base: int, start: int, n: int) -> None:
+            # Same expressions as pair_stream's draw, seq by seq (the ack at
+            # the negated seq: ``rev - k*phi`` equals ``rev + (-k)*phi``
+            # bit-for-bit under IEEE negation), so the three APIs agree.
+            i = base
+            for k in range(start, start + n):
+                buf[i] = low + span * ((fwd + k * _WEYL) % 1.0)
+                buf[i + 1] = low + span * ((rev - k * _WEYL) % 1.0)
+                i += 2
+
+        self._blocks[(u, v)] = fill
+        return fill
 
     def __repr__(self) -> str:
         return f"UniformDelay(seed={self.seed}, low={self.low}, high={self.high})"
@@ -299,6 +362,49 @@ class BimodalDelay:
 
         return pair
 
+    def block_stream(self, u: NodeId, v: NodeId):
+        pick_f = _link_base(self._pick64, u, v)
+        fast_f = _link_base(self._fast64, u, v)
+        pick_r = _link_base(self._pick64, v, u)
+        fast_r = _link_base(self._fast64, v, u)
+        slow_fraction = self.slow_fraction
+        fast = self.fast
+
+        def fill(buf, base: int, start: int, n: int) -> None:
+            # _unit inlined, identical arithmetic to pair_stream (bit-equal).
+            i = base
+            for k in range(start, start + n):
+                x = (pick_f ^ (k * _K1)) & _MASK32
+                x = (((x >> 16) ^ x) * _C1) & _MASK32
+                x = (((x >> 16) ^ x) * _C1) & _MASK32
+                if (((x >> 16) ^ x) + 1) * _INV_2_32 <= slow_fraction:
+                    d = TAU
+                else:
+                    x = (fast_f ^ (k * _K1)) & _MASK32
+                    x = (((x >> 16) ^ x) * _C1) & _MASK32
+                    x = (((x >> 16) ^ x) * _C1) & _MASK32
+                    d = fast * ((((x >> 16) ^ x) + 1) * _INV_2_32)
+                    if d <= _MIN_DELAY:
+                        d = _MIN_DELAY
+                rs = -k
+                x = (pick_r ^ (rs * _K1)) & _MASK32
+                x = (((x >> 16) ^ x) * _C1) & _MASK32
+                x = (((x >> 16) ^ x) * _C1) & _MASK32
+                if (((x >> 16) ^ x) + 1) * _INV_2_32 <= slow_fraction:
+                    a = TAU
+                else:
+                    x = (fast_r ^ (rs * _K1)) & _MASK32
+                    x = (((x >> 16) ^ x) * _C1) & _MASK32
+                    x = (((x >> 16) ^ x) * _C1) & _MASK32
+                    a = fast * ((((x >> 16) ^ x) + 1) * _INV_2_32)
+                    if a <= _MIN_DELAY:
+                        a = _MIN_DELAY
+                buf[i] = d
+                buf[i + 1] = a
+                i += 2
+
+        return fill
+
     def __repr__(self) -> str:
         return f"BimodalDelay(seed={self.seed}, slow_fraction={self.slow_fraction})"
 
@@ -392,6 +498,42 @@ class SlowEdgesDelay:
 
         return pair
 
+    def block_stream(self, u: NodeId, v: NodeId):
+        if self._is_slow(u, v):
+            # The slow class is symmetric (see _is_slow): message and ack
+            # directions are both maximally slow.
+            def fill_slow(buf, base: int, start: int, n: int) -> None:
+                for i in range(base, base + 2 * n):
+                    buf[i] = TAU
+
+            return fill_slow
+        fast_f = _link_base(self._fast64, u, v)
+        fast_r = _link_base(self._fast64, v, u)
+        fast = self.fast
+
+        def fill(buf, base: int, start: int, n: int) -> None:
+            # _unit inlined, identical arithmetic to pair_stream (bit-equal).
+            i = base
+            for k in range(start, start + n):
+                x = (fast_f ^ (k * _K1)) & _MASK32
+                x = (((x >> 16) ^ x) * _C1) & _MASK32
+                x = (((x >> 16) ^ x) * _C1) & _MASK32
+                d = fast * ((((x >> 16) ^ x) + 1) * _INV_2_32)
+                if d <= _MIN_DELAY:
+                    d = _MIN_DELAY
+                rs = -k
+                x = (fast_r ^ (rs * _K1)) & _MASK32
+                x = (((x >> 16) ^ x) * _C1) & _MASK32
+                x = (((x >> 16) ^ x) * _C1) & _MASK32
+                a = fast * ((((x >> 16) ^ x) + 1) * _INV_2_32)
+                if a <= _MIN_DELAY:
+                    a = _MIN_DELAY
+                buf[i] = d
+                buf[i + 1] = a
+                i += 2
+
+        return fill
+
     def __repr__(self) -> str:
         return f"SlowEdgesDelay(seed={self.seed})"
 
@@ -438,6 +580,24 @@ class AlternatingDelay:
 
         return pair
 
+    def block_stream(self, u: NodeId, v: NodeId):
+        phase_f = _unit(_link_base(self._seed64, u, v), 0) < 0.5
+        phase_r = _unit(_link_base(self._seed64, v, u), 0) < 0.5
+        fwd = (TAU, 0.01) if phase_f else (0.01, TAU)  # [odd parity, even]
+        rev = (TAU, 0.01) if phase_r else (0.01, TAU)
+
+        def fill(buf, base: int, start: int, n: int) -> None:
+            # (-k) % 2 == k % 2 in sign-magnitude parity terms, so the ack
+            # shares the message's parity — same as pair_stream.
+            i = base
+            for k in range(start, start + n):
+                even = k % 2 == 0
+                buf[i] = fwd[even]
+                buf[i + 1] = rev[even]
+                i += 2
+
+        return fill
+
     def __repr__(self) -> str:
         return f"AlternatingDelay(seed={self.seed})"
 
@@ -469,6 +629,19 @@ class DirectionalSkewDelay:
             TAU if (u > v) == self.slow_up else 0.02,
         )
         return lambda seq: pair
+
+    def block_stream(self, u: NodeId, v: NodeId):
+        d = TAU if (v > u) == self.slow_up else 0.02
+        a = TAU if (u > v) == self.slow_up else 0.02
+
+        def fill(buf, base: int, start: int, n: int) -> None:
+            i = base
+            for _ in range(n):
+                buf[i] = d
+                buf[i + 1] = a
+                i += 2
+
+        return fill
 
     def __repr__(self) -> str:
         return f"DirectionalSkewDelay(seed={self.seed}, slow_up={self.slow_up})"

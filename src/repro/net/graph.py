@@ -25,6 +25,26 @@ def edge_key(u: NodeId, v: NodeId) -> Edge:
     return (u, v) if u < v else (v, u)
 
 
+class UnknownLinkError(ValueError):
+    """A send names a destination with no directed link from the sender.
+
+    Raised by both message-passing engines — the asynchronous transport's
+    link table and the synchronous engine's per-pulse send API — so a
+    non-neighbor destination fails identically everywhere, naming both
+    endpoints at the send site.  Subclasses :class:`ValueError` so callers
+    that guarded against the historical ``ValueError("no link u -> v")``
+    keep working.
+    """
+
+    def __init__(self, u: NodeId, v: NodeId) -> None:
+        super().__init__(
+            f"no link {u} -> {v}: node {u} has no directed link to {v}"
+            " (sends are restricted to graph neighbors)"
+        )
+        self.u = u
+        self.v = v
+
+
 class Graph:
     """An immutable undirected graph over nodes ``0..n-1``.
 

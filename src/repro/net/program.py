@@ -40,7 +40,7 @@ from typing import (
 
 from weakref import WeakKeyDictionary
 
-from .graph import Graph, NodeId
+from .graph import Graph, NodeId, UnknownLinkError
 
 Payload = Any
 ArrivedBatch = Tuple[Tuple[NodeId, Payload], ...]
@@ -90,9 +90,10 @@ class PulseApi:
 
     def send(self, neighbor: NodeId, payload: Payload) -> None:
         if neighbor not in self._info.edge_weights:
-            raise ValueError(
-                f"node {self._info.node_id} has no neighbor {neighbor}"
-            )
+            # Same error as the asynchronous transport's link table: a
+            # non-neighbor destination fails identically on both engines,
+            # naming both endpoints at the send site.
+            raise UnknownLinkError(self._info.node_id, neighbor)
         if any(to == neighbor for to, _ in self._sends):
             raise ValueError(
                 f"node {self._info.node_id} sent twice to {neighbor} in one pulse"

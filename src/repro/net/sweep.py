@@ -12,14 +12,18 @@ model from that shared immutable state.
 
 What is and is not shared (the contract the equivalence tests pin):
 
-* shared across replays: the graph, the link-id skeleton (endpoint arrays
-  and per-node outgoing maps), the process factory (protocol sweeps such as
-  :class:`repro.core.sweep.SynchronizerSweep` attach covers, registry views,
-  pulse tables and node infos to it exactly once), and the accounting flags;
-* rebuilt per replay: every piece of mutable state — link slots, outboxes,
-  the event heap, process instances — so each replay is byte-identical to a
-  standalone ``AsyncRuntime`` run under the same delay model, and replay
-  order cannot leak state between models.
+* shared across replays: the graph, the link-id skeleton (endpoint arrays,
+  per-node outgoing maps, packed event codes), the process factory
+  (protocol sweeps such as :class:`repro.core.sweep.SynchronizerSweep`
+  attach covers, registry views, pulse tables and node infos to it exactly
+  once), the accounting flags, and — as pure scratch — one flat delay-block
+  buffer (DESIGN.md §9) whose *allocation* is amortized across replays
+  while its contents are refilled per replay from each model's pure
+  streams;
+* rebuilt per replay: every piece of mutable state — link slots, side
+  slots, block cursors, outboxes, the event heap, process instances — so
+  each replay is byte-identical to a standalone ``AsyncRuntime`` run under
+  the same delay model, and replay order cannot leak state between models.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from .async_runtime import (
     Process,
     ProcessContext,
     link_skeleton_for,
+    make_block_buffer,
 )
 from .delays import DelayModel
 from .graph import Graph, NodeId
@@ -92,7 +97,7 @@ class AsyncSweep:
     """Replay one (graph, protocol) workload under many delay models."""
 
     __slots__ = ("graph", "process_factory", "count_acks", "count_fused_acks",
-                 "_skeleton")
+                 "_skeleton", "_block_buffer")
 
     def __init__(
         self,
@@ -109,9 +114,26 @@ class AsyncSweep:
         # (and shared with any standalone runtime over the same graph
         # through the per-graph cache).
         self._skeleton = link_skeleton_for(graph)
+        # One flat delay-block buffer (num_links * BLOCK_SPAN floats,
+        # DESIGN.md §9) handed to every replay, so the sweep pays the
+        # allocation once instead of once per delay model.  Pure scratch:
+        # each replay resets its per-link cursors and refills from its own
+        # model's pure streams, so replay order cannot leak through it —
+        # replays only must not run concurrently, which ``run_all`` (and
+        # every other sequential driver) satisfies by construction.
+        # Allocated lazily on first use: models without ``block_stream``
+        # never need it.
+        self._block_buffer = None
 
     def runtime(self, delay_model: DelayModel, trace: Optional[TraceFn] = None) -> AsyncRuntime:
         """A fresh runtime over the shared skeleton (one replay's engine)."""
+        block_buffer = None
+        if getattr(delay_model, "block_stream", None) is not None:
+            block_buffer = self._block_buffer
+            if block_buffer is None:
+                block_buffer = self._block_buffer = make_block_buffer(
+                    self._skeleton.num_links
+                )
         return AsyncRuntime(
             self.graph,
             self.process_factory,
@@ -120,6 +142,7 @@ class AsyncSweep:
             trace=trace,
             count_fused_acks=self.count_fused_acks,
             skeleton=self._skeleton,
+            block_buffer=block_buffer,
         )
 
     def run(

@@ -11,6 +11,13 @@ The runtime reports the two quantities the paper's bounds are stated in:
 * time complexity ``T(A)`` — rounds until the last node produces its output
   (the "time to output" definition of Appendix B);
 * message complexity ``M(A)`` — total messages sent.
+
+Error parity with the asynchronous engine: a send to a non-neighbor fails
+at the send site with :class:`~repro.net.graph.UnknownLinkError` naming
+both endpoints (raised by :meth:`~repro.net.program.PulseApi.send`, the
+only send path into this runtime), exactly as the asynchronous transport's
+link table does — a program that oversteps the CONGEST neighborhood gets
+the same diagnostic on both engines instead of an engine-specific error.
 """
 
 from __future__ import annotations

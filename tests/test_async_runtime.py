@@ -231,6 +231,84 @@ class TestMaxTimeBoundary:
         assert result.stop_reason == "quiescent"
 
 
+class TestReservedAckIdentity:
+    """A fused ack's reserved (time, seq) identity survives materialization.
+
+    When a later send has to wait on a fused acknowledgment, the deferred
+    drain event must fire at *exactly* the (time, seq) the reservation
+    recorded at fuse time — not at a freshly drawn sequence number — or
+    packed-record schedules drift from the reference engine wherever
+    another event ties at the same instant.
+    """
+
+    def test_materialized_drain_fires_at_reserved_time_and_seq(self):
+        g = topology.path_graph(2)
+        seen = []
+
+        class Resend(Process):
+            def on_start(self):
+                if self.ctx.node_id == 0:
+                    self.ctx.send(1, ("m", 0))
+                    # t=1.25: schedule a probe for t=2.0.  Its sequence
+                    # number is allocated at t=1.25 — *after* the fuse at
+                    # t=1.0 reserved the ack's identity — so the drain
+                    # (reserved seq) must fire first at t=2.0 even though
+                    # the probe entered the heap before the drain was
+                    # materialized.
+                    self.ctx.schedule_environment_event(1.25, self._arm)
+                    self.ctx.schedule_environment_event(1.5, self._resend)
+
+            def _arm(self):
+                self.ctx.schedule_environment_event(
+                    0.75, lambda: seen.append(runtime._injected[lid])
+                )
+
+            def _resend(self):
+                # Materializes the reservation (free_at=2.0 > now=1.5) and
+                # queues behind it.
+                self.ctx.send(1, ("m", 1))
+
+            def on_message(self, sender, payload):
+                arrivals = getattr(self, "arrivals", [])
+                arrivals.append((self.ctx.now, payload))
+                self.arrivals = arrivals
+                self.ctx.set_output(list(arrivals))
+
+        runtime = AsyncRuntime(g, Resend, ConstantDelay(1.0))
+        lid = runtime._out[0][1]
+        result = runtime.run()
+        # msg0 delivered at 1.0 (ack fused, due 2.0); msg1 waits on the
+        # materialized drain at exactly (2.0, reserved seq) and lands at 3.0.
+        assert [t for t, _ in result.outputs[1]] == [1.0, 3.0]
+        # The probe fired at the same instant (2.0) but with a later seq:
+        # the drain had already injected msg1 when it ran.  A fresh-seq
+        # materialization would have run the probe first and seen 1.
+        assert seen == [2]
+        assert result.time_to_quiescence == 4.0  # msg1's ack (fused) at 4.0
+
+    def test_drop_path_when_reservation_lies_in_the_past(self):
+        g = topology.path_graph(2)
+
+        class LateResend(Process):
+            def on_start(self):
+                if self.ctx.node_id == 0:
+                    self.ctx.send(1, ("m", 0))
+                    # t=2.5 > free_at=2.0: the reservation is logically
+                    # dead; the send must inject immediately, not wait.
+                    self.ctx.schedule_environment_event(
+                        2.5, lambda: self.ctx.send(1, ("m", 1))
+                    )
+
+            def on_message(self, sender, payload):
+                arrivals = getattr(self, "arrivals", [])
+                arrivals.append((self.ctx.now, payload))
+                self.arrivals = arrivals
+                self.ctx.set_output(list(arrivals))
+
+        result = run_asynchronous(g, LateResend, ConstantDelay(1.0))
+        assert [t for t, _ in result.outputs[1]] == [1.0, 3.5]
+
+
 class TestFusedAckAccounting:
     """The ``count_fused_acks`` opt-out restores raw event accounting."""
 

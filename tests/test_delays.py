@@ -14,6 +14,7 @@ from repro.net import (
     UniformDelay,
     standard_adversaries,
 )
+from repro.net.delays import BLOCK_PAIRS
 
 ALL_MODELS = standard_adversaries(seed=11)
 
@@ -186,3 +187,69 @@ class TestStreamConsistency:
                 d, a = pair(seq)
                 assert 0 < d <= TAU
                 assert 0 < a <= TAU
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=[repr(m) for m in ALL_MODELS])
+    def test_block_stream_matches_pair_stream_and_direct_calls(self, model):
+        """``fill(buf, base, start, n)`` writes exactly the pair_stream /
+        direct-call values, bit-for-bit, over 10k (u, v, seq) triples.
+
+        The transport serves BLOCK_PAIRS consecutive injections from one
+        fill and refills exactly at block boundaries, so the sweep includes
+        block-crossing start positions; per-pair equality against the
+        direct ``__call__`` covers the ack at the negated seq too.
+        """
+        B = BLOCK_PAIRS
+        for u, v in self.PAIRS:  # 50 pairs x 100 seqs x 2 draws = 10k
+            fill = model.block_stream(u, v)
+            pair = model.pair_stream(u, v)
+            buf = [0.0] * (2 * 100 + 4)
+            # One aligned block sweep (seqs 1..100 in chunks of B, as the
+            # transport consumes them) at a nonzero base offset.
+            for start in range(1, 101, B):
+                n = min(B, 101 - start)
+                fill(buf, 4, start, n)
+                for k in range(n):
+                    seq = start + k
+                    d, a = buf[4 + 2 * k], buf[4 + 2 * k + 1]
+                    assert (d, a) == pair(seq), (u, v, seq)
+                    assert d == model(u, v, seq, 0.0), (u, v, seq)
+                    assert a == model(v, u, -seq, 0.0), (u, v, seq)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=[repr(m) for m in ALL_MODELS])
+    @pytest.mark.parametrize("start", [BLOCK_PAIRS - 1, BLOCK_PAIRS,
+                                       BLOCK_PAIRS + 1])
+    def test_block_stream_at_block_boundary_seqs(self, model, start):
+        """Blocks beginning at seqs B-1, B, B+1 (the refill boundaries a
+        link crosses when its block cycles) agree with pair_stream."""
+        fill = model.block_stream(3, 9)
+        pair = model.pair_stream(3, 9)
+        buf = [0.0] * (2 * BLOCK_PAIRS)
+        fill(buf, 0, start, BLOCK_PAIRS)
+        for k in range(BLOCK_PAIRS):
+            assert (buf[2 * k], buf[2 * k + 1]) == pair(start + k), start + k
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        model_idx=st.integers(min_value=0, max_value=len(ALL_MODELS) - 1),
+        u=st.integers(min_value=0, max_value=80),
+        v=st.integers(min_value=0, max_value=80),
+        start=st.integers(min_value=1, max_value=3 * BLOCK_PAIRS + 2),
+        n=st.integers(min_value=1, max_value=2 * BLOCK_PAIRS),
+        base=st.integers(min_value=0, max_value=7),
+    )
+    def test_block_stream_property_arbitrary_windows(
+        self, seed, model_idx, u, v, start, n, base
+    ):
+        """Property: any (model, link, window) fill equals per-seq
+        pair_stream draws — arbitrary bases, lengths, and starts,
+        including every block-boundary seq."""
+        if u == v:
+            v = u + 1
+        model = standard_adversaries(seed)[model_idx]
+        fill = model.block_stream(u, v)
+        pair = model.pair_stream(u, v)
+        buf = [None] * (base + 2 * n)
+        fill(buf, base, start, n)
+        for k in range(n):
+            assert (buf[base + 2 * k], buf[base + 2 * k + 1]) == pair(start + k)

@@ -272,6 +272,68 @@ def test_double_inject_ack_fallback_equivalence(seed, burst, extra, model_idx):
     _assert_equivalent(ref_trace, ref_result, new_trace, new_result)
 
 
+class EnvResender(Process):
+    """Sends on one link at environment-chosen times.
+
+    Each later send races the previous message's *fused* acknowledgment
+    (nothing waits on these acks, so they are reservations, not events):
+    depending on the adversary's draws the send either waits on the
+    materialized drain — which must fire at exactly the reserved
+    (time, seq) identity — or finds the reservation in the logical past and
+    injects immediately.  Trace equivalence against the reference engine
+    (which pushes every ack eagerly with the same sequence numbers) pins
+    the identity on both engines, including ties at the drain instant.
+    """
+
+    times = (0.5, 1.5)
+
+    def on_start(self):
+        if self.ctx.node_id == 0:
+            self.ctx.send(1, ("m", 0))
+            for i, delay in enumerate(self.times):
+                self.ctx.schedule_environment_event(
+                    delay, lambda i=i: self.ctx.send(1, ("m", i + 1))
+                )
+
+    def on_message(self, sender, payload):
+        log = getattr(self, "log", [])
+        log.append((self.ctx.now, payload))
+        self.log = log
+        self.ctx.set_output(list(log))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    model_idx=st.integers(min_value=0, max_value=7),
+    times=st.lists(
+        st.floats(min_value=0.01, max_value=6.0, allow_nan=False,
+                  allow_infinity=False),
+        min_size=1, max_size=5,
+    ),
+)
+def test_reserved_ack_identity_under_materialization(seed, model_idx, times):
+    """Property: deferred drains fire at exactly their reserved (time, seq)
+    on both engines — environment sends at arbitrary times race the fused
+    acknowledgments of earlier messages on the same link, covering both the
+    materialize (reservation in the logical future) and drop (logical past)
+    paths across the whole adversary family."""
+    graph = topology.path_graph(2)
+    process_cls = type("EnvResend", (EnvResender,), {"times": tuple(times)})
+    ref_model = standard_adversaries(seed)[model_idx]
+    new_model = standard_adversaries(seed)[model_idx]
+    ref_trace, new_trace = [], []
+    ref_result = ReferenceRuntime(
+        graph, process_cls, ref_model,
+        trace=lambda t, u, v, p: ref_trace.append((t, u, v, p)),
+    ).run()
+    new_result = AsyncRuntime(
+        graph, process_cls, new_model,
+        trace=lambda t, u, v, p: new_trace.append((t, u, v, p)),
+    ).run()
+    _assert_equivalent(ref_trace, ref_result, new_trace, new_result)
+
+
 TOPOLOGIES = {
     "cycle12": lambda: topology.cycle_graph(12),
     "grid3x4": lambda: topology.grid_graph(3, 4),

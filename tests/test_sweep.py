@@ -71,6 +71,44 @@ def test_async_sweep_replays_are_order_independent():
     assert first == again
 
 
+def test_sweep_shares_one_block_buffer_across_replays():
+    """The flat delay-block buffer is allocated once per sweep and handed
+    to every replay (DESIGN.md §9); replays reset their cursors, so the
+    shared scratch cannot leak one model's draws into the next — pinned by
+    the byte-identity tests above, asserted structurally here."""
+    graph = topology.cycle_graph(10)
+    models = standard_adversaries(4)
+    sweep = AsyncSweep(graph, Gossip)
+    rt1 = sweep.runtime(models[2])
+    buf = sweep._block_buffer
+    assert buf is not None and rt1._blk_buf is buf
+    rt2 = sweep.runtime(models[3])
+    assert rt2._blk_buf is buf
+    assert sweep._block_buffer is buf  # no reallocation per replay
+    # A standalone runtime allocates its own scratch: nothing is shared
+    # outside the sweep's sequential replays.
+    from repro.net import AsyncRuntime
+
+    solo = AsyncRuntime(graph, Gossip, models[2])
+    assert solo._blk_buf is not buf
+
+
+def test_interleaved_runtime_construction_over_shared_buffer():
+    """Construct-construct-run-run over one sweep buffer: each run() resets
+    its block cursors on entry, so a replay constructed before another
+    replay dirtied the shared scratch still reproduces its model's draws
+    exactly (the refill start is the current injection number)."""
+    graph = topology.grid_graph(3, 4)
+    models = standard_adversaries(6)
+    sweep = AsyncSweep(graph, Gossip)
+    rt_a = sweep.runtime(models[2])
+    rt_b = sweep.runtime(models[3])
+    result_b = rt_b.run()   # dirties the buffer rt_a captured
+    result_a = rt_a.run()
+    assert result_a == sweep.run(models[2])
+    assert result_b == sweep.run(models[3])
+
+
 @pytest.mark.parametrize("spec_factory", [
     lambda: bfs_spec(0),
     lambda: broadcast_echo_spec(0),

@@ -5,6 +5,7 @@ import pytest
 from repro.net import (
     NodeProgram,
     ProgramSpec,
+    UnknownLinkError,
     all_nodes_initiate,
     run_synchronous,
     single_initiator,
@@ -121,6 +122,45 @@ class TestRuntimeDiscipline:
         g = topology.path_graph(3)
         spec = ProgramSpec("double", DoubleSendProgram, all_nodes_initiate)
         with pytest.raises(ValueError, match="sent twice"):
+            run_synchronous(g, spec)
+
+    def test_send_to_non_neighbor_rejected_with_unknown_link_error(self):
+        """Parity with the asynchronous engine: a non-neighbor send fails
+        at the send site with UnknownLinkError naming both endpoints (and
+        still a ValueError for callers guarding on the historical type)."""
+        g = topology.path_graph(3)
+
+        class Skips(NodeProgram):
+            def on_start(self, api):
+                if self.info.node_id == 0:
+                    api.send(2, "skip")  # 0-2 is not an edge of the path
+
+            def on_pulse(self, api, arrived):  # pragma: no cover
+                pass
+
+        spec = ProgramSpec("skips", Skips, all_nodes_initiate)
+        with pytest.raises(UnknownLinkError, match=r"no link 0 -> 2") as exc:
+            run_synchronous(g, spec)
+        assert exc.value.u == 0
+        assert exc.value.v == 2
+        # Callers guarding on the historical ValueError keep working.
+        assert isinstance(exc.value, ValueError)
+
+    def test_send_from_isolated_node_rejected(self):
+        from repro.net import Graph
+
+        g = Graph(3, [(0, 1)])
+
+        class Lonely(NodeProgram):
+            def on_start(self, api):
+                if self.info.node_id == 2:
+                    api.send(0, "hello")
+
+            def on_pulse(self, api, arrived):  # pragma: no cover
+                pass
+
+        spec = ProgramSpec("lonely", Lonely, all_nodes_initiate)
+        with pytest.raises(UnknownLinkError, match=r"no link 2 -> 0"):
             run_synchronous(g, spec)
 
     def test_max_rounds_guard(self):
