@@ -39,6 +39,29 @@ Notes from trial runs (keep in mind before comparing numbers):
   ``perf_regression.py --quick`` (print-only — per the above, never
   ``--check`` or ``--write`` against the CPython-calibrated baseline
   from PyPy).
+
+Reading ``perf_regression.py --profile`` output under host drift
+----------------------------------------------------------------
+
+The profile lane (``--profile <workload>``) exists so hot-spot *claims*
+(DESIGN.md §9/§10: "X% of wall is protocol handlers") are reproducible,
+but two caveats apply on shared or drifting hosts:
+
+* **Ratios are trustworthy, absolute times are not.**  Wall clocks on
+  this class of host drift ±30% between load windows, and cProfile adds
+  ~1µs of overhead per call on top, inflating call-heavy code (many
+  small protocol handlers) relative to loop-heavy code (the inlined
+  event loop).  Compare the *shares* of two functions within one profile
+  — never a profiled time against a plain wall clock, and never two
+  profiles from different windows.
+* **Decide speedups with interleaved A/B, not with the profiler.**  The
+  profile tells you *where* to aim; whether a change landed is decided
+  by order-balanced interleaved A/B runs (old, new, new, old, ...) whose
+  trimmed-mean ratio cancels drift that hits both sides — the same
+  discipline `measure()` applies to the sweep-vs-independent pairs.
+  §9 and §10 both record cases where the profiler said "hot" but the
+  interleaved A/B said "parity": the per-call costs were already at the
+  CPython floor, so redistributing them moved shares, not walls.
 """
 
 from __future__ import annotations

@@ -24,6 +24,15 @@ Usage:
                                                     #   (>30% throughput drop
                                                     #    or any determinism
                                                     #    mismatch)
+    python benchmarks/perf_regression.py \
+        --workloads sync-bfs/cycle/256,tbfs-16      # substring-select the
+                                                    #   matrix (the CI
+                                                    #   protocol-bench step)
+    python benchmarks/perf_regression.py \
+        --profile tbfs-16/cycle/256                 # cProfile one workload,
+                                                    #   print the top-N
+                                                    #   cumulative/tottime
+                                                    #   rows
 
 Wall times on shared CI machines are noisy and CI runners are not the
 machine that wrote the baseline; the gate therefore (a) uses best-of-N
@@ -44,6 +53,7 @@ import statistics
 import sys
 import time
 from pathlib import Path
+from typing import Optional
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
@@ -320,7 +330,45 @@ def _record_entry(results: dict, name: str, walls: list, result) -> None:
           f"{result.messages:>7} msgs   {results[name]['outputs_digest']}")
 
 
-def measure(quick: bool, reps: int = 5) -> dict:
+def profile_workload(name: str, top: int = 25) -> int:
+    """cProfile one workload and print the top-``top`` rows.
+
+    The workload is warmed once (covers, registries, pulse bounds and
+    skeletons come from per-graph caches, exactly as the timed reps see
+    them), then a single run is profiled.  Output is printed twice —
+    sorted by *cumulative* time (who is responsible, including callees:
+    the protocol-layer hot-spot view DESIGN.md §9/§10 cite) and by
+    *tottime* (whose own bytecode burns the time: the flattening-target
+    view).  See ``benchmarks/harness.py`` for how to read the numbers on
+    a host with load drift.
+    """
+    import cProfile
+    import pstats
+
+    matches = [w for w in WORKLOADS if name in w[0]]
+    if not matches:
+        known = ", ".join(w[0] for w in WORKLOADS)
+        print(f"ERROR: no workload matches {name!r}; known: {known}")
+        return 1
+    if len(matches) > 1:
+        print(f"NOTE: {name!r} matches {len(matches)} workloads;"
+              f" profiling {matches[0][0]!r}")
+    wl_name, build, runner, _, _ = matches[0]
+    graph = build()
+    runner(graph)  # warm the pure-structure caches
+    profiler = cProfile.Profile()
+    profiler.enable()
+    runner(graph)
+    profiler.disable()
+    print(f"== cProfile: {wl_name} (one warm run) ==")
+    stats = pstats.Stats(profiler)
+    for sort in ("cumulative", "tottime"):
+        print(f"-- top {top} by {sort} --")
+        stats.sort_stats(sort).print_stats(top)
+    return 0
+
+
+def measure(quick: bool, reps: int = 5, only: Optional[list] = None) -> dict:
     """Time the workload matrix.
 
     The sweep-vs-independent pairs (``SWEEP_PAIRS``) are timed with
@@ -333,7 +381,12 @@ def measure(quick: bool, reps: int = 5) -> dict:
     results = {}
     selected = {}
     for name, build, runner, in_quick, reps_override in WORKLOADS:
-        if quick and not in_quick:
+        if only is not None:
+            # Substring selection (the CI protocol-bench step): --quick
+            # does not further filter an explicit selection.
+            if not any(pat in name for pat in only):
+                continue
+        elif quick and not in_quick:
             continue
         selected[name] = (build, runner, reps_override or reps)
     interleaved = {}
@@ -477,9 +530,43 @@ def main() -> int:
                         help="compare against committed BENCH_core.json")
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
     parser.add_argument("--reps", type=int, default=5)
+    parser.add_argument(
+        "--workloads", type=str, default=None, metavar="SUBSTR[,SUBSTR...]",
+        help="run only workloads whose name contains one of the given"
+             " substrings (e.g. 'sync-bfs/cycle/256,tbfs-16' — the CI"
+             " protocol-bench selection)")
+    parser.add_argument(
+        "--profile", type=str, default=None, metavar="WORKLOAD",
+        help="cProfile one workload (substring match against the matrix"
+             " names) and print the top rows by cumulative and tottime;"
+             " exits without timing/checking")
+    parser.add_argument("--profile-top", type=int, default=25,
+                        help="rows per table for --profile (default 25)")
     args = parser.parse_args()
 
-    current = measure(quick=args.quick, reps=args.reps)
+    if args.profile is not None:
+        return profile_workload(args.profile, top=args.profile_top)
+
+    only = args.workloads.split(",") if args.workloads else None
+    if only is not None:
+        # Every pattern must select something: a stale name in the CI
+        # protocol-bench step must fail the job, not gate zero workloads
+        # and pass vacuously.
+        names = [w[0] for w in WORKLOADS]
+        dead = [pat for pat in only if not any(pat in n for n in names)]
+        if dead:
+            print(f"ERROR: --workloads pattern(s) {dead} match no workload;"
+                  f" known: {', '.join(names)}")
+            return 1
+    if only is not None and args.write:
+        # A filtered --write would rewrite BENCH_core.json with only the
+        # selected subset: every other committed entry (and most of
+        # sweep_speedups) would vanish, and check() would then silently
+        # skip them as "not in committed baseline".
+        print("ERROR: --write with --workloads would gut the committed"
+              " baseline; run --write on the full matrix (or --quick)")
+        return 1
+    current = measure(quick=args.quick, reps=args.reps, only=only)
 
     if args.check:
         if not BENCH_PATH.exists():

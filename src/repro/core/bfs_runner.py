@@ -70,6 +70,10 @@ class ThresholdedBFSProcess(Process):
     sources: FrozenSet[NodeId]
     threshold: int
 
+    #: Recycle registration stage slots (DESIGN.md §10).  Subclasses (or
+    #: the byte-identity A/B tests) set False to force fresh allocation.
+    pool: bool = True
+
     def __init__(self, ctx: ProcessContext) -> None:
         super().__init__(ctx)
         # The link priority IS the stage number: every send in a thresholded
@@ -88,6 +92,7 @@ class ThresholdedBFSProcess(Process):
             # node-id sends (the identity link map).
             links=getattr(ctx, "links", None),
             send_link=getattr(ctx, "send_link", None),
+            pool=self.pool,
         )
         # Shadow the class method: the transport calls the node engine
         # directly (one frame less per delivered message), and the opcode

@@ -36,6 +36,7 @@ pending registration depends on.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
@@ -58,6 +59,31 @@ class _IdentityLinks:
 
 
 IDENTITY_LINKS = _IdentityLinks()
+
+
+def resolve_link_pair(owner: str, send, links, send_link):
+    """Resolve the optional ``links``/``send_link`` pair of a protocol module.
+
+    Returns ``(links, send_link)`` — the supplied pair when both halves are
+    present, else the node-id fallback (``IDENTITY_LINKS`` + ``send``).
+    Supplying exactly one half is almost certainly a wiring bug (the caller
+    meant to use the link-table fast path and silently is not), so that case
+    emits a :class:`RuntimeWarning` naming the missing half instead of
+    degrading invisibly.
+    """
+    if send_link is None or links is None:
+        if (links is None) != (send_link is None):
+            missing = "links" if links is None else "send_link"
+            supplied = "send_link" if links is None else "links"
+            warnings.warn(
+                f"{owner}: {supplied!r} supplied without {missing!r}; the"
+                " link-table fast path needs both, falling back to node-id"
+                " sends (IDENTITY_LINKS)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return IDENTITY_LINKS, send
+    return links, send_link
 
 # Edge marks (our node's view of the edge to parent / to each child).
 CLEAN = "clean"
@@ -111,17 +137,40 @@ def unpack_key(key: Key) -> Tuple[int, Tag]:
 
 
 class _StageState:
-    """Per-(cluster, tag) registration state at one node (plain slots:
-    allocated per stage on the hot path)."""
+    """Per-(cluster, tag) registration state at one node.
+
+    Plain slots, and *pooled* (DESIGN.md §10): the synchronizer stack burns
+    about one stage per six messages, so terminal-clean stages are recycled
+    through the module's free list and :meth:`reuse` resets a slot in place
+    — the child-mark dict and invoker list are cleared, not reallocated.
+    """
 
     __slots__ = ("key", "cluster_id", "tag", "view", "state", "finished",
                  "parent_mark", "child_marks", "dirty_children",
-                 "r_in_flight", "pending_child_invokers", "local_pending",
-                 "priority", "parent_link")
+                 "waiting_children", "r_in_flight", "pending_child_invokers",
+                 "local_pending", "priority", "parent_link")
 
     def __init__(self, key: Key, cluster_id: int, tag: Tag,
                  view: "ClusterView", finished: bool, priority: Any,
                  parent_link: Optional[int]) -> None:
+        # Only the two containers are created here; every scalar field is
+        # set by reuse(), so the field list exists exactly once and a slot
+        # added to one path cannot silently go stale on the other.
+        self.child_marks: Dict[NodeId, str] = {}
+        # Children owed an R confirmation, stored as resolved link ids (they
+        # are only ever used to emit).
+        self.pending_child_invokers: List[int] = []
+        self.reuse(key, cluster_id, tag, view, finished, priority, parent_link)
+
+    def reuse(self, key: Key, cluster_id: int, tag: Tag,
+              view: "ClusterView", finished: bool, priority: Any,
+              parent_link: Optional[int]) -> None:
+        """Reset a (recycled or brand-new) slot for a new (cluster, tag).
+
+        A slot only reaches the free list in the terminal-clean state (all
+        marks CLEAN, nothing in flight), which is behaviorally identical to
+        a fresh stage; this reset makes it *literally* fresh.
+        """
         # The identity travels with the stage so emits reuse the packed
         # wire key and callbacks never decode.
         self.key = key
@@ -131,14 +180,14 @@ class _StageState:
         self.state = NONE
         self.finished = finished
         self.parent_mark = CLEAN
-        self.child_marks: Dict[NodeId, str] = {}
-        # Count of DIRTY entries in child_marks, maintained incrementally so
-        # the wave handlers need no per-call scan of the marks.
+        self.child_marks.clear()
+        # Counts of DIRTY / WAITING entries in child_marks, maintained
+        # incrementally so the wave handlers need no per-call scan of the
+        # marks (and the pool's completion test is a pair of int loads).
         self.dirty_children = 0
+        self.waiting_children = 0
         self.r_in_flight = False
-        # Children owed an R confirmation, stored as resolved link ids (they
-        # are only ever used to emit).
-        self.pending_child_invokers: List[int] = []
+        self.pending_child_invokers.clear()
         self.local_pending = False
         # The stage's link priority and parent link id, resolved once at
         # creation so emits skip the per-tag / per-destination dict probes.
@@ -184,40 +233,66 @@ class RegistrationModule:
         priority_fn: Callable[[Tag], Any],
         links: Optional[Mapping[NodeId, int]] = None,
         send_link: Optional[Callable[[int, Tuple, Any], None]] = None,
+        pool: bool = True,
     ) -> None:
         """``links``/``send_link`` wire the module onto the transport's
         dense link table (``ProcessContext.links`` / ``.send_link``): stages
         resolve their tree destinations to link ids once and every emit
         takes the int-indexed fast path.  Hosts that wrap ``send`` (payload
-        tagging, standalone tests) omit them and keep node-id sends."""
+        tagging, standalone tests) omit them and keep node-id sends —
+        supplying exactly one half warns (see :func:`resolve_link_pair`).
+
+        ``pool`` (default on) recycles completed stage slots through a free
+        list (DESIGN.md §10).  A stage is recycled only once it is
+        *terminal-clean* — every edge mark CLEAN, no wave in flight, this
+        node's own register/deregister cycle over — where its observable
+        behavior is identical to a fresh stage's, so schedules are
+        byte-identical either way (pinned by the equivalence suites and the
+        pooled-vs-fresh property tests).  Two things do become invisible
+        once a stage completes and its slot is recycled: :meth:`state_of`
+        reports ``NONE`` instead of ``FREE``, and the exactly-once
+        :meth:`register` contract is only checkable while the stage is
+        live (a contract-violating re-register after completion builds a
+        fresh stage instead of raising).  Pass ``pool=False`` to retain
+        every stage for inspection and full contract checking.
+        """
         self.node_id = node_id
         self.clusters = clusters
-        if send_link is None or links is None:
-            # Either half missing degrades the whole pair to node-id sends
-            # (a lone send_link with no link map could only fail later and
-            # farther from the misconfiguration site).
-            links = IDENTITY_LINKS
-            send_link = send
-        self._links = links
-        self._send_link = send_link
+        self._links, self._send_link = resolve_link_pair(
+            "RegistrationModule", send, links, send_link
+        )
         self.on_registered = on_registered
         self.on_go_ahead = on_go_ahead
         self.priority_fn = priority_fn
         self._stages: Dict[Key, _StageState] = {}
+        self._pool = pool
+        self._free: List[_StageState] = []
         self.messages_sent = 0
 
     # ------------------------------------------------------------------
-    def _make_stage(self, key: Key, cluster_id: int, tag: Tag) -> _StageState:
+    def _make_stage(self, key: Key) -> _StageState:
+        """Stage miss path — one frame whether the trigger is a wire
+        message (the common case: ~98% of stage creations in a sync-BFS
+        run arrive by wire) or a local register/deregister."""
+        cluster_id, tag = unpack_key(key)
         view = self.clusters.get(cluster_id)
         if view is None:
             raise ValueError(
                 f"node {self.node_id} is not in cluster {cluster_id}"
             )
         parent = view.parent
-        stage = _StageState(
-            key, cluster_id, tag, view, parent is None, self.priority_fn(tag),
-            None if parent is None else self._links[parent],
-        )
+        parent_link = None if parent is None else self._links[parent]
+        free = self._free
+        if free:
+            # Pool hit: reset a terminal-clean slot in place (§10).
+            stage = free.pop()
+            stage.reuse(key, cluster_id, tag, view, parent is None,
+                        self.priority_fn(tag), parent_link)
+        else:
+            stage = _StageState(
+                key, cluster_id, tag, view, parent is None,
+                self.priority_fn(tag), parent_link,
+            )
         self._stages[key] = stage
         return stage
 
@@ -225,13 +300,8 @@ class RegistrationModule:
         key = pack_key(cluster_id, tag)
         stage = self._stages.get(key)
         if stage is None:
-            stage = self._make_stage(key, cluster_id, tag)
+            stage = self._make_stage(key)
         return stage
-
-    def _stage_from_wire(self, key: Key) -> _StageState:
-        """Handler miss path: first message of a stage at this node."""
-        cluster_id, tag = unpack_key(key)
-        return self._make_stage(key, cluster_id, tag)
 
     # ------------------------------------------------------------------
     # public operations
@@ -266,8 +336,14 @@ class RegistrationModule:
             self._run_d(stage)
 
     def state_of(self, cluster_id: int, tag: Tag) -> str:
-        key = pack_key(cluster_id, tag)
-        return self._stages[key].state if key in self._stages else NONE
+        """This node's lifecycle state for one stage.
+
+        With pooling (the default), a completed stage's slot is recycled,
+        so this reports ``NONE`` rather than ``FREE`` once the stage is
+        terminal-clean; construct with ``pool=False`` to retain slots.
+        """
+        stage = self._stages.get(pack_key(cluster_id, tag))
+        return NONE if stage is None else stage.state
 
     # ------------------------------------------------------------------
     # R wave
@@ -287,10 +363,14 @@ class RegistrationModule:
         key = payload[1]
         stage = self._stages.get(key)
         if stage is None:
-            stage = self._stage_from_wire(key)
-        if stage.child_marks.get(sender) != DIRTY:
+            stage = self._make_stage(key)
+        marks = stage.child_marks
+        prev = marks.get(sender)
+        if prev != DIRTY:
             stage.dirty_children += 1
-        stage.child_marks[sender] = DIRTY
+            if prev == WAITING:
+                stage.waiting_children -= 1
+        marks[sender] = DIRTY
         if stage.finished:
             self.messages_sent += 1
             self._send_link(
@@ -298,14 +378,21 @@ class RegistrationModule:
             )
             return
         stage.pending_child_invokers.append(self._links[sender])
-        self._invoke_r(stage)
+        # _invoke_r, inlined (one frame per R message matters here).
+        if not stage.r_in_flight:
+            stage.parent_mark = DIRTY
+            stage.r_in_flight = True
+            self.messages_sent += 1
+            self._send_link(
+                stage.parent_link, (OP_REG_UP, key), stage.priority
+            )
 
     def handle_reg_done(self, sender: NodeId, payload: Tuple) -> None:
         """The parent's R confirmation — ``(OP_REG_DONE, key)``."""
         key = payload[1]
         stage = self._stages.get(key)
         if stage is None:
-            stage = self._stage_from_wire(key)
+            stage = self._make_stage(key)
         stage.r_in_flight = False
         # The parent's subtree-path to the root is dirty, hence so is ours.
         stage.finished = True
@@ -348,14 +435,30 @@ class RegistrationModule:
         key = payload[1]
         stage = self._stages.get(key)
         if stage is None:
-            stage = self._stage_from_wire(key)
-        if stage.child_marks.get(sender) == DIRTY:
+            stage = self._make_stage(key)
+        marks = stage.child_marks
+        prev = marks.get(sender)
+        if prev == DIRTY:
             stage.dirty_children -= 1
-        stage.child_marks[sender] = WAITING
+        if prev != WAITING:
+            stage.waiting_children += 1
+        marks[sender] = WAITING
         if stage.view.parent is None:
             self._root_maybe_go_ahead(stage)
-        else:
-            self._run_d(stage)
+        elif not stage.dirty_children:
+            # _run_d, inlined (the parent-is-None arm is unreachable here);
+            # same checks in the same order.
+            state = stage.state
+            if state == REGISTERING or state == REGISTERED:
+                return
+            if stage.parent_mark != DIRTY:
+                return
+            stage.parent_mark = WAITING
+            stage.finished = False
+            self.messages_sent += 1
+            self._send_link(
+                stage.parent_link, (OP_REG_DEREG, key), stage.priority
+            )
 
     # ------------------------------------------------------------------
     # Go-Ahead wave
@@ -372,23 +475,43 @@ class RegistrationModule:
         if stage.state == DEREGISTERED:
             stage.state = FREE
             self.on_go_ahead(stage.cluster_id, stage.tag)
-        # Iteration stays in ascending *node id* order (the emit order is
-        # part of the pinned schedule); the link id is resolved per emit.
-        for child, mark in sorted(stage.child_marks.items()):
-            if mark == WAITING:
-                stage.child_marks[child] = CLEAN
-                self.messages_sent += 1
-                self._send_link(
-                    self._links[child], (OP_REG_GO_AHEAD, stage.key),
-                    stage.priority,
-                )
+        if stage.waiting_children:
+            marks = stage.child_marks
+            links = self._links
+            send_link = self._send_link
+            payload = (OP_REG_GO_AHEAD, stage.key)
+            priority = stage.priority
+            # Iteration stays in ascending *node id* order (the emit order
+            # is part of the pinned schedule); single-child stages — most
+            # of a cycle/grid tree — skip the sort.  Only mark values are
+            # mutated, so iterating the dict directly is safe.
+            items = sorted(marks.items()) if len(marks) > 1 else marks.items()
+            sent = 0
+            for child, mark in items:
+                if mark == WAITING:
+                    marks[child] = CLEAN
+                    sent += 1
+                    send_link(links[child], payload, priority)
+            self.messages_sent += sent
+            stage.waiting_children = 0
+        # Terminal-clean: every mark CLEAN, no wave in flight, and this
+        # node's own register/deregister cycle over (state NONE for pure
+        # relays, FREE after a Go-Ahead).  Nothing the stage can still
+        # receive distinguishes it from a fresh slot, so recycle it — the
+        # next stage at this node resets it in place instead of allocating.
+        if (self._pool and not stage.dirty_children
+                and stage.parent_mark == CLEAN and not stage.r_in_flight
+                and not stage.local_pending
+                and (stage.state is NONE or stage.state is FREE)):
+            del self._stages[stage.key]
+            self._free.append(stage)
 
     def handle_go_ahead(self, sender: NodeId, payload: Tuple) -> None:
         """The parent's Go-Ahead — ``(OP_REG_GO_AHEAD, key)``."""
         key = payload[1]
         stage = self._stages.get(key)
         if stage is None:
-            stage = self._stage_from_wire(key)
+            stage = self._make_stage(key)
         if stage.parent_mark != WAITING:
             # A registration wave re-dirtied this edge while the Go-Ahead was
             # in flight; drop it — a newer Go-Ahead will follow (Lemma 3.5's

@@ -50,7 +50,7 @@ from .pulse import (
     prev_prev,
     source_pulses,
 )
-from .registration import IDENTITY_LINKS, RegistrationModule
+from .registration import RegistrationModule, resolve_link_pair
 from .registry import CoverRegistry
 
 #: Synchronizer-private wire opcodes, continuing the shared-module range
@@ -124,7 +124,7 @@ class _VNode:
     """
 
     __slots__ = ("pulse", "parent", "parent_link", "parent_is_self",
-                 "recipients", "recipient_links", "payloads",
+                 "emits", "release_links",
                  "sends_pending", "sent", "answers_missing", "children",
                  "self_child", "flows", "ga_released")
 
@@ -138,9 +138,14 @@ class _VNode:
         self.parent = parent
         self.parent_link = parent_link
         self.parent_is_self = parent_is_self
-        self.recipients: Tuple[NodeId, ...] = ()
-        self.recipient_links: Tuple[int, ...] = ()
-        self.payloads: Tuple[Tuple[NodeId, Any], ...] = ()
+        # Emit tuples precomputed at creation (DESIGN.md §10): the
+        # ``(link_id, wire_payload)`` pairs the program sends expand to,
+        # and the Go-Ahead release fan-out (distinct recipients in
+        # ascending node-id order — the emit order is part of the pinned
+        # schedule), so neither path rebuilds tuples or re-sorts at emit
+        # time.
+        self.emits: Tuple[Tuple[int, Tuple], ...] = ()
+        self.release_links: Tuple[int, ...] = ()
         self.sends_pending = 0
         self.sent = False
         self.answers_missing = 0
@@ -178,6 +183,7 @@ class SynchronizerNode:
         set_output,  # (value) -> None
         links=None,  # neighbor -> dense link id (ProcessContext.links)
         send_link=None,  # (link_id, payload, priority) -> None
+        pool: bool = True,  # recycle registration stage slots (DESIGN.md §10)
     ) -> None:
         if max_pulse < 1 or max_pulse & (max_pulse - 1):
             raise ValueError("max_pulse must be a power of two")
@@ -187,12 +193,9 @@ class SynchronizerNode:
         self.is_initiator = is_initiator
         self.registry = registry
         self.max_pulse = max_pulse
-        if send_link is None or links is None:
-            # Either half missing degrades the whole pair to node-id sends
-            # (a lone send_link with no link map could only fail later and
-            # farther from the misconfiguration site).
-            links = IDENTITY_LINKS
-            send_link = send
+        links, send_link = resolve_link_pair(
+            "SynchronizerNode", send, links, send_link
+        )
         self._links = links
         self._send_link = send_link
         self.set_output = set_output
@@ -207,6 +210,7 @@ class SynchronizerNode:
             priority_fn=_reg_priority,
             links=links,
             send_link=send_link,
+            pool=pool,
         )
         self.agg = ClusterAggregateModule(
             node_id=node_id,
@@ -267,10 +271,7 @@ class SynchronizerNode:
         is_origin = bool(root_sends)
         if is_origin:
             vnode = _VNode(pulse=0, parent=None, parent_is_self=False)
-            links = self._links
-            vnode.recipients = tuple(to for to, _ in root_sends)
-            vnode.recipient_links = tuple(links[to] for to, _ in root_sends)
-            vnode.payloads = tuple(root_sends)
+            self._bind_sends(vnode, root_sends)
             self.vnodes[0] = vnode
             for p in self.base_pulses:
                 members = set(
@@ -299,19 +300,35 @@ class SynchronizerNode:
     # ------------------------------------------------------------------
     # sending and evaluation
     # ------------------------------------------------------------------
+    def _bind_sends(self, vnode: _VNode, sends: List[Tuple[NodeId, Any]]) -> None:
+        """Resolve a vnode's program sends once at creation (DESIGN.md §10):
+        wire payloads, link ids, and the release fan-out order."""
+        links = self._links
+        pulse = vnode.pulse
+        recipients = tuple(to for to, _ in sends)
+        vnode.emits = tuple(
+            (links[to], (OP_APP, pulse, payload)) for to, payload in sends
+        )
+        # Distinct recipients in ascending node-id order (the Go-Ahead
+        # release emit order is part of the pinned schedule; recipients are
+        # distinct by the CONGEST discipline, the set() is belt-and-braces).
+        vnode.release_links = tuple(
+            links[to] for to in sorted(set(recipients))
+        )
+
     def _do_sends(self, vnode: _VNode) -> None:
         if vnode.sent:
             return
         vnode.sent = True
-        vnode.sends_pending = len(vnode.payloads)
+        emits = vnode.emits
+        vnode.sends_pending = len(emits)
         # One answer owed per distinct recipient, plus the self-answer.
-        vnode.answers_missing = len(vnode.recipients) + 1
+        vnode.answers_missing = len(emits) + 1
         send_link = self._send_link
-        pulse = vnode.pulse
-        stage = pulse + 1
-        for lid, (to, payload) in zip(vnode.recipient_links, vnode.payloads):
-            send_link(lid, (OP_APP, pulse, payload), stage)
-        if vnode.sends_pending == 0:  # pragma: no cover - origins always send
+        stage = vnode.pulse + 1
+        for lid, wire in emits:
+            send_link(lid, wire, stage)
+        if not emits:  # pragma: no cover - origins always send
             self._vnode_safe(vnode)
 
     def on_delivered(self, to: NodeId, payload: Tuple) -> None:
@@ -366,9 +383,7 @@ class SynchronizerNode:
                     None if chosen_parent is None else links[chosen_parent]
                 ),
             )
-            vnode.recipients = tuple(to for to, _ in sends)
-            vnode.recipient_links = tuple(links[to] for to, _ in sends)
-            vnode.payloads = tuple(sends)
+            self._bind_sends(vnode, sends)
             self.vnodes[p] = vnode
             self._do_sends(vnode)
         # Chosen/not-chosen answers close the parents' child sets.
@@ -385,7 +400,13 @@ class SynchronizerNode:
                 f"node {self.node_id} received a pulse-{p} message after"
                 f" evaluating pulse {p + 1} — Lemma 5.1 violated"
             )
-        self.arrived.setdefault(p, []).append((sender, payload[2]))
+        # get-then-insert, not setdefault: setdefault evaluates its default,
+        # allocating a throwaway list per delivered program message.
+        arrived = self.arrived
+        batch = arrived.get(p)
+        if batch is None:
+            batch = arrived[p] = []
+        batch.append((sender, payload[2]))
 
     # ------------------------------------------------------------------
     # execution-forest child answers and flows
@@ -545,18 +566,23 @@ class SynchronizerNode:
         if q in vnode.ga_released:
             return
         vnode.ga_released.add(q)
-        links = self._links
+        send_link = self._send_link
         if vnode.pulse == q - 1:
-            # Ascending *node id* order (the emit order is part of the
-            # pinned schedule); link ids are resolved per emit.
-            for to in sorted(set(vnode.recipients)):
-                self._send_link(links[to], (OP_VRELEASE, q), q)
+            # The fan-out rides the precomputed release links (distinct
+            # recipients in ascending node-id order — the emit order is
+            # part of the pinned schedule, resolved once at vnode creation).
+            payload = (OP_VRELEASE, q)
+            for lid in vnode.release_links:
+                send_link(lid, payload, q)
             self._evaluate(q)  # a pulse-(q-1) sender is itself triggered
             return
         flow = vnode.flow(q)
+        reports_get = flow.reports.get
+        links = self._links
+        payload = (OP_VGA, q, vnode.pulse + 1)
         for c in vnode.children:
-            if flow.reports.get(c) is False:
-                self._send_link(links[c], (OP_VGA, q, vnode.pulse + 1), q)
+            if reports_get(c) is False:
+                send_link(links[c], payload, q)
         if vnode.self_child and flow.self_report is False:
             self._release_down(self.vnodes[vnode.pulse + 1], q)
 
@@ -610,6 +636,10 @@ class SynchronizerProcess(Process):
     # transport skips the on_delivered call for all machinery traffic.
     ACK_INTEREST_PREFIX = OP_APP
 
+    #: Recycle registration stage slots (DESIGN.md §10).  Subclasses (or
+    #: the byte-identity A/B tests) set False to force fresh allocation.
+    pool: bool = True
+
     def __init__(self, ctx: ProcessContext) -> None:
         super().__init__(ctx)
         self.node = SynchronizerNode(
@@ -626,6 +656,7 @@ class SynchronizerProcess(Process):
             # node-id sends (the identity link map).
             links=getattr(ctx, "links", None),
             send_link=getattr(ctx, "send_link", None),
+            pool=self.pool,
         )
         # Instance-level binds shadow the class methods below so the
         # transport calls straight into the node engine (one frame less per

@@ -45,7 +45,7 @@ from .pulse import (
     prev_prev,
     source_pulses,
 )
-from .registration import IDENTITY_LINKS, RegistrationModule
+from .registration import RegistrationModule, resolve_link_pair
 from .registry import CoverRegistry
 
 UNREACHED = float("inf")
@@ -57,7 +57,34 @@ OP_ANSWER = 7
 OP_FLOW = 8
 OP_GA = 9
 
+#: The two join answers, prebuilt: every join triggers exactly one of them,
+#: and payloads are opaque to the transport, so sharing the tuples shaves an
+#: allocation off the hottest reply path without touching the schedule.
+_ANSWER_YES = (OP_ANSWER, True)
+_ANSWER_NO = (OP_ANSWER, False)
+
 SendFn = Callable[[NodeId, Tuple, int], None]  # (to, payload, stage-priority)
+
+#: Int-coded aggregate tags (DESIGN.md §10): the Section 4.2 base-case
+#: barriers and the checking stage ride the shared aggregation module as
+#: ``pulse << 2 | kind`` ints (kind 0 = source-registration barrier, 1 =
+#: source-deregistration barrier, 3 = the checking stage) instead of the
+#: historical ``("sreg", p)`` tuples, so every aggregate wire key packs to
+#: one pre-hashed int (the synchronizer made the same move in DESIGN.md §6)
+#: and the ~95% of a thresholded-BFS run that is aggregation traffic stops
+#: hashing tuples on every dict probe.
+_AGG_KIND_SREG = 0
+_AGG_KIND_SDEREG = 1
+_AGG_KIND_CHECK = 3
+_CHECK_TAG = _AGG_KIND_CHECK  # pulse field 0
+
+
+def _sreg_tag(p: int) -> int:
+    return (p << 2) | _AGG_KIND_SREG
+
+
+def _sdereg_tag(p: int) -> int:
+    return (p << 2) | _AGG_KIND_SDEREG
 
 
 def _stage_of_pulse_tag(tag: Any) -> Any:
@@ -100,6 +127,7 @@ class ThresholdedBFSCore:
         on_complete: Callable[[Optional[int]], None],
         links=None,  # neighbor -> dense link id (ProcessContext.links)
         send_link=None,  # (link_id, payload, priority) -> None
+        pool: bool = True,  # recycle registration stage slots (DESIGN.md §10)
     ) -> None:
         if threshold < 1 or threshold & (threshold - 1):
             raise ValueError(f"threshold must be a power of two, got {threshold}")
@@ -114,12 +142,9 @@ class ThresholdedBFSCore:
                 f"layered cover top level {registry.top_level} too small for"
                 f" threshold {threshold}"
             )
-        if send_link is None or links is None:
-            # Either half missing degrades the whole pair to node-id sends
-            # (a lone send_link with no link map could only fail later and
-            # farther from the misconfiguration site).
-            links = IDENTITY_LINKS
-            send_link = send
+        links, send_link = resolve_link_pair(
+            "ThresholdedBFSCore", send, links, send_link
+        )
         self._links = links
         self._send_link = send_link
         self._neighbor_links = tuple(links[v] for v in self.neighbors)
@@ -138,6 +163,7 @@ class ThresholdedBFSCore:
             priority_fn=_stage_of_pulse_tag,  # tag is the pulse = its stage
             links=links,
             send_link=send_link,
+            pool=pool,
         )
         self.agg = ClusterAggregateModule(
             node_id=node_id,
@@ -172,6 +198,9 @@ class ThresholdedBFSCore:
         self.parent_link: Optional[int] = None
         self.children: List[NodeId] = []
         self._children_links: List[int] = []
+        # (child, link) pairs, frozen once the join answers complete, so the
+        # Go-Ahead walks iterate one prebuilt tuple instead of re-zipping.
+        self._child_pairs: Tuple[Tuple[NodeId, int], ...] = ()
         self.joins_sent = False
         self.answers_pending = 0
         self.answered = False
@@ -191,10 +220,11 @@ class ThresholdedBFSCore:
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
-    def _agg_stage(self, tag: Tuple) -> int:
-        if tag[0] in ("sreg", "sdereg"):
-            return tag[1]
-        if tag[0] == "check":
+    def _agg_stage(self, tag: int) -> int:
+        kind = tag & 3
+        if kind == _AGG_KIND_SREG or kind == _AGG_KIND_SDEREG:
+            return tag >> 2
+        if kind == _AGG_KIND_CHECK:
             return self.threshold + 1
         raise ValueError(f"unknown aggregate tag {tag!r}")  # pragma: no cover
 
@@ -252,17 +282,18 @@ class ThresholdedBFSCore:
         for cid in self.registry.tree_clusters_of(self.node_id, self.check_level):
             member_source = is_source and self.registry.is_member(self.node_id, cid)
             if not member_source:
-                self.agg.contribute(cid, ("check",), True)
+                self.agg.contribute(cid, _CHECK_TAG, True)
         # Start-time convergecast contributions (Section 4.2 base case):
         # every tree node contributes; source members defer their
         # deregistration contribution until p-safe.
         for p in self._base_pulses:
             lvl = self._level_for(p)
+            sreg, sdereg = _sreg_tag(p), _sdereg_tag(p)
             for cid in self.registry.tree_clusters_of(self.node_id, lvl):
                 member_source = is_source and self.registry.is_member(self.node_id, cid)
-                self.agg.contribute(cid, ("sreg", p), True)
+                self.agg.contribute(cid, sreg, True)
                 if not member_source:
-                    self.agg.contribute(cid, ("sdereg", p), True)
+                    self.agg.contribute(cid, sdereg, True)
         self._maybe_source_send()
 
     def _maybe_source_send(self) -> None:
@@ -302,9 +333,9 @@ class ThresholdedBFSCore:
             self.pulse = sender_pulse + 1
             self.parent = sender
             self.parent_link = sender_link
-            self._send_link(sender_link, (OP_ANSWER, True), stage)
+            self._send_link(sender_link, _ANSWER_YES, stage)
         else:
-            self._send_link(sender_link, (OP_ANSWER, False), stage)
+            self._send_link(sender_link, _ANSWER_NO, stage)
 
     def _handle_answer(self, sender: NodeId, payload: Tuple) -> None:
         if payload[1]:
@@ -316,6 +347,7 @@ class ThresholdedBFSCore:
 
     def _answers_complete(self) -> None:
         self.answered = True
+        self._child_pairs = tuple(zip(self.children, self._children_links))
         leaf_flow = self.pulse + 1
         if leaf_flow <= self.threshold:
             self._flow_assembled(leaf_flow, empty=(len(self.children) == 0))
@@ -421,8 +453,9 @@ class ThresholdedBFSCore:
             # deregistration is the convergecast contribution.  Iterate a
             # copy: a single-node cluster confirms synchronously, mutating
             # the pending set.
+            sdereg = _sdereg_tag(q)
             for cid in list(self._sdereg_pending.get(q, ())):
-                self.agg.contribute(cid, ("sdereg", q), True)
+                self.agg.contribute(cid, sdereg, True)
             if not self._sdereg_pending.get(q):
                 self._release_go_ahead(q)
             if q == self.threshold:
@@ -465,16 +498,14 @@ class ThresholdedBFSCore:
 
     def _propagate_go_ahead(self, q: int) -> None:
         send_link = self._send_link
+        payload = (OP_GA, q)
         if self.pulse == q - 1:
-            payload = (OP_GA, q)
             for lid in self._children_links:
                 send_link(lid, payload, q)
             return
-        flow = self._flow(q)
-        reports = flow.reports
-        payload = (OP_GA, q)
-        for c, lid in zip(self.children, self._children_links):
-            if reports.get(c) is False:
+        reports_get = self._flow(q).reports.get
+        for c, lid in self._child_pairs:
+            if reports_get(c) is False:
                 send_link(lid, payload, q)
 
     def _handle_ga(self, sender: NodeId, payload: Tuple) -> None:
@@ -488,16 +519,15 @@ class ThresholdedBFSCore:
     # ------------------------------------------------------------------
     # aggregate results (base registrations, base Go-Aheads, checking)
     # ------------------------------------------------------------------
-    def _on_agg_result(self, cid: int, tag: Tuple, result: Any) -> None:
-        kind = tag[0]
-        if kind == "sreg":
-            p = tag[1]
-            pending = self._sreg_pending.get(p)
+    def _on_agg_result(self, cid: int, tag: int, result: Any) -> None:
+        kind = tag & 3
+        if kind == _AGG_KIND_SREG:
+            pending = self._sreg_pending.get(tag >> 2)
             if pending is not None and cid in pending:
                 pending.discard(cid)
                 self._maybe_source_send()
-        elif kind == "sdereg":
-            q = tag[1]
+        elif kind == _AGG_KIND_SDEREG:
+            q = tag >> 2
             pending = self._sdereg_pending.get(q)
             if pending is None or cid not in pending:
                 return
@@ -505,7 +535,7 @@ class ThresholdedBFSCore:
             flow = self._flows.get(q)
             if not pending and flow is not None and flow.assembled:
                 self._release_go_ahead(q)
-        elif kind == "check":
+        elif kind == _AGG_KIND_CHECK:
             if cid in self._check_pending:
                 self._check_pending.discard(cid)
                 if not self._check_pending:
@@ -515,7 +545,7 @@ class ThresholdedBFSCore:
 
     def _contribute_check(self) -> None:
         for cid in self.registry.member_clusters(self.node_id, self.check_level):
-            self.agg.contribute(cid, ("check",), True)
+            self.agg.contribute(cid, _CHECK_TAG, True)
 
     def _complete(self) -> None:
         if self.completed:

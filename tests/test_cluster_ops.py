@@ -97,6 +97,19 @@ class TestAggregate:
         with pytest.raises(ValueError, match="double-contributes"):
             module.contribute(0, "t", 2)
 
+    def test_double_contribute_rejected_while_live_pooled(self):
+        # With pooling opted in, the guard still fires for any instance
+        # that has not completed — here the root of a two-node cluster
+        # still missing its child's value.
+        view = {0: ClusterView(0, parent=None, children=(1,))}
+        module = ClusterAggregateModule(
+            0, view, lambda *a: None, lambda *a: None,
+            lambda tag: min_merge, lambda tag: (0,), pool=True,
+        )
+        module.contribute(0, "t", 1)
+        with pytest.raises(ValueError, match="double-contributes"):
+            module.contribute(0, "t", 2)
+
     def test_merges(self):
         assert and_merge(True, False) is False
         assert and_merge(True, True) is True
@@ -222,3 +235,28 @@ class TestGather:
         cover = build_ap_cover(g, 1)
         with pytest.raises(ValueError):
             GatherModule(0, cover, lambda *a: None, lambda s: None, num_stages=0)
+
+
+class TestLinkPairResolution:
+    """The aggregation module shares the registration module's half-missing
+    links/send_link warning (DESIGN.md §10)."""
+
+    def _make(self, **kwargs):
+        view = {0: ClusterView(0, parent=None, children=())}
+        return ClusterAggregateModule(
+            0, view, lambda *a: None, lambda *a: None,
+            lambda tag: min_merge, lambda tag: (0,), **kwargs,
+        )
+
+    def test_links_without_send_link_warns(self):
+        with pytest.warns(RuntimeWarning, match="'links' supplied without 'send_link'"):
+            self._make(links={0: 0})
+
+    def test_send_link_without_links_warns(self):
+        with pytest.warns(RuntimeWarning, match="'send_link' supplied without 'links'"):
+            self._make(send_link=lambda *a: None)
+
+    def test_both_or_neither_do_not_warn(self, recwarn):
+        self._make()
+        self._make(links={0: 0}, send_link=lambda *a: None)
+        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]

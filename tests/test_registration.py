@@ -268,3 +268,37 @@ class TestApiErrors:
         assert ("registered", 0, TAG) in events
         assert ("go", 0, TAG) in events
         assert not [e for e in events if e[0] == "send"]
+
+
+class TestLinkPairResolution:
+    """Supplying exactly one of links/send_link is a wiring bug: the module
+    silently degrades to node-id sends, so it must at least warn, naming
+    the missing half (DESIGN.md §10)."""
+
+    def _make(self, **kwargs):
+        view = {0: ClusterView(cluster_id=0, parent=None, children=())}
+        return RegistrationModule(
+            node_id=0,
+            clusters=view,
+            send=lambda *a: None,
+            on_registered=lambda *a: None,
+            on_go_ahead=lambda *a: None,
+            priority_fn=lambda tag: (0,),
+            **kwargs,
+        )
+
+    def test_links_without_send_link_warns(self):
+        with pytest.warns(RuntimeWarning, match="'links' supplied without 'send_link'"):
+            module = self._make(links={0: 0})
+        # ...and the pair degrades to node-id sends as documented.
+        assert module._send_link is not None
+        module.register(0, TAG)  # runs on the identity fallback
+
+    def test_send_link_without_links_warns(self):
+        with pytest.warns(RuntimeWarning, match="'send_link' supplied without 'links'"):
+            self._make(send_link=lambda *a: None)
+
+    def test_both_or_neither_do_not_warn(self, recwarn):
+        self._make()
+        self._make(links={0: 0}, send_link=lambda *a: None)
+        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
