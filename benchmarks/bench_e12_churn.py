@@ -1,0 +1,116 @@
+"""E12 — churn-tolerant synchronizer recovery (DESIGN.md §11).
+
+Claims measured here:
+
+* **Degrade** terminates quiescent on the surviving component with
+  best-effort outputs bounded by ``dist_G(v) <= output(v) <= dist_H(v)``,
+  at zero extra message cost over the faulty run itself.
+* **Rebuild** pays one extra clean pass on the surviving component and
+  returns exact ``dist_H`` — the cost ratio is the price of exactness.
+* **Link churn alone** (down intervals, no crashes) only *defers*
+  delivery, so outputs equal the fault-free run byte for byte; the
+  message overhead is exactly zero and only the completion time moves.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import BENCH_DELAYS, record, run_once
+
+from repro.analysis import Series
+from repro.apps.programs import bfs_spec
+from repro.core import run_churn, run_synchronized
+from repro.net import topology
+from repro.net.faults import FaultSchedule
+
+
+def _bfs_distances(graph, survivors, root=0):
+    live = set(survivors)
+    dist = {root: 0}
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for u in graph.neighbors(v):
+                if u in live and u not in dist:
+                    dist[u] = dist[v] + 1
+                    nxt.append(u)
+        frontier = nxt
+    return dist
+
+
+def _crash_churn():
+    series = Series(
+        "E12: BFS under node churn, degrade vs rebuild (crash_rate=0.1)",
+        ["n", "mode", "survivors", "answered", "messages", "rebuild_msgs",
+         "dropped", "time"],
+    )
+    for n in (64, 128):
+        graph = topology.cycle_graph(n)
+        faults = FaultSchedule(seed=2305, crash_rate=0.1, protect=(0,))
+        for mode in ("degrade", "rebuild"):
+            out = run_churn(graph, bfs_spec, BENCH_DELAYS, faults, mode=mode)
+            assert out.stop_reason == "quiescent"
+            dist = _bfs_distances(graph, out.survivors)
+            if mode == "rebuild":
+                # Exactness: the rebuild pass answers every survivor with
+                # its true distance in the surviving component.
+                assert out.answered == out.survivor_count
+                for v in out.survivors:
+                    assert out.outputs[v][0] == dist[v]
+            else:
+                # Degrade bound: dist_G(v) <= output(v) (<= dist_H(v)).
+                for v, (d, _parent) in out.outputs.items():
+                    assert d <= dist[v]
+            series.add(
+                n, mode, out.survivor_count, out.answered, out.messages,
+                out.rebuild_messages, out.dropped,
+                round(out.time_to_quiescence, 1),
+            )
+    return series
+
+
+def _link_churn():
+    series = Series(
+        "E12b: link churn only (down_rate=0.05): deferral, never loss",
+        ["n", "run", "messages", "dropped", "time_to_output"],
+    )
+    for n in (64, 128):
+        graph = topology.cycle_graph(n)
+        spec = bfs_spec(0)
+        clean = run_synchronized(graph, spec, BENCH_DELAYS)
+        faults = FaultSchedule(seed=2305 + n, down_rate=0.05)
+        churned = run_churn(graph, bfs_spec, BENCH_DELAYS, faults,
+                            mode="degrade")
+        # Down intervals defer but never lose: identical outputs, zero
+        # message overhead, only the clock moves.
+        assert churned.outputs == clean.outputs
+        assert churned.messages == clean.messages
+        assert churned.dropped == 0
+        series.add(n, "clean", clean.messages, 0,
+                   round(clean.time_to_output, 1))
+        series.add(n, "churned", churned.messages, churned.dropped,
+                   round(churned.time_to_output, 1))
+    return series
+
+
+def test_e12_crash_churn(benchmark):
+    series = run_once(benchmark, _crash_churn)
+    record(benchmark, series)
+    rows = list(series.rows)
+    # Rebuild pays extra messages for exactness; degrade pays none.
+    for degrade, rebuild in zip(rows[::2], rows[1::2]):
+        assert degrade[5] == 0          # rebuild_msgs column
+        assert rebuild[5] > 0
+        assert rebuild[3] >= degrade[3]  # answered column
+
+
+def test_e12_link_churn(benchmark):
+    series = run_once(benchmark, _link_churn)
+    record(benchmark, series)
+    times = series.column("time_to_output")
+    # Deferral can only slow the run down, never speed it up.
+    for clean_t, churned_t in zip(times[::2], times[1::2]):
+        assert churned_t >= clean_t

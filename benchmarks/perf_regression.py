@@ -61,10 +61,12 @@ from repro.apps.programs import bfs_spec, multi_bfs_spec  # noqa: E402
 from repro.core import (  # noqa: E402
     SynchronizerSweep,
     ThresholdedBFSSweep,
+    run_churn,
     run_synchronized,
     run_thresholded_bfs,
 )
 from repro.net import topology  # noqa: E402
+from repro.net.faults import FaultSchedule  # noqa: E402
 from repro.net.delays import (  # noqa: E402
     AlternatingDelay,
     BimodalDelay,
@@ -131,6 +133,35 @@ def _run_synchronized(graph):
 def _run_tbfs(graph, threshold):
     outcome = run_thresholded_bfs(graph, 0, threshold, UniformDelay(seed=SEED))
     return outcome.result
+
+
+class _ChurnResult:
+    """Result-shaped view of a ChurnOutcome for ``_record_entry``:
+    ``messages`` counts both passes (degrade + rebuild), so the rebuild
+    cell's determinism entry pins the second pass too."""
+
+    def __init__(self, outcome):
+        self.messages = outcome.total_messages
+        self.events_fired = outcome.events_fired
+        self.outputs = outcome.outputs
+
+
+def _run_churn_links(graph):
+    # Link churn only (5% seeded down intervals, no crashes): the --quick
+    # smoke cell for the fault path.  Down intervals defer but never lose,
+    # so the outputs digest must equal the fault-free sync-bfs digest at
+    # the same size — the determinism gate pins exactly that.
+    faults = FaultSchedule(seed=SEED, down_rate=0.05)
+    return _ChurnResult(run_churn(
+        graph, bfs_spec, UniformDelay(seed=SEED), faults, mode="degrade"))
+
+
+def _run_churn_mode(mode):
+    def run(graph):
+        faults = FaultSchedule(seed=SEED, crash_rate=0.1, protect=(0,))
+        return _ChurnResult(run_churn(
+            graph, bfs_spec, UniformDelay(seed=SEED), faults, mode=mode))
+    return run
 
 
 def _sweep_models():
@@ -269,6 +300,16 @@ WORKLOADS = [
      False, None),
     ("tbfs-16/cycle/256",
      lambda: topology.cycle_graph(256), lambda g: _run_tbfs(g, 16), False, None),
+    # Churn cells (DESIGN.md §11): the link-only cell runs sync-bfs@256
+    # under 5% seeded link churn and doubles as the CI --quick smoke test
+    # for the whole fault path; the n=128 crash cells pin degrade and
+    # rebuild (rebuild's messages include the second, clean pass).
+    ("churn-sync-bfs/cycle/256", lambda: topology.cycle_graph(256),
+     _run_churn_links, True, None),
+    ("churn-degrade/cycle/128", lambda: topology.cycle_graph(128),
+     _run_churn_mode("degrade"), False, None),
+    ("churn-rebuild/cycle/128", lambda: topology.cycle_graph(128),
+     _run_churn_mode("rebuild"), False, None),
     # 5-delay-model sweeps at n=256 on cycle+grid: the sweep engine builds
     # covers/registry/infos once per graph and replays per model.  Their
     # "independent-*" counterparts run the same 10 (graph, model) cells with

@@ -31,6 +31,7 @@ from .bfs_runner import (
 from .multi_stage import run_multi_stage_bfs
 from .full_bfs import run_full_bfs
 from .synchronizer import pulse_bound_for, run_synchronized
+from .recovery import ChurnOutcome, RecoverySynchronizerProcess, run_churn
 from .sweep import SynchronizerSweep, ThresholdedBFSSweep, sweep_synchronized
 
 __all__ = [
@@ -42,5 +43,6 @@ __all__ = [
     "BFSOutcome", "registry_for_threshold", "required_cover_radius",
     "run_thresholded_bfs", "run_multi_stage_bfs", "run_full_bfs",
     "pulse_bound_for", "run_synchronized",
+    "ChurnOutcome", "RecoverySynchronizerProcess", "run_churn",
     "SynchronizerSweep", "ThresholdedBFSSweep", "sweep_synchronized",
 ]

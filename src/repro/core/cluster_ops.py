@@ -49,6 +49,11 @@ _AGG_OPS = (OP_AGG_UP, OP_AGG_DOWN)
 Tag = Any
 MergeFn = Callable[[Any, Any], Any]
 
+#: Sentinel stored as a pruned child's "value": the merge loop skips it, so
+#: a crashed subtree simply contributes nothing (identity element) without
+#: the merge functions having to know about crashes.
+_PRUNED = object()
+
 
 class _InstanceState:
     """Per-(cluster, tag) aggregation state at one node.
@@ -238,7 +243,10 @@ class ClusterAggregateModule:
                 merge = self._merges[tag] = self.merge_fn(tag)
             child_values = instance.child_values
             for child in children:
-                combined = merge(combined, child_values[child])
+                cv = child_values[child]
+                if cv is _PRUNED:
+                    continue
+                combined = merge(combined, cv)
         instance.sent_up = True
         if view.parent is None:
             self._finish(instance, combined)
@@ -304,6 +312,46 @@ class ClusterAggregateModule:
         instance.child_values[sender] = payload[2]
         instance.missing -= 1
         self._maybe_forward(instance)
+
+    # ------------------------------------------------------------------
+    def prune_child(self, dead: NodeId) -> None:
+        """Excise a crashed child from every cluster view and live instance.
+
+        Detect-and-degrade semantics (DESIGN.md §11): a convergecast no
+        longer waits for the dead subtree — the child's owed value becomes
+        the :data:`_PRUNED` sentinel (skipped by the merge loop, i.e. the
+        identity element) and any instance it was holding up forwards
+        immediately; the broadcast stops addressing the corpse.  A value
+        the child delivered *before* crashing is kept (it was validly
+        contributed).  Instances whose parent is the corpse are orphans and
+        simply stall.  Cluster views are pruned copy-on-write — the view
+        dicts may be shared with sibling modules and cached across sweep
+        replays.
+        """
+        dead_link = self._links[dead]
+        clusters = dict(self.clusters)
+        changed = False
+        for cid, view in clusters.items():
+            if dead in view.children:
+                clusters[cid] = ClusterView(
+                    cluster_id=cid,
+                    parent=view.parent,
+                    children=tuple(c for c in view.children if c != dead),
+                )
+                changed = True
+        if changed:
+            self.clusters = clusters
+        for instance in list(self._instances.values()):
+            if dead not in instance.view.children:
+                continue
+            if instance.children_links:
+                instance.children_links = tuple(
+                    lnk for lnk in instance.children_links if lnk != dead_link
+                )
+            if dead not in instance.child_values:
+                instance.child_values[dead] = _PRUNED
+                instance.missing -= 1
+                self._maybe_forward(instance)
 
     def handle_down(self, sender: NodeId, payload: Tuple) -> None:
         """The broadcast result — ``(OP_AGG_DOWN, key, result)``."""

@@ -1,0 +1,210 @@
+"""Churn-tolerant synchronizer execution (DESIGN.md §11).
+
+The fault-free synchronizer is an exact machine: every Go-Ahead is gated on
+acknowledgments and chosen/not-chosen answers, so a single crashed neighbor
+stalls its whole subtree forever.  This module layers the recovery
+semantics on top:
+
+* :class:`RecoverySynchronizerProcess` runs the synchronizer with
+  ``recovery=True`` bookkeeping, reacts to the transport's failure
+  detectors (``on_neighbor_dead``) by pruning the dead neighbor out of
+  every local wait set, and drops any straggler message from a pruned
+  sender (a pre-crash message deferred across a link-down interval would
+  otherwise trip the Lemma 5.1 oracle — under fail-stop semantics a dead
+  node's words are void from the moment the crash is *detected*).
+* :func:`run_churn` drives a full experiment in one of two modes:
+
+  - ``"degrade"`` — one pass: survivors prune dead subtrees on detection
+    and keep the pulses they completed.  Outputs are best-effort, bounded
+    by ``dist_G(v) <= output(v) <= dist_H(v)`` for BFS-style programs
+    (``H`` = the surviving component; see DESIGN.md §11).
+  - ``"rebuild"`` — the degrade pass, then a clean re-registration and
+    re-run on the surviving component, whose outputs are exact for ``H``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from ..net.async_runtime import AsyncRuntime, ProcessContext
+from ..net.delays import DelayModel
+from ..net.faults import DETECT_TIMEOUT, FaultSchedule
+from ..net.graph import Graph, NodeId
+from ..net.program import ProgramSpec
+from .bfs_runner import registry_for_threshold
+from .synchronizer import SynchronizerProcess, pulse_bound_for, run_synchronized
+
+#: ``spec_factory(root)`` builds the program spec for a given root/source
+#: node id, so the rebuild pass can re-instantiate the same algorithm on the
+#: remapped surviving component.
+SpecFactory = Callable[[NodeId], ProgramSpec]
+
+
+class RecoverySynchronizerProcess(SynchronizerProcess):
+    """Synchronizer process with churn recovery (DESIGN.md §11).
+
+    Subclass per run via :func:`run_churn` (the same ``type(...)`` binding
+    pattern as :func:`~repro.core.synchronizer.run_synchronized`).
+    """
+
+    recovery = True
+
+    def __init__(self, ctx: ProcessContext) -> None:
+        super().__init__(ctx)
+        # Fail-stop enforcement: once a neighbor is pruned, nothing it said
+        # may reach the modules — a pre-crash message deferred across a
+        # down interval can arrive arbitrarily late.  The guard costs one
+        # set probe per delivered message, so the opcode-table fast path is
+        # disabled for recovery runs.
+        node = self.node
+        inner = node.handle
+        pruned = node._pruned
+
+        def guarded(sender: NodeId, payload: Tuple) -> None:
+            if sender in pruned:
+                return
+            inner(sender, payload)
+
+        self.on_message = guarded
+        self.on_message_table = None
+
+    def on_neighbor_dead(self, neighbor: NodeId) -> None:
+        # Clear the jammed link first (a send into the crashed node never
+        # acks, wedging the outbox), then detach the neighbor from every
+        # protocol wait set.
+        self.ctx.reset_link(neighbor)
+        self.node.prune_neighbor(neighbor)
+
+
+@dataclass
+class ChurnOutcome:
+    """Outcome of one :func:`run_churn` experiment."""
+
+    mode: str
+    crashed: Tuple[NodeId, ...]
+    #: Nodes in the root's connected component over the surviving graph.
+    survivors: Tuple[NodeId, ...]
+    #: Final outputs restricted to survivors (rebuild mode: the clean
+    #: re-run's outputs, mapped back to original node ids).
+    outputs: Dict[NodeId, Any]
+    #: Survivors that produced any output at all.
+    answered: int
+    messages: int
+    acks: int
+    dropped: int
+    #: Events fired across both passes (degrade pass + rebuild, if any).
+    events_fired: int
+    time_to_output: float
+    time_to_quiescence: float
+    #: Messages of the rebuild pass (0 in degrade mode).
+    rebuild_messages: int
+    stop_reason: str
+
+    @property
+    def survivor_count(self) -> int:
+        return len(self.survivors)
+
+    @property
+    def total_messages(self) -> int:
+        return self.messages + self.rebuild_messages
+
+
+def _surviving_component(
+    graph: Graph, live: Set[NodeId], root: NodeId
+) -> Tuple[NodeId, ...]:
+    """Root's connected component in the subgraph induced by ``live``."""
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for u in graph.neighbors(v):
+                if u in live and u not in seen:
+                    seen.add(u)
+                    nxt.append(u)
+        frontier = nxt
+    return tuple(sorted(seen))
+
+
+def run_churn(
+    graph: Graph,
+    spec_factory: SpecFactory,
+    delay_model: DelayModel,
+    faults: FaultSchedule,
+    mode: str = "degrade",
+    root: NodeId = 0,
+    detect_timeout: float = DETECT_TIMEOUT,
+    builder: str = "ap",
+    max_pulse: Optional[int] = None,
+    max_events: int = 100_000_000,
+) -> ChurnOutcome:
+    """Run ``spec_factory(root)`` under the synchronizer through a churn.
+
+    Deterministic end to end: the fault schedule, the delay model, and the
+    recovery reactions are all pure functions of their seeds, so a fixed
+    ``(graph, spec, delay_model, faults, mode)`` pins the whole execution.
+    """
+    if mode not in ("degrade", "rebuild"):
+        raise ValueError(f"mode must be 'degrade' or 'rebuild', got {mode!r}")
+    if faults.crash_time(root) != float("inf"):
+        raise ValueError(
+            f"the root/source {root} is scheduled to crash; protect it"
+            f" (FaultSchedule(..., protect=({root},)))"
+        )
+    spec = spec_factory(root)
+    if max_pulse is None:
+        max_pulse = pulse_bound_for(graph, spec)
+    registry = registry_for_threshold(graph, max_pulse, builder)
+    namespace = dict(
+        spec=spec,
+        registry=registry,
+        max_pulse=max_pulse,
+        initiators=frozenset(spec.initiators(graph)),
+        infos=spec.make_infos(graph),
+    )
+    process_cls = type(
+        "BoundRecoverySynchronizer", (RecoverySynchronizerProcess,), namespace
+    )
+    runtime = AsyncRuntime(
+        graph, process_cls, delay_model,
+        faults=faults, detect_timeout=detect_timeout,
+    )
+    result = runtime.run(max_events=max_events)
+
+    crashed = tuple(faults.crashed_nodes(graph.nodes))
+    live = set(graph.nodes) - set(crashed)
+    survivors = _surviving_component(graph, live, root)
+    outputs = {v: result.outputs[v] for v in survivors if v in result.outputs}
+
+    rebuild_messages = 0
+    events_fired = result.events_fired
+    if mode == "rebuild":
+        # Clean re-registration on the surviving component: covers, views
+        # and pulse bound are all rebuilt for H, so the second pass is an
+        # ordinary fault-free synchronizer run whose outputs are exact.
+        subgraph, remap = graph.induced_subgraph(survivors)
+        sub_result = run_synchronized(
+            subgraph, spec_factory(remap[root]), delay_model,
+            builder=builder, max_events=max_events,
+        )
+        back = {new: old for old, new in remap.items()}
+        outputs = {back[v]: value for v, value in sub_result.outputs.items()}
+        rebuild_messages = sub_result.messages
+        events_fired += sub_result.events_fired
+
+    return ChurnOutcome(
+        mode=mode,
+        crashed=crashed,
+        survivors=survivors,
+        outputs=outputs,
+        answered=sum(1 for v in survivors if v in outputs),
+        messages=result.messages,
+        acks=result.acks,
+        dropped=result.dropped,
+        events_fired=events_fired,
+        time_to_output=result.time_to_output,
+        time_to_quiescence=result.time_to_quiescence,
+        rebuild_messages=rebuild_messages,
+        stop_reason=result.stop_reason,
+    )

@@ -148,7 +148,7 @@ class _StageState:
     __slots__ = ("key", "cluster_id", "tag", "view", "state", "finished",
                  "parent_mark", "child_marks", "dirty_children",
                  "waiting_children", "r_in_flight", "pending_child_invokers",
-                 "local_pending", "priority", "parent_link")
+                 "local_pending", "priority", "parent_link", "poisoned")
 
     def __init__(self, key: Key, cluster_id: int, tag: Tag,
                  view: "ClusterView", finished: bool, priority: Any,
@@ -193,6 +193,10 @@ class _StageState:
         # creation so emits skip the per-tag / per-destination dict probes.
         self.priority = priority
         self.parent_link = parent_link
+        # Set by prune_child when a node crash touched this stage: a
+        # poisoned slot's counters no longer tell the full wave story, so
+        # it must never reach the free list looking terminal-clean.
+        self.poisoned = False
 
 
 @dataclass(frozen=True)
@@ -501,10 +505,71 @@ class RegistrationModule:
         # next stage at this node resets it in place instead of allocating.
         if (self._pool and not stage.dirty_children
                 and stage.parent_mark == CLEAN and not stage.r_in_flight
-                and not stage.local_pending
+                and not stage.local_pending and not stage.poisoned
                 and (stage.state is NONE or stage.state is FREE)):
             del self._stages[stage.key]
             self._free.append(stage)
+
+    # ------------------------------------------------------------------
+    # recovery (DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def prune_child(self, dead: NodeId) -> None:
+        """Excise a crashed neighbor from every cluster view and live stage.
+
+        Detect-and-degrade semantics: the dead node's subtree is abandoned.
+        Its marks are erased (``dirty_children`` / ``waiting_children``
+        recomputed incrementally, exactly as the wave handlers maintain
+        them), its owed R confirmations are dropped, and any wave the dead
+        child was holding up is re-driven — a root stage re-checks
+        Go-Ahead, a relay stage re-runs ``D``.  Stages whose *parent* is
+        the corpse are orphans: they can never complete and are only
+        poisoned (satellite: a crash during a pooled slot's lifetime must
+        never return a live-looking slot to the free list — every stage a
+        crash touched is marked ``poisoned`` and excluded from recycling).
+
+        Cluster views are pruned copy-on-write: the view dicts may be
+        shared with sibling modules on this node and cached across sweep
+        replays, so they are never mutated in place.
+        """
+        dead_link = self._links[dead]
+        clusters = dict(self.clusters)
+        changed = False
+        for cid, view in clusters.items():
+            if dead in view.children:
+                clusters[cid] = ClusterView(
+                    cluster_id=cid,
+                    parent=view.parent,
+                    children=tuple(c for c in view.children if c != dead),
+                )
+                changed = True
+        if changed:
+            self.clusters = clusters
+        for stage in list(self._stages.values()):
+            view = stage.view
+            if view.parent == dead:
+                stage.poisoned = True
+                continue
+            prev = stage.child_marks.pop(dead, None)
+            if prev is None and dead not in view.children:
+                # The corpse plays no role in this stage's tree.
+                continue
+            stage.poisoned = True
+            new_view = self.clusters.get(stage.cluster_id)
+            if new_view is not None:
+                stage.view = new_view
+            if prev == DIRTY:
+                stage.dirty_children -= 1
+            elif prev == WAITING:
+                stage.waiting_children -= 1
+            if stage.pending_child_invokers:
+                stage.pending_child_invokers[:] = [
+                    lnk for lnk in stage.pending_child_invokers
+                    if lnk != dead_link
+                ]
+            if stage.view.parent is None:
+                self._root_maybe_go_ahead(stage)
+            elif not stage.dirty_children:
+                self._run_d(stage)
 
     def handle_go_ahead(self, sender: NodeId, payload: Tuple) -> None:
         """The parent's Go-Ahead — ``(OP_REG_GO_AHEAD, key)``."""

@@ -126,7 +126,7 @@ class _VNode:
     __slots__ = ("pulse", "parent", "parent_link", "parent_is_self",
                  "emits", "release_links",
                  "sends_pending", "sent", "answers_missing", "children",
-                 "self_child", "flows", "ga_released")
+                 "self_child", "flows", "ga_released", "ans_wait", "ack_wait")
 
     def __init__(
         self, pulse: int, parent: Optional[NodeId], parent_is_self: bool,
@@ -153,6 +153,13 @@ class _VNode:
         self.self_child = False
         self.flows: Dict[int, _VFlow] = {}
         self.ga_released: Set[int] = set()
+        # Recovery mode only (DESIGN.md §11): the identities behind the two
+        # counters above, so a crashed neighbor's outstanding ack/answer can
+        # be cancelled exactly once (and not cancelled again if it already
+        # resolved before the crash was detected).  None outside recovery —
+        # the bare counters carry the fault-free protocol.
+        self.ans_wait: Optional[Set[Any]] = None
+        self.ack_wait: Optional[Set[NodeId]] = None
 
     def flow(self, q: int) -> _VFlow:
         f = self.flows.get(q)
@@ -184,6 +191,7 @@ class SynchronizerNode:
         links=None,  # neighbor -> dense link id (ProcessContext.links)
         send_link=None,  # (link_id, payload, priority) -> None
         pool: bool = True,  # recycle registration stage slots (DESIGN.md §10)
+        recovery: bool = False,  # track ack/answer identities for pruning
     ) -> None:
         if max_pulse < 1 or max_pulse & (max_pulse - 1):
             raise ValueError("max_pulse must be a power of two")
@@ -199,6 +207,14 @@ class SynchronizerNode:
         self._links = links
         self._send_link = send_link
         self.set_output = set_output
+        # Recovery mode (DESIGN.md §11): vnodes additionally track *which*
+        # acks/answers are outstanding so :meth:`prune_neighbor` can cancel
+        # exactly the ones a crashed neighbor still owed.  Costs one set per
+        # sending vnode, so it is opt-in; the fault-free schedule is
+        # unchanged either way (the counters drive the protocol in both
+        # modes, the sets are pure bookkeeping).
+        self.recovery = recovery
+        self._pruned: Set[NodeId] = set()
 
         views = registry.views_of(node_id)
         self.reg = RegistrationModule(
@@ -315,6 +331,11 @@ class SynchronizerNode:
         vnode.release_links = tuple(
             links[to] for to in sorted(set(recipients))
         )
+        if self.recovery:
+            ans_wait = set(recipients)
+            ans_wait.add(self.SELF)
+            vnode.ans_wait = ans_wait
+            vnode.ack_wait = set(recipients)
 
     def _do_sends(self, vnode: _VNode) -> None:
         if vnode.sent:
@@ -334,7 +355,15 @@ class SynchronizerNode:
     def on_delivered(self, to: NodeId, payload: Tuple) -> None:
         if payload[0] != OP_APP:
             return
+        if self._pruned and to in self._pruned:
+            # The ack was already cancelled synthetically when ``to`` was
+            # pruned; a late transport ack (delivered just before the crash,
+            # deferred across a down interval) must not double-count.
+            return
         vnode = self.vnodes[payload[1]]
+        aw = vnode.ack_wait
+        if aw is not None:
+            aw.discard(to)
         vnode.sends_pending -= 1
         if vnode.sends_pending == 0:
             self._vnode_safe(vnode)
@@ -423,6 +452,9 @@ class SynchronizerNode:
                 f" {vnode.pulse})"
             )
         vnode.answers_missing = left
+        answ = vnode.ans_wait
+        if answ is not None:
+            answ.discard(who)
         if chosen:
             if who == self.SELF:
                 vnode.self_child = True
@@ -433,6 +465,74 @@ class SynchronizerNode:
                 self._try_assemble(vnode, q)
             for q in assemble_pulses(vnode.pulse, self.max_pulse):
                 self._try_assemble(vnode, q)
+
+    # ------------------------------------------------------------------
+    # churn recovery (DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def prune_neighbor(self, dead: NodeId) -> None:
+        """Detach a crashed neighbor from every piece of local state.
+
+        Called from the failure detector (``on_neighbor_dead``) in recovery
+        mode.  Cancels exactly the acknowledgments and chosen/not-chosen
+        answers ``dead`` still owed (the ``ack_wait``/``ans_wait`` identity
+        sets make the cancellation idempotent against answers that resolved
+        before the crash was detected), removes ``dead`` from child sets and
+        flow reports, strips it from unsent emit lists, and forwards the
+        prune to the registration and aggregation modules so their
+        convergecasts re-close over the survivors.  Idempotent per neighbor.
+        """
+        if not self.recovery:
+            raise RuntimeError(
+                "prune_neighbor requires recovery mode (SynchronizerNode"
+                " was built with recovery=False)"
+            )
+        if dead in self._pruned:
+            return
+        self._pruned.add(dead)
+        self.reg.prune_child(dead)
+        self.agg.prune_child(dead)
+        dead_link = self._links[dead]
+        for vnode in list(self.vnodes.values()):
+            if not vnode.sent:
+                # Not yet emitted: simply stop addressing the dead node.
+                # The waits stay consistent because ``_do_sends`` derives
+                # both counters from the (now filtered) emit list.
+                if any(lid == dead_link for lid, _ in vnode.emits):
+                    vnode.emits = tuple(
+                        (lid, w) for lid, w in vnode.emits if lid != dead_link
+                    )
+                    vnode.release_links = tuple(
+                        lid for lid in vnode.release_links if lid != dead_link
+                    )
+                    vnode.ans_wait.discard(dead)
+                    vnode.ack_wait.discard(dead)
+                continue
+            aw = vnode.ack_wait
+            if aw is not None and dead in aw:
+                # The dead node never acknowledged: count the send as
+                # resolved (it can never arrive — the transport jams
+                # messages into a crashed receiver without acking).
+                aw.discard(dead)
+                vnode.sends_pending -= 1
+                if vnode.sends_pending == 0:
+                    self._vnode_safe(vnode)
+            answ = vnode.ans_wait
+            if answ is not None and dead in answ:
+                # The dead node never answered chosen/not-chosen: a crashed
+                # child is not-chosen by fiat.
+                self._child_answer(vnode, dead, False)
+            if dead in vnode.children:
+                # Answered chosen before crashing: drop the subtree.  Any
+                # flow already waiting on its report re-closes over the
+                # surviving children.
+                vnode.children.remove(dead)
+                for flow in vnode.flows.values():
+                    flow.reports.pop(dead, None)
+                if vnode.answers_missing == 0:
+                    for q in list(vnode.flows):
+                        self._try_assemble(vnode, q)
+                    for q in assemble_pulses(vnode.pulse, self.max_pulse):
+                        self._try_assemble(vnode, q)
 
     def _handle_vflow(self, sender: NodeId, payload: Tuple) -> None:
         vnode = self.vnodes[payload[1]]
@@ -640,6 +740,11 @@ class SynchronizerProcess(Process):
     #: the byte-identity A/B tests) set False to force fresh allocation.
     pool: bool = True
 
+    #: Track ack/answer identities for churn pruning (DESIGN.md §11).  The
+    #: recovery subclass in :mod:`repro.core.recovery` sets True; the
+    #: fault-free schedule is unchanged either way.
+    recovery: bool = False
+
     def __init__(self, ctx: ProcessContext) -> None:
         super().__init__(ctx)
         self.node = SynchronizerNode(
@@ -657,6 +762,7 @@ class SynchronizerProcess(Process):
             links=getattr(ctx, "links", None),
             send_link=getattr(ctx, "send_link", None),
             pool=self.pool,
+            recovery=self.recovery,
         )
         # Instance-level binds shadow the class methods below so the
         # transport calls straight into the node engine (one frame less per

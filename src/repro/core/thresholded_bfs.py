@@ -128,6 +128,7 @@ class ThresholdedBFSCore:
         links=None,  # neighbor -> dense link id (ProcessContext.links)
         send_link=None,  # (link_id, payload, priority) -> None
         pool: bool = True,  # recycle registration stage slots (DESIGN.md §10)
+        recovery: bool = False,  # track join answers for churn pruning
     ) -> None:
         if threshold < 1 or threshold & (threshold - 1):
             raise ValueError(f"threshold must be a power of two, got {threshold}")
@@ -216,6 +217,13 @@ class ThresholdedBFSCore:
         self._sreg_pending: Dict[int, Set[int]] = {}
         self._sdereg_pending: Dict[int, Set[int]] = {}
         self._check_pending: Set[int] = set()
+        # Recovery mode (DESIGN.md §11): remember which neighbors still owe
+        # a join answer so :meth:`prune_neighbor` can count a crashed
+        # neighbor's unanswered proposal as a decline.  None outside
+        # recovery — the bare counter carries the fault-free protocol.
+        self.recovery = recovery
+        self._pruned: Set[NodeId] = set()
+        self._answer_wait: Optional[Set[NodeId]] = None
 
     # ------------------------------------------------------------------
     # plumbing
@@ -315,8 +323,22 @@ class ThresholdedBFSCore:
         self.answers_pending = len(self.neighbors)
         send_link = self._send_link
         payload = (OP_JOIN, self.pulse)
-        for lid in self._neighbor_links:
-            send_link(lid, payload, stage)
+        if not self.recovery:
+            for lid in self._neighbor_links:
+                send_link(lid, payload, stage)
+        else:
+            # Recovery mode: never propose to a neighbor already known
+            # dead, and remember who still owes an answer so a later crash
+            # counts as a declined proposal (DESIGN.md §11).
+            pruned = self._pruned
+            wait = set()
+            for v, lid in zip(self.neighbors, self._neighbor_links):
+                if v in pruned:
+                    self.answers_pending -= 1
+                    continue
+                wait.add(v)
+                send_link(lid, payload, stage)
+            self._answer_wait = wait
         if self.answers_pending == 0:
             self._answers_complete()
 
@@ -341,6 +363,9 @@ class ThresholdedBFSCore:
         if payload[1]:
             self.children.append(sender)
             self._children_links.append(self._links[sender])
+        aw = self._answer_wait
+        if aw is not None:
+            aw.discard(sender)
         self.answers_pending -= 1
         if self.answers_pending == 0:
             self._answers_complete()
@@ -359,6 +384,45 @@ class ThresholdedBFSCore:
             # (prev_prev(q) <= pulse always holds on the memoized table).
             for q in assemble_pulses(self.pulse, self.threshold):
                 self._flow_assembled(q, empty=True)
+
+    # ------------------------------------------------------------------
+    # churn recovery (DESIGN.md §11, best-effort)
+    # ------------------------------------------------------------------
+    def prune_neighbor(self, dead: NodeId) -> None:
+        """Detach a crashed neighbor: its unanswered join proposal counts
+        as a decline, its execution-tree subtree is dropped, and the prune
+        is forwarded to the registration/aggregation modules so cluster
+        convergecasts re-close over the survivors.  Idempotent."""
+        if not self.recovery:
+            raise RuntimeError(
+                "prune_neighbor requires recovery mode (ThresholdedBFSCore"
+                " was built with recovery=False)"
+            )
+        if dead in self._pruned:
+            return
+        self._pruned.add(dead)
+        self.reg.prune_child(dead)
+        self.agg.prune_child(dead)
+        aw = self._answer_wait
+        if aw is not None and dead in aw:
+            aw.discard(dead)
+            self.answers_pending -= 1
+            if self.answers_pending == 0:
+                self._answers_complete()
+        if dead in self.children:
+            i = self.children.index(dead)
+            del self.children[i]
+            del self._children_links[i]
+            for flow in self._flows.values():
+                flow.reports.pop(dead, None)
+            if self.answered:
+                self._child_pairs = tuple(
+                    zip(self.children, self._children_links)
+                )
+                for q in list(self._flows):
+                    self._try_assemble(q)
+                for q in assemble_pulses(self.pulse, self.threshold):
+                    self._try_assemble(q)
 
     # ------------------------------------------------------------------
     # safety/emptiness flows

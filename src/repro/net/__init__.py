@@ -9,10 +9,12 @@ from .delays import (
     ConstantDelay,
     DelayModel,
     DirectionalSkewDelay,
+    InvalidDelayError,
     SlowEdgesDelay,
     UniformDelay,
     standard_adversaries,
 )
+from .faults import DETECT_TIMEOUT, FaultSchedule, FaultScheduleError
 from .program import (
     ArrivedBatch,
     NodeInfo,
@@ -52,7 +54,11 @@ __all__ = [
     "SlowEdgesDelay",
     "AlternatingDelay",
     "DirectionalSkewDelay",
+    "InvalidDelayError",
     "standard_adversaries",
+    "DETECT_TIMEOUT",
+    "FaultSchedule",
+    "FaultScheduleError",
     "ArrivedBatch",
     "NodeInfo",
     "NodeProgram",

@@ -82,11 +82,13 @@ import gc
 from dataclasses import dataclass
 from functools import partial
 from heapq import heappop, heappush
+from math import inf
 from types import MappingProxyType
 from typing import Any, Callable, Dict, List, Mapping, MutableSequence, Optional, Tuple
 from weakref import WeakKeyDictionary
 
-from .delays import BLOCK_PAIRS, DelayModel, TAU
+from .delays import BLOCK_PAIRS, DelayModel, InvalidDelayError, TAU
+from .faults import DETECT_TIMEOUT, FaultSchedule
 from .events import (
     CODE_ACK,
     CODE_ACK_PAYLOAD,
@@ -131,6 +133,23 @@ def make_block_buffer(num_links: int) -> MutableSequence[float]:
     stays a few hundred KB even at n=1024.)
     """
     return [0.0] * (BLOCK_SPAN * num_links)
+
+
+def _fill_checked(fill, buf, base: int, seq: int, pairs: int) -> None:
+    """Run one block fill, then validate every delay it produced.
+
+    A per-element loop on purpose: ``min``/``max`` reductions can skip NaN
+    (every comparison with NaN is False), which is exactly the value that
+    must not reach the heap.  Runs once per :data:`~repro.net.delays.
+    BLOCK_PAIRS` messages, so the validation cost is amortized to a couple
+    of float comparisons per send.
+    """
+    fill(buf, base, seq, pairs)
+    for x in buf[base:base + 2 * pairs]:
+        if not 0.0 < x <= TAU:
+            raise InvalidDelayError(
+                f"block stream produced delay {x!r} outside (0, {TAU}]"
+            )
 
 
 class LinkSkeleton:
@@ -245,6 +264,17 @@ class Process:
         do not override it).
         """
 
+    def on_neighbor_dead(self, neighbor: NodeId) -> None:  # pragma: no cover
+        """Failure-detector callback: ``neighbor`` crashed and will never
+        answer again.
+
+        Fires ``detect_timeout`` after the neighbor's crash, only under a
+        :class:`~repro.net.faults.FaultSchedule` with crashes and only for
+        processes that override the hook (the transport elides detectors
+        otherwise, so fault-free schedules stay byte-identical).  Default:
+        no-op.
+        """
+
 
 class ProcessContext:
     """Per-node handle into the runtime: identity, sending, and output.
@@ -284,9 +314,34 @@ class ProcessContext:
 
         Protocols themselves must never use this (the asynchronous model has
         no clocks); it exists for tests and workload drivers that model the
-        environment handing a node an input at an arbitrary time.
+        environment handing a node an input at an arbitrary time.  Under a
+        fault schedule the callback is crash-guarded: a fail-stop node takes
+        no steps at or after its crash time, environment-driven or not.
         """
-        self._runtime.schedule(delay, callback)
+        runtime = self._runtime
+        crash_t = runtime._crash_t
+        if crash_t is not None:
+            t_crash = crash_t[self.node_id]
+            if t_crash < inf:
+
+                def guarded(_cb=callback, _rt=runtime, _t=t_crash) -> None:
+                    if _rt._now < _t:
+                        _cb()
+
+                runtime.schedule(delay, guarded)
+                return
+        runtime.schedule(delay, callback)
+
+    def reset_link(self, to: NodeId) -> None:
+        """Abandon the outgoing link toward ``to`` (recovery hook).
+
+        A crashed receiver never acknowledges, so the Appendix B discipline
+        jams the link forever; a process told by its failure detector that
+        ``to`` is dead calls this to clear the in-flight slot and discard
+        everything queued toward the corpse.  Only meaningful under a fault
+        schedule.
+        """
+        self._runtime._reset_link(self.links[to])
 
     def set_output(self, value: Any) -> None:
         self._runtime._record_output(self.node_id, value)
@@ -312,6 +367,9 @@ class AsyncResult:
     #: acknowledgment).
     events_fired: int
     stop_reason: str
+    #: Messages lost to faults: deliveries whose receiver had crashed plus
+    #: per-link drop events.  Always 0 without a fault schedule.
+    dropped: int = 0
 
     @property
     def time_complexity(self) -> float:
@@ -374,6 +432,8 @@ class AsyncRuntime(EventQueue):
         "_reserved", "_send_on", "_enqueue_from", "_inject_link",
         "messages", "acks", "_fused", "outputs",
         "output_time", "_time_to_output", "processes", "_active_seq",
+        "faults", "detect_timeout", "_crash_t", "_down_fn", "_drop_fn",
+        "dropped",
     )
 
     def __init__(
@@ -386,6 +446,8 @@ class AsyncRuntime(EventQueue):
         count_fused_acks: bool = False,
         skeleton: Optional[LinkSkeleton] = None,
         block_buffer: Optional[MutableSequence[float]] = None,
+        faults: Optional[FaultSchedule] = None,
+        detect_timeout: float = DETECT_TIMEOUT,
     ) -> None:
         """``count_fused_acks=True`` restores the paper's raw event
         accounting in ``events_fired`` (fused acknowledgments count as one
@@ -401,6 +463,12 @@ class AsyncRuntime(EventQueue):
         (every value is re-derived from the delay model's pure streams on
         refill), but the caller must not run two runtimes sharing one
         buffer concurrently.  By default each runtime allocates its own.
+        ``faults`` is an optional :class:`~repro.net.faults.FaultSchedule`;
+        an empty schedule is normalized to ``None`` so it provably cannot
+        perturb the fault-free schedule (the fast dispatch loops are only
+        entered when no schedule is active).  ``detect_timeout`` is how long
+        after a neighbor's crash its failure detector fires (sound for any
+        value > 2*TAU; see :data:`~repro.net.faults.DETECT_TIMEOUT`).
         """
         super().__init__()
         self.graph = graph
@@ -415,6 +483,29 @@ class AsyncRuntime(EventQueue):
         lv = self._lv = skeleton.lv
         self._out = skeleton.out
         n_links = skeleton.num_links
+        if faults is not None and faults.is_empty():
+            # Empty schedules normalize to "no faults": the fast dispatch
+            # loops run and existing schedules/metrics stay byte-identical.
+            faults = None
+        self.faults = faults
+        self.detect_timeout = detect_timeout
+        self.dropped = 0
+        if faults is None:
+            self._crash_t: Optional[List[float]] = None
+            self._down_fn = None
+            self._drop_fn = None
+        else:
+            # Fault state resolved once per runtime: per-node crash times
+            # (``inf`` = never) and per-directed-link down/drop checkers
+            # (``None`` = the link is never down / never drops), all pure
+            # functions of the schedule's seed.
+            self._crash_t = [faults.crash_time(v) for v in graph.nodes]
+            self._down_fn = [
+                faults.down_checker(lu[i], lv[i]) for i in range(n_links)
+            ]
+            self._drop_fn = [
+                faults.drop_checker(lu[i], lv[i]) for i in range(n_links)
+            ]
         # Mutable per-replay link state: flat parallel lists (outboxes stay
         # None until a send actually queues — `if outbox[lid]` treats None
         # and empty alike).
@@ -568,6 +659,7 @@ class AsyncRuntime(EventQueue):
         span = BLOCK_SPAN
         mask = BLOCK_SPAN - 1  # span is a power of two (asserted below)
         pairs = BLOCK_PAIRS
+        fill_checked = _fill_checked
         heap = self._heap
         counter = self._counter
         push = heappush
@@ -639,7 +731,7 @@ class AsyncRuntime(EventQueue):
                 # when all pairs of the previous cycle are consumed (regions
                 # are power-of-two sized), so no per-link limit is loaded.
                 i -= span
-                blk_fill_a[lid](buf, i, seq, pairs)
+                fill_checked(blk_fill_a[lid], buf, i, seq, pairs)
             blk_i_a[lid] = i + 2
             p = pending_a[lid]
             pending_a[lid] = p + 1
@@ -708,7 +800,7 @@ class AsyncRuntime(EventQueue):
                 # when all pairs of the previous cycle are consumed (regions
                 # are power-of-two sized), so no per-link limit is loaded.
                 i -= span
-                blk_fill_a[lid](buf, i, seq, pairs)
+                fill_checked(blk_fill_a[lid], buf, i, seq, pairs)
             blk_i_a[lid] = i + 2
             p = pending_a[lid]
             pending_a[lid] = p + 1
@@ -735,7 +827,7 @@ class AsyncRuntime(EventQueue):
                 # when all pairs of the previous cycle are consumed (regions
                 # are power-of-two sized), so no per-link limit is loaded.
                 i -= span
-                blk_fill_a[lid](buf, i, seq, pairs)
+                fill_checked(blk_fill_a[lid], buf, i, seq, pairs)
             blk_i_a[lid] = i + 2
             p = pending_a[lid]
             pending_a[lid] = p + 1
@@ -820,12 +912,22 @@ class AsyncRuntime(EventQueue):
             pair = pair_a[lid]
             if pair is not None:
                 delay, ack = pair(seq)
+                if not (0.0 < delay <= TAU and 0.0 < ack <= TAU):
+                    raise InvalidDelayError(
+                        f"pair stream produced ({delay!r}, {ack!r}) outside"
+                        f" (0, {TAU}]"
+                    )
             else:
                 draw = draw_a[lid]
                 if draw is None:
                     rt._inject_generic(lid, payload, seq)
                     return
                 delay = draw(seq)
+                if not 0.0 < delay <= TAU:
+                    raise InvalidDelayError(
+                        f"link stream produced delay {delay!r} outside"
+                        f" (0, {TAU}]"
+                    )
                 ack = None
             p = pending_a[lid]
             pending_a[lid] = p + 1
@@ -886,12 +988,22 @@ class AsyncRuntime(EventQueue):
             pair = pair_a[lid]
             if pair is not None:
                 delay, ack = pair(seq)
+                if not (0.0 < delay <= TAU and 0.0 < ack <= TAU):
+                    raise InvalidDelayError(
+                        f"pair stream produced ({delay!r}, {ack!r}) outside"
+                        f" (0, {TAU}]"
+                    )
             else:
                 draw = draw_a[lid]
                 if draw is None:
                     rt._inject_generic(lid, payload, seq)
                     return
                 delay = draw(seq)
+                if not 0.0 < delay <= TAU:
+                    raise InvalidDelayError(
+                        f"link stream produced delay {delay!r} outside"
+                        f" (0, {TAU}]"
+                    )
                 ack = None
             p = pending_a[lid]
             pending_a[lid] = p + 1
@@ -915,12 +1027,22 @@ class AsyncRuntime(EventQueue):
             pair = pair_a[lid]
             if pair is not None:
                 delay, ack = pair(seq)
+                if not (0.0 < delay <= TAU and 0.0 < ack <= TAU):
+                    raise InvalidDelayError(
+                        f"pair stream produced ({delay!r}, {ack!r}) outside"
+                        f" (0, {TAU}]"
+                    )
             else:
                 draw = draw_a[lid]
                 if draw is None:
                     rt._inject_generic(lid, payload, seq)
                     return
                 delay = draw(seq)
+                if not 0.0 < delay <= TAU:
+                    raise InvalidDelayError(
+                        f"link stream produced delay {delay!r} outside"
+                        f" (0, {TAU}]"
+                    )
                 ack = None
             p = pending_a[lid]
             pending_a[lid] = p + 1
@@ -944,9 +1066,11 @@ class AsyncRuntime(EventQueue):
         u = self._lu[lid]
         v = self._lv[lid]
         delay = self.delay_model(u, v, seq, now)
+        # Membership-style test: NaN fails every comparison, so non-finite
+        # draws land here too instead of corrupting heap order downstream.
         if not 0.0 < delay <= TAU:
-            raise ValueError(
-                f"delay model produced {delay} outside (0, {TAU}] on {u}->{v}"
+            raise InvalidDelayError(
+                f"delay model produced {delay!r} outside (0, {TAU}] on {u}->{v}"
             )
         skeleton = self._skeleton
         p = self._pending[lid]
@@ -987,12 +1111,16 @@ class AsyncRuntime(EventQueue):
                     self._lv[lid], self._lu[lid]
                 )
         if ack_draw is not None:
-            return ack_draw(-self._injected[lid])
-        ack_delay = self.delay_model(
-            self._lv[lid], self._lu[lid], -self._injected[lid], self._now
-        )
+            ack_delay = ack_draw(-self._injected[lid])
+        else:
+            ack_delay = self.delay_model(
+                self._lv[lid], self._lu[lid], -self._injected[lid], self._now
+            )
         if not 0.0 < ack_delay <= TAU:
-            raise ValueError("delay model produced an invalid ack delay")
+            raise InvalidDelayError(
+                f"delay model produced ack delay {ack_delay!r} outside"
+                f" (0, {TAU}] on {self._lv[lid]}->{self._lu[lid]}"
+            )
         return ack_delay
 
     def _deliver_fat(self, record: Tuple, now: float) -> float:
@@ -1045,11 +1173,256 @@ class AsyncRuntime(EventQueue):
         return fused_at
 
     # ------------------------------------------------------------------
+    # fault mode (DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def _reset_link(self, lid: LinkId) -> None:
+        """Clear the in-flight slot and outbox of one directed link.
+
+        The recovery hook behind :meth:`ProcessContext.reset_link`: a
+        crashed receiver never acknowledges, so without this the Appendix B
+        discipline would queue the live sender's messages forever.  Any
+        record already in flight on the link stays scheduled — its fate is
+        decided at fire time by the fault checks.
+        """
+        self._busy[lid] = False
+        ob = self._outbox[lid]
+        if ob:
+            ob.clear()
+        self._slot_ack[lid] = None
+
+    def _schedule_detectors(self) -> None:
+        """Schedule the perfect-failure-detector callbacks (DESIGN.md §11).
+
+        Every live neighbor of a crashed node learns of the crash exactly
+        ``detect_timeout`` after it happens.  This is the abstraction of a
+        missing acknowledgment/Go-Ahead timeout: any message in flight
+        toward (or from) a node that crashes at ``t`` resolves by
+        ``t + 2*TAU``, so a timeout strictly greater than ``2*TAU`` never
+        accuses a live node and never fires while pre-crash traffic from
+        the corpse can still arrive.  Detectors are elided for observers
+        that are themselves dead by the fire time and for processes that do
+        not override ``on_neighbor_dead``.  Iteration order (crashed nodes
+        ascending, neighbors sorted) is part of the determinism contract
+        the reference engine mirrors.
+        """
+        crash_t = self._crash_t
+        base = Process.on_neighbor_dead
+        processes = self.processes
+        timeout = self.detect_timeout
+        for c in self.graph.nodes:
+            t_crash = crash_t[c]
+            if t_crash == inf:
+                continue
+            t_fire = t_crash + timeout
+            for u in sorted(self.graph.neighbors(c)):
+                if crash_t[u] <= t_fire:
+                    continue
+                proc = processes[u]
+                if type(proc).on_neighbor_dead is base:
+                    continue
+                self.schedule_at(t_fire, partial(proc.on_neighbor_dead, c))
+
+    def _run_faulty(
+        self,
+        max_time: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> AsyncResult:
+        """The fault-mode dispatch loop: every record passes the fault gauntlet.
+
+        One unbatched, unfused variant (``run`` delegates here only when a
+        non-empty :class:`~repro.net.faults.FaultSchedule` is active, so the
+        fault-free fast loops are untouched).  Per record:
+
+        * **delivery** (packed or fat) — receiver crashed: the message
+          vanishes (``dropped``) and the sender's link jams (no ack ever;
+          recovery uses :meth:`ProcessContext.reset_link`); edge down: the
+          record is *deferred* to the interval's end as a fat record —
+          link-layer retention, nothing is lost; dropped by the schedule
+          (keyed to the link's latest injection number, matching the
+          reference engine's delivery-time read): the payload is lost
+          receiver-side but the link-layer acknowledgment still returns, so
+          the sender's pipeline keeps moving; otherwise a normal delivery.
+        * **acknowledgment** — edge down: deferred likewise; sender
+          crashed: the link state is updated but the corpse takes no step
+          (no ``on_delivered``, no outbox drain — its queued messages die
+          with it); otherwise normal.
+
+        Acks are never fused here: fusing's reservation bookkeeping assumes
+        the ack always logically fires, which crashed senders violate.
+        """
+        processes = self.processes
+        crash_t = self._crash_t
+        for v in self.graph.nodes:  # ``nodes`` is an ascending range
+            if crash_t[v] > 0.0:
+                self.schedule(0.0, processes[v].on_start)
+        if self._blk_i is not None:
+            self._blk_i[:] = self._skeleton.blk_lims
+        self._schedule_detectors()
+
+        heap = self._heap
+        pop = heappop
+        push = heappush
+        counter = self._counter
+        trace = self.trace
+        lu = self._lu
+        lv = self._lv
+        busy_a = self._busy
+        outbox_a = self._outbox
+        pending_a = self._pending
+        slot_p_a = self._slot_payload
+        slot_ack_a = self._slot_ack
+        deliver_a = self._deliver
+        table_a = self._table
+        delivered_a = self._delivered
+        prefix_a = self._ack_prefix
+        injected_a = self._injected
+        down_a = self._down_fn
+        drop_a = self._drop_fn
+        acode_a = self._skeleton.ack_codes
+        apcode_a = self._skeleton.ack_payload_codes
+        fcode_a = self._skeleton.fat_codes
+        inject = self._inject_link
+        budget = (1 << 62) if max_events is None else max_events
+        budget0 = budget
+        stop_reason = "quiescent"
+        acks = self.acks
+        dropped = self.dropped
+        deadline = float("inf") if max_time is None else max_time
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while heap:
+                if heap[0][0] > deadline:
+                    stop_reason = "max_time"
+                    break
+                if budget == 0:
+                    stop_reason = "max_events"
+                    break
+                budget -= 1
+                record = pop(heap)
+                self._now = now = record[0]
+                self._active_seq = record[1]
+                code = record[2]
+                if code >= CODE_DELIVER:
+                    lid = code - CODE_DELIVER
+                    payload = slot_p_a[lid]
+                    inj = injected_a[lid]
+                    ack = slot_ack_a[lid]
+                elif code >= CODE_ACK:
+                    lid = code - CODE_ACK
+                    down = down_a[lid]
+                    if down is not None:
+                        end = down(now)
+                        if end > 0.0:
+                            push(heap, (end, next(counter), code))
+                            continue
+                    pending_a[lid] -= 1
+                    busy_a[lid] = False
+                    ob = outbox_a[lid]
+                    if ob and crash_t[lu[lid]] > now:
+                        inject(lid, heappop(ob)[2])
+                    continue
+                elif code >= CODE_ACK_PAYLOAD:
+                    lid = code - CODE_ACK_PAYLOAD
+                    down = down_a[lid]
+                    if down is not None:
+                        end = down(now)
+                        if end > 0.0:
+                            push(heap, (end, next(counter), code, record[3]))
+                            continue
+                    pending_a[lid] -= 1
+                    busy_a[lid] = False
+                    if crash_t[lu[lid]] <= now:
+                        # The sender is dead: no callback, no drain.
+                        continue
+                    delivered_a[lid](lv[lid], record[3])
+                    ob = outbox_a[lid]
+                    if ob:
+                        inject(lid, heappop(ob)[2])
+                    continue
+                elif code >= CODE_DELIVER_PAYLOAD:
+                    lid = code - CODE_DELIVER_PAYLOAD
+                    payload = record[3]
+                    inj = record[4]
+                    ack = record[5]
+                else:
+                    record[3]()
+                    continue
+                # ---- delivery flow (packed or fat record) ----
+                dst = lv[lid]
+                if crash_t[dst] <= now:
+                    # Receiver crashed: the message vanishes and the link
+                    # jams (no acknowledgment; fail-stop nodes never answer).
+                    dropped += 1
+                    pending_a[lid] -= 1
+                    continue
+                down = down_a[lid]
+                if down is not None:
+                    end = down(now)
+                    if end > 0.0:
+                        # Edge down: defer to the interval's end (half-open,
+                        # so the re-fire makes progress).  Fat form keeps
+                        # payload/injection/ack with the record regardless
+                        # of what the side slots do meanwhile.
+                        push(heap, (end, next(counter), fcode_a[lid],
+                                    payload, inj, ack))
+                        continue
+                drop = drop_a[lid]
+                if drop is not None and drop(injected_a[lid]):
+                    # Receiver-side loss: no trace, no handler, but the
+                    # link-layer acknowledgment still frees the sender.
+                    dropped += 1
+                    acks += 1
+                    if ack is None or injected_a[lid] != inj:
+                        ack = self._ack_delay(lid)
+                    push(heap, (now + ack, next(counter), acode_a[lid]))
+                    continue
+                if trace is not None:
+                    trace(now, lu[lid], dst, payload)
+                acks += 1
+                if ack is None or injected_a[lid] != inj:
+                    ack = self._ack_delay(lid)
+                delivered = delivered_a[lid]
+                if delivered is not None and (
+                    prefix_a[lid] is None or payload[0] == prefix_a[lid]
+                ):
+                    push(heap, (now + ack, next(counter), apcode_a[lid],
+                                payload))
+                else:
+                    push(heap, (now + ack, next(counter), acode_a[lid]))
+                table = table_a[lid]
+                if table is not None:
+                    table[payload[0]](lu[lid], payload)
+                else:
+                    deliver_a[lid](lu[lid], payload)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            self._fired += budget0 - budget
+            self.acks = acks
+            self.dropped = dropped
+            self.messages = sum(self._injected)
+        return AsyncResult(
+            time_to_output=self._time_to_output,
+            time_to_quiescence=self._now,
+            messages=self.messages,
+            acks=self.acks if self.count_acks else 0,
+            outputs=dict(self.outputs),
+            output_time=dict(self.output_time),
+            events_fired=self._fired,
+            stop_reason=stop_reason,
+            dropped=dropped,
+        )
+
+    # ------------------------------------------------------------------
     def run(
         self,
         max_time: Optional[float] = None,
         max_events: Optional[int] = None,
     ) -> AsyncResult:
+        if self._crash_t is not None:
+            return self._run_faulty(max_time=max_time, max_events=max_events)
         processes = self.processes
         for v in self.graph.nodes:  # ``nodes`` is an ascending range
             self.schedule(0.0, processes[v].on_start)
@@ -1391,9 +1764,12 @@ def run_asynchronous(
     max_time: Optional[float] = None,
     max_events: Optional[int] = 50_000_000,
     count_fused_acks: bool = False,
+    faults: Optional[FaultSchedule] = None,
+    detect_timeout: float = DETECT_TIMEOUT,
 ) -> AsyncResult:
     """Convenience wrapper: build the runtime and run to quiescence."""
     runtime = AsyncRuntime(
-        graph, process_factory, delay_model, count_fused_acks=count_fused_acks
+        graph, process_factory, delay_model, count_fused_acks=count_fused_acks,
+        faults=faults, detect_timeout=detect_timeout,
     )
     return runtime.run(max_time=max_time, max_events=max_events)

@@ -41,6 +41,17 @@ from .graph import Edge, NodeId, edge_key
 TAU = 1.0
 _MIN_DELAY = 1e-6
 
+
+class InvalidDelayError(ValueError):
+    """A delay model (or fault schedule) produced an unusable delay.
+
+    Raised at draw/schedule time when a delay is non-positive, non-finite
+    (NaN or infinity), or outside the model contract's ``(0, TAU]`` range.
+    Named so engines can fail loudly instead of silently corrupting the
+    event heap's (time, seq) order — a NaN time in a heapq heap poisons
+    every later comparison.
+    """
+
 _MASK64 = (1 << 64) - 1
 _MASK32 = 0xFFFFFFFF
 #: Per-draw mixing runs in 32-bit arithmetic on purpose: CPython represents

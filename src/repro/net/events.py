@@ -47,7 +47,10 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
+from math import inf
 from typing import Callable, List, Optional, Tuple
+
+from .delays import InvalidDelayError
 
 Callback = Callable[[], None]
 
@@ -101,16 +104,22 @@ class EventQueue:
         return self._fired
 
     def schedule(self, delay: float, callback: Callback) -> None:
-        """Schedule ``callback`` at ``now + delay`` (delay must be >= 0)."""
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
+        """Schedule ``callback`` at ``now + delay`` (delay must be >= 0, finite)."""
+        # Written as a membership test so NaN (every comparison False) and
+        # +inf fail it too, not just negative delays: a non-finite time in
+        # the heap silently corrupts (time, seq) ordering for every later
+        # event, so fail loudly with a named error at scheduling time.
+        if not 0.0 <= delay < inf:
+            raise InvalidDelayError(f"invalid delay {delay!r} (must be finite, >= 0)")
         heapq.heappush(
             self._heap, (self._now + delay, next(self._counter), EV_CALLBACK, callback)
         )
 
     def schedule_at(self, time: float, callback: Callback) -> None:
-        if time < self._now:
-            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        if not self._now <= time < inf:
+            raise InvalidDelayError(
+                f"invalid event time {time!r} (must be finite, >= now={self._now})"
+            )
         heapq.heappush(
             self._heap, (time, next(self._counter), EV_CALLBACK, callback)
         )

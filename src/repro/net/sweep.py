@@ -42,6 +42,7 @@ from .async_runtime import (
     make_block_buffer,
 )
 from .delays import DelayModel
+from .faults import DETECT_TIMEOUT, FaultSchedule
 from .graph import Graph, NodeId
 
 TraceFn = Callable[[float, NodeId, NodeId, Payload], None]
@@ -97,7 +98,7 @@ class AsyncSweep:
     """Replay one (graph, protocol) workload under many delay models."""
 
     __slots__ = ("graph", "process_factory", "count_acks", "count_fused_acks",
-                 "_skeleton", "_block_buffer")
+                 "faults", "detect_timeout", "_skeleton", "_block_buffer")
 
     def __init__(
         self,
@@ -105,11 +106,19 @@ class AsyncSweep:
         process_factory: Callable[[ProcessContext], Process],
         count_acks: bool = True,
         count_fused_acks: bool = False,
+        faults: Optional[FaultSchedule] = None,
+        detect_timeout: float = DETECT_TIMEOUT,
     ) -> None:
         self.graph = graph
         self.process_factory = process_factory
         self.count_acks = count_acks
         self.count_fused_acks = count_fused_acks
+        # One fault schedule across every replay: fault decisions are pure
+        # functions of (schedule seed, endpoints, seq), so replays under
+        # different delay models observe the *same* adversarial faults —
+        # exactly the pinnable-churn contract of DESIGN.md §11.
+        self.faults = faults
+        self.detect_timeout = detect_timeout
         # Dense link-id skeleton, derived from the graph once per sweep
         # (and shared with any standalone runtime over the same graph
         # through the per-graph cache).
@@ -143,6 +152,8 @@ class AsyncSweep:
             count_fused_acks=self.count_fused_acks,
             skeleton=self._skeleton,
             block_buffer=block_buffer,
+            faults=self.faults,
+            detect_timeout=self.detect_timeout,
         )
 
     def run(
@@ -180,7 +191,8 @@ def sweep_asynchronous(
     delay_models: Iterable[DelayModel],
     max_time: Optional[float] = None,
     max_events: Optional[int] = 50_000_000,
+    faults: Optional[FaultSchedule] = None,
 ) -> List[AsyncResult]:
     """Convenience wrapper: build the sweep and replay every model."""
-    sweep = AsyncSweep(graph, process_factory)
+    sweep = AsyncSweep(graph, process_factory, faults=faults)
     return sweep.run_all(delay_models, max_time=max_time, max_events=max_events)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from .faults import FaultSchedule
 from .graph import Graph, NodeId
 from .program import ArrivedBatch, NodeProgram, Payload, ProgramSpec, PulseApi
 
@@ -39,6 +40,9 @@ class SyncResult:
     outputs: Dict[NodeId, Any]
     output_round: Dict[NodeId, int]
     pulse_messages: List[Tuple[int, NodeId, NodeId, Payload]] = field(repr=False, default_factory=list)
+    #: Messages lost to faults (crashed receiver or per-link drop).
+    #: Always 0 without a fault schedule.
+    dropped: int = 0
 
     @property
     def time_complexity(self) -> int:
@@ -57,16 +61,24 @@ class SyncRuntime:
         graph: Graph,
         spec: ProgramSpec,
         record_messages: bool = False,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         self.graph = graph
         self.spec = spec
         self.record_messages = record_messages
+        if faults is not None and faults.is_empty():
+            # Same normalization as the asynchronous engine: an empty
+            # schedule provably cannot perturb the fault-free round loop.
+            faults = None
+        self.faults = faults
         self._infos = spec.make_infos(graph)
         self.programs: Dict[NodeId, NodeProgram] = {
             v: spec.node_factory(self._infos[v]) for v in graph.nodes
         }
 
     def run(self, max_rounds: int = 1_000_000) -> SyncResult:
+        if self.faults is not None:
+            return self._run_faulty(max_rounds)
         graph = self.graph
         outputs: Dict[NodeId, Any] = {}
         output_round: Dict[NodeId, int] = {}
@@ -131,9 +143,128 @@ class SyncRuntime:
             pulse_messages=message_log,
         )
 
+    def _run_faulty(self, max_rounds: int) -> SyncResult:
+        """The fault-mode round loop (round-granular reading of DESIGN.md §11).
+
+        A node is dead at round ``r`` iff ``crash_time(v) <= r`` (dead
+        nodes are never activated; their queued sends die with them — sends
+        from earlier rounds were already in flight and still arrive).  A
+        send at pulse ``p`` nominally arrives at ``p + 1``; if the edge is
+        down over that round it is *deferred* to the first round at or
+        after the interval's end (link-layer retention, mirroring the
+        asynchronous engine), and a message whose receiver is dead at its
+        arrival round — or whose per-link sequence number the schedule
+        drops — is lost (counted in ``dropped``; it still counts as sent).
+        """
+        graph = self.graph
+        faults = self.faults
+        crash = faults.crash_time
+        down_of = faults.down_checker
+        drop_of = faults.drop_checker
+        outputs: Dict[NodeId, Any] = {}
+        output_round: Dict[NodeId, int] = {}
+        message_log: List[Tuple[int, NodeId, NodeId, Payload]] = []
+        messages = 0
+        dropped = 0
+        # Arrival batches keyed by round: down-interval deferrals can push
+        # a message several rounds past the lockstep ``p + 1``.
+        future: Dict[int, Dict[NodeId, List[Tuple[NodeId, Payload]]]] = {}
+        # Per-directed-link injection counters for the drop keying (1-based,
+        # matching the asynchronous engine's injection numbers).
+        inj: Dict[Tuple[NodeId, NodeId], int] = {}
+
+        def dispatch(pulse: int, v: NodeId,
+                     sends: List[Tuple[NodeId, Payload]]) -> None:
+            nonlocal messages, dropped
+            for to, payload in sends:
+                messages += 1
+                lk = (v, to)
+                seq = inj.get(lk, 0) + 1
+                inj[lk] = seq
+                drop = drop_of(v, to)
+                if drop is not None and drop(seq):
+                    dropped += 1
+                    continue
+                arrive = pulse + 1
+                down = down_of(v, to)
+                if down is not None:
+                    while True:
+                        end = down(float(arrive))
+                        if end <= 0.0:
+                            break
+                        # First round at or after the interval's end (the
+                        # edge is up at ``end`` — half-open intervals).
+                        nxt = int(end)
+                        if nxt < end:
+                            nxt += 1
+                        arrive = nxt if nxt > arrive else arrive + 1
+                if crash(to) <= arrive:
+                    dropped += 1
+                    continue
+                future.setdefault(arrive, {}).setdefault(to, []).append(
+                    (v, payload)
+                )
+                if self.record_messages:
+                    message_log.append((pulse, v, to, payload))
+
+        sent_last: Set[NodeId] = set()
+        for v in sorted(self.spec.initiators(graph)):
+            if crash(v) <= 0.0:
+                continue
+            api = PulseApi(self._infos[v])
+            self.programs[v].on_start(api)
+            sends, has_output, value = api.collect()
+            if has_output:
+                outputs[v] = value
+                output_round[v] = 0
+            if sends:
+                sent_last.add(v)
+            dispatch(0, v, sends)
+
+        pulse = 0
+        while future or sent_last:
+            pulse += 1
+            if pulse > max_rounds:
+                raise RuntimeError(
+                    f"synchronous execution of {self.spec.name!r} exceeded"
+                    f" {max_rounds} rounds"
+                )
+            arrivals = future.pop(pulse, {})
+            triggered = set(arrivals) | sent_last
+            sent_last = set()
+            for v in sorted(triggered):
+                if crash(v) <= pulse:
+                    # Dead at this round: never activated, and anything it
+                    # would have sent dies with it.  Arrivals addressed to
+                    # it were already dropped at send time.
+                    continue
+                batch: ArrivedBatch = tuple(sorted(arrivals.get(v, ())))
+                api = PulseApi(self._infos[v])
+                self.programs[v].on_pulse(api, batch)
+                sends, has_output, value = api.collect()
+                if has_output:
+                    outputs[v] = value
+                    output_round[v] = pulse
+                if sends:
+                    sent_last.add(v)
+                dispatch(pulse, v, sends)
+
+        return SyncResult(
+            rounds_to_output=max(output_round.values(), default=0),
+            rounds_total=pulse,
+            messages=messages,
+            outputs=outputs,
+            output_round=output_round,
+            pulse_messages=message_log,
+            dropped=dropped,
+        )
+
 
 def run_synchronous(
-    graph: Graph, spec: ProgramSpec, record_messages: bool = False
+    graph: Graph, spec: ProgramSpec, record_messages: bool = False,
+    faults: Optional[FaultSchedule] = None,
 ) -> SyncResult:
     """Convenience wrapper: build the runtime and run to quiescence."""
-    return SyncRuntime(graph, spec, record_messages=record_messages).run()
+    return SyncRuntime(
+        graph, spec, record_messages=record_messages, faults=faults
+    ).run()

@@ -16,6 +16,7 @@ acks themselves are still counted and still bound quiescence time).
 """
 
 import heapq
+from math import inf
 
 import pytest
 from hypothesis import given, settings
@@ -28,6 +29,7 @@ from repro.core.synchronizer import SynchronizerProcess, pulse_bound_for
 from repro.net import topology
 from repro.net.async_runtime import AsyncResult, AsyncRuntime, Process
 from repro.net.delays import standard_adversaries
+from repro.net.faults import DETECT_TIMEOUT, FaultSchedule
 from repro.net.graph import Graph
 from repro.net.sweep import AsyncSweep
 
@@ -60,7 +62,20 @@ class _RefContext:
         self._runtime._enqueue(self.node_id, to, payload, priority)
 
     def schedule_environment_event(self, delay, callback):
-        self._runtime._schedule(delay, callback)
+        runtime = self._runtime
+        if runtime._faults is not None:
+            # Same crash guard as the packed engine: the event stays on the
+            # heap (schedules are immutable) but fires as a no-op once the
+            # owner is dead.
+            t_crash = runtime._crash_t[self.node_id]
+            if t_crash != inf:
+                inner = callback
+
+                def callback(_cb=inner, _rt=runtime, _t=t_crash):
+                    if _rt._now < _t:
+                        _cb()
+
+        runtime._schedule(delay, callback)
 
     def set_output(self, value):
         self._runtime._record_output(self.node_id, value)
@@ -72,7 +87,8 @@ class _RefContext:
 class ReferenceRuntime:
     """Direct port of the seed engine: closure events, two per message."""
 
-    def __init__(self, graph, process_factory, delay_model, trace=None):
+    def __init__(self, graph, process_factory, delay_model, trace=None,
+                 faults=None, detect_timeout=DETECT_TIMEOUT):
         self.graph = graph
         self.delay_model = delay_model
         self.trace = trace
@@ -86,6 +102,19 @@ class ReferenceRuntime:
             self._links[(v, u)] = _RefLink()
         self.messages = 0
         self.acks = 0
+        self.dropped = 0
+        if faults is not None and faults.is_empty():
+            faults = None
+        self._faults = faults
+        self.detect_timeout = detect_timeout
+        if faults is not None:
+            self._crash_t = {v: faults.crash_time(v) for v in graph.nodes}
+            self._down = {
+                pair: faults.down_checker(*pair) for pair in self._links
+            }
+            self._drop = {
+                pair: faults.drop_checker(*pair) for pair in self._links
+            }
         self.outputs = {}
         self.output_time = {}
         self._time_to_output = 0.0
@@ -124,22 +153,81 @@ class ReferenceRuntime:
         self._schedule(delay, lambda: self._deliver(u, v, payload))
 
     def _deliver(self, u, v, payload):
+        link = self._links[(u, v)]
+        if self._faults is not None:
+            if self._crash_t[v] <= self._now:
+                # Receiver is dead: the message is lost and the link jams —
+                # no acknowledgment ever frees it (fail-stop semantics).
+                self.dropped += 1
+                return
+            down = self._down[(u, v)]
+            if down is not None:
+                end = down(self._now)
+                if end > 0.0:
+                    # Down interval: deferral, not loss — retry at its end.
+                    self._schedule(
+                        end - self._now, lambda: self._deliver(u, v, payload)
+                    )
+                    return
+            drop = self._drop[(u, v)]
+            if drop is not None and drop(link.injected):
+                # Receiver-side loss with a link-layer acknowledgment: the
+                # payload never reaches the process but the link frees.
+                self.dropped += 1
+                self.acks += 1
+                ack_delay = self.delay_model(v, u, -link.injected, self._now)
+                self._schedule(ack_delay, lambda: self._ack_only(u, v))
+                return
         if self.trace is not None:
             self.trace(self._now, u, v, payload)
         self.acks += 1
-        link = self._links[(u, v)]
         ack_delay = self.delay_model(v, u, -link.injected, self._now)
         self._schedule(ack_delay, lambda: self._ack(u, v, payload))
         self.processes[v].on_message(u, payload)
 
     def _ack(self, u, v, payload):
         link = self._links[(u, v)]
+        if self._faults is not None:
+            down = self._down[(u, v)]
+            if down is not None:
+                end = down(self._now)
+                if end > 0.0:
+                    self._schedule(
+                        end - self._now, lambda: self._ack(u, v, payload)
+                    )
+                    return
+            link.busy = False
+            if self._crash_t[u] <= self._now:
+                # Dead sender: no callback, and its outbox dies with it.
+                return
+            self.processes[u].on_delivered(v, payload)
+            if link.outbox:
+                self._inject(u, v, link)
+            return
         link.busy = False
         self.processes[u].on_delivered(v, payload)
         if link.outbox:
             self._inject(u, v, link)
 
+    def _ack_only(self, u, v):
+        """Link-layer ack of a dropped payload: frees and drains, but the
+        sender gets no ``on_delivered`` (the message was lost)."""
+        link = self._links[(u, v)]
+        down = self._down[(u, v)]
+        if down is not None:
+            end = down(self._now)
+            if end > 0.0:
+                self._schedule(end - self._now, lambda: self._ack_only(u, v))
+                return
+        link.busy = False
+        if self._crash_t[u] <= self._now:
+            return
+        if link.outbox:
+            self._inject(u, v, link)
+
     def run(self, max_time=None):
+        if self._faults is not None:
+            return self._run_faulty(max_time)
         for v in sorted(self.graph.nodes):
             self._schedule(0.0, self.processes[v].on_start)
         stop_reason = "quiescent"
@@ -160,6 +248,51 @@ class ReferenceRuntime:
             output_time=dict(self.output_time),
             events_fired=self._fired,
             stop_reason=stop_reason,
+        )
+
+    def _run_faulty(self, max_time=None):
+        # Mirrors the packed engine's fault loop: on_start runs directly
+        # (ascending node order, crashed-at-zero nodes skipped), then the
+        # failure detectors are scheduled, then the heap drains.
+        crash_t = self._crash_t
+        for v in sorted(self.graph.nodes):
+            if crash_t[v] <= 0.0:
+                continue
+            self.processes[v].on_start()
+        base_dead = Process.on_neighbor_dead
+        for c in sorted(self.graph.nodes):
+            t_crash = crash_t[c]
+            if t_crash == inf:
+                continue
+            t_fire = t_crash + self.detect_timeout
+            for u in sorted(self.graph.neighbors(c)):
+                if crash_t[u] <= t_fire:
+                    continue
+                proc = self.processes[u]
+                if type(proc).on_neighbor_dead is base_dead:
+                    continue
+                self._schedule(
+                    t_fire, lambda p=proc, cc=c: p.on_neighbor_dead(cc)
+                )
+        stop_reason = "quiescent"
+        while self._heap:
+            if max_time is not None and self._heap[0][0] > max_time:
+                stop_reason = "max_time"
+                break
+            time, _, callback = heapq.heappop(self._heap)
+            self._now = time
+            self._fired += 1
+            callback()
+        return AsyncResult(
+            time_to_output=self._time_to_output,
+            time_to_quiescence=self._now,
+            messages=self.messages,
+            acks=self.acks,
+            outputs=dict(self.outputs),
+            output_time=dict(self.output_time),
+            events_fired=self._fired,
+            stop_reason=stop_reason,
+            dropped=self.dropped,
         )
 
 
@@ -363,6 +496,76 @@ def _assert_equivalent(ref_trace, ref_result, new_trace, new_result):
     assert new_result.time_to_output == ref_result.time_to_output
     assert new_result.time_to_quiescence == ref_result.time_to_quiescence
     assert new_result.stop_reason == ref_result.stop_reason
+    assert new_result.dropped == ref_result.dropped
+
+
+class FaultObservantGossip(Gossip):
+    """Gossip plus a failure-detector recorder: the detection times and the
+    order the detectors fire in are part of the pinned schedule."""
+
+    def on_neighbor_dead(self, neighbor):
+        log = getattr(self, "dead_log", [])
+        log.append((self.ctx.now, neighbor))
+        self.dead_log = log
+        self.ctx.set_output(("best", self.best, "dead", tuple(log)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fault_seed=st.integers(min_value=0, max_value=10_000),
+    model_idx=st.integers(min_value=0, max_value=7),
+    topo=st.sampled_from(sorted(TOPOLOGIES)),
+    crash_rate=st.floats(min_value=0.0, max_value=0.4, allow_nan=False),
+    down_rate=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    drop_rate=st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+)
+def test_fault_schedule_equivalence(
+    seed, fault_seed, model_idx, topo, crash_rate, down_rate, drop_rate
+):
+    """Property: for an arbitrary seeded ``FaultSchedule`` crossed with
+    every delay model in the adversary family, the packed engine's faulty
+    run is byte-identical to the reference engine's — same delivery trace,
+    same drop count, same detector firings, same metrics."""
+    graph = TOPOLOGIES[topo]()
+    faults = FaultSchedule(
+        seed=fault_seed, crash_rate=crash_rate,
+        down_rate=down_rate, drop_rate=drop_rate,
+    )
+    ref_model = standard_adversaries(seed)[model_idx]
+    new_model = standard_adversaries(seed)[model_idx]
+    ref_trace, new_trace = [], []
+    ref_result = ReferenceRuntime(
+        graph, FaultObservantGossip, ref_model, faults=faults,
+        trace=lambda t, u, v, p: ref_trace.append((t, u, v, p)),
+    ).run()
+    new_result = AsyncRuntime(
+        graph, FaultObservantGossip, new_model, faults=faults,
+        trace=lambda t, u, v, p: new_trace.append((t, u, v, p)),
+    ).run()
+    _assert_equivalent(ref_trace, ref_result, new_trace, new_result)
+
+
+@pytest.mark.parametrize("topo", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_gossip_faulty_equivalence_across_adversaries(topo, seed):
+    """Deterministic cousin of the property above: a fixed mixed fault
+    schedule (crashes + downs + drops) against all eight adversaries."""
+    graph = TOPOLOGIES[topo]()
+    faults = FaultSchedule(
+        seed=seed + 17, crash_rate=0.2, down_rate=0.3, drop_rate=0.1
+    )
+    for model in standard_adversaries(seed):
+        ref_trace, new_trace = [], []
+        ref_result = ReferenceRuntime(
+            graph, FaultObservantGossip, model, faults=faults,
+            trace=lambda t, u, v, p: ref_trace.append((t, u, v, p)),
+        ).run()
+        new_result = AsyncRuntime(
+            graph, FaultObservantGossip, model, faults=faults,
+            trace=lambda t, u, v, p: new_trace.append((t, u, v, p)),
+        ).run()
+        _assert_equivalent(ref_trace, ref_result, new_trace, new_result)
 
 
 @pytest.mark.parametrize("topo", sorted(TOPOLOGIES))

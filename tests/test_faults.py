@@ -1,0 +1,580 @@
+"""Deterministic tests for the fault-injection layer (DESIGN.md §11).
+
+Covers, per fault kind, the exact transport semantics the equivalence
+property pins statistically: down intervals defer (never lose), crashed
+receivers jam the link until an explicit ``reset_link``, per-link drops are
+receiver-side losses with a link-layer acknowledgment.  Plus the draw-time
+delay validation (:class:`InvalidDelayError`), the pooled-stage poison
+regression, schedule validation, sweep-replay byte-identity, and the sync
+engine's round-granular fault mode.
+"""
+
+from math import inf, nan
+
+import pytest
+
+from repro.apps.programs import bfs_spec
+from repro.core.recovery import run_churn
+from repro.core.registration import ClusterView, RegistrationModule
+from repro.net import topology
+from repro.net.async_runtime import AsyncRuntime, Process
+from repro.net.delays import ConstantDelay, InvalidDelayError, standard_adversaries
+from repro.net.faults import DETECT_TIMEOUT, FaultSchedule, FaultScheduleError
+from repro.net.sweep import AsyncSweep
+from repro.net.sync_runtime import run_synchronous
+
+TAG = 1
+
+
+# ----------------------------------------------------------------------
+# schedule validation
+# ----------------------------------------------------------------------
+class TestScheduleValidation:
+    def test_rate_out_of_range(self):
+        with pytest.raises(FaultScheduleError, match="crash_rate"):
+            FaultSchedule(crash_rate=1.5)
+        with pytest.raises(FaultScheduleError, match="drop_rate"):
+            FaultSchedule(drop_rate=-0.1)
+        with pytest.raises(FaultScheduleError, match="down_rate"):
+            FaultSchedule(down_rate=nan)
+
+    def test_down_lengths_need_positive_minimum(self):
+        with pytest.raises(FaultScheduleError, match="down_lengths"):
+            FaultSchedule(down_rate=0.5, down_lengths=(0.0, 1.0))
+        with pytest.raises(FaultScheduleError, match="up_lengths"):
+            FaultSchedule(down_rate=0.5, up_lengths=(0.0, 1.0))
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(FaultScheduleError, match="start < end"):
+            FaultSchedule(downs={(0, 1): [(2.0, 1.0)]})
+        with pytest.raises(FaultScheduleError, match="sorted and disjoint"):
+            FaultSchedule(downs={(0, 1): [(0.0, 2.0), (1.0, 3.0)]})
+        with pytest.raises(FaultScheduleError, match="start < end"):
+            FaultSchedule(downs={(0, 1): [(0.0, inf)]})
+
+    def test_bad_crash_time_rejected(self):
+        with pytest.raises(FaultScheduleError, match="crash time"):
+            FaultSchedule(crashes={1: -1.0})
+        with pytest.raises(FaultScheduleError, match="crash time"):
+            FaultSchedule(crashes={1: inf})
+
+    def test_protect_crash_conflict(self):
+        with pytest.raises(FaultScheduleError, match="protected and crashed"):
+            FaultSchedule(crashes={1: 0.5}, protect=(1,))
+
+    def test_negative_drop_seq_rejected(self):
+        with pytest.raises(FaultScheduleError, match="injection counts"):
+            FaultSchedule(drops=[(0, 1, -1)])
+
+    def test_infinite_horizon_rejected(self):
+        with pytest.raises(FaultScheduleError, match="horizon"):
+            FaultSchedule(down_rate=0.5, horizon=inf)
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_decisions(self):
+        a = FaultSchedule(seed=42, crash_rate=0.3, down_rate=0.4, drop_rate=0.2)
+        b = FaultSchedule(seed=42, crash_rate=0.3, down_rate=0.4, drop_rate=0.2)
+        for v in range(40):
+            assert a.crash_time(v) == b.crash_time(v)
+        for u, v in [(0, 1), (3, 7), (12, 5)]:
+            assert a.down_intervals(u, v) == b.down_intervals(u, v)
+            da, db = a.drop_checker(u, v), b.drop_checker(u, v)
+            assert [da(s) for s in range(1, 64)] == [db(s) for s in range(1, 64)]
+
+    def test_down_intervals_undirected(self):
+        s = FaultSchedule(seed=3, down_rate=1.0)
+        assert s.down_intervals(2, 9) == s.down_intervals(9, 2)
+
+    def test_protect_wins(self):
+        s = FaultSchedule(seed=0, crash_rate=1.0, protect=(5,))
+        assert s.crash_time(5) == inf
+
+    def test_is_empty(self):
+        assert FaultSchedule(seed=7).is_empty()
+        assert not FaultSchedule(seed=7, crash_rate=0.1).is_empty()
+        assert not FaultSchedule(crashes={0: 1.0}).is_empty()
+
+    def test_half_open_checker(self):
+        s = FaultSchedule(downs={(0, 1): [(1.0, 2.0)]})
+        down = s.down_checker(0, 1)
+        assert down(0.5) == 0.0
+        assert down(1.0) == 2.0   # down at the start...
+        assert down(1.999) == 2.0
+        assert down(2.0) == 0.0   # ...up at the end: deferred events progress
+
+
+# ----------------------------------------------------------------------
+# transport semantics, one fault kind at a time
+# ----------------------------------------------------------------------
+class TwoBurst(Process):
+    """Node 0 sends two messages to node 1; both sides log everything."""
+
+    def on_start(self):
+        if self.ctx.node_id == 0:
+            self.ctx.send(1, ("m", 0))
+            self.ctx.send(1, ("m", 1))
+
+    def on_message(self, sender, payload):
+        log = getattr(self, "log", [])
+        log.append((self.ctx.now, payload))
+        self.log = log
+        self.ctx.set_output(tuple(log))
+
+    def on_delivered(self, to, payload):
+        self.acked = getattr(self, "acked", 0) + 1
+
+
+class Detecting(TwoBurst):
+    def on_neighbor_dead(self, neighbor):
+        self.ctx.reset_link(neighbor)
+        self.ctx.set_output(("dead", neighbor, self.ctx.now))
+
+
+def test_down_interval_defers_never_loses():
+    graph = topology.path_graph(2)
+    faults = FaultSchedule(downs={(0, 1): [(0.25, 2.0)]})
+    result = AsyncRuntime(
+        graph, TwoBurst, ConstantDelay(0.5), faults=faults
+    ).run()
+    # First delivery would fire at 0.5, inside [0.25, 2.0): deferred to 2.0.
+    log = result.outputs[1]
+    assert log[0] == (2.0, ("m", 0))
+    assert len(log) == 2
+    assert result.dropped == 0
+    assert result.messages == 2
+    assert result.stop_reason == "quiescent"
+
+
+def test_crashed_receiver_jams_link():
+    graph = topology.path_graph(2)
+    faults = FaultSchedule(crashes={1: 0.25})
+    result = AsyncRuntime(
+        graph, TwoBurst, ConstantDelay(0.5), faults=faults
+    ).run()
+    # Delivery at 0.5 finds node 1 dead: lost, no ack, second message never
+    # injected — the link jams exactly like a real missing-ack timeout.
+    assert result.outputs.get(1) is None
+    assert result.messages == 1
+    assert result.acks == 0
+    assert result.dropped == 1
+    assert result.stop_reason == "quiescent"
+
+
+def test_detector_fires_and_reset_link_clears_outbox():
+    graph = topology.path_graph(2)
+    faults = FaultSchedule(crashes={1: 0.25})
+    result = AsyncRuntime(
+        graph, Detecting, ConstantDelay(0.5), faults=faults
+    ).run()
+    # Detection at crash + DETECT_TIMEOUT, and reset_link discards the
+    # jammed outbox (the queued second message is never injected).
+    assert result.outputs[0] == ("dead", 1, 0.25 + DETECT_TIMEOUT)
+    assert result.messages == 1
+    assert result.dropped == 1
+
+
+def test_no_detector_for_base_process():
+    """Processes that don't override on_neighbor_dead get no detector
+    events at all — the schedule is identical to a detector-free run."""
+    graph = topology.path_graph(2)
+    faults = FaultSchedule(crashes={1: 0.25})
+    result = AsyncRuntime(
+        graph, TwoBurst, ConstantDelay(0.5), faults=faults
+    ).run()
+    # quiescence right after the jammed delivery, not after the timeout
+    assert result.time_to_quiescence == 0.5
+
+
+def test_crashed_node_skips_start_and_environment_events():
+    class EnvStarter(TwoBurst):
+        def on_start(self):
+            if self.ctx.node_id == 1:
+                self.ctx.send(0, ("from-dead", 0))
+            self.ctx.schedule_environment_event(
+                3.0, lambda: self.ctx.send(1 - self.ctx.node_id, ("late", 0))
+            )
+
+    graph = topology.path_graph(2)
+    # Node 1 dead from the start: no on_start, no environment sends.
+    faults = FaultSchedule(crashes={1: 0.0})
+    result = AsyncRuntime(
+        graph, EnvStarter, ConstantDelay(0.5), faults=faults
+    ).run()
+    assert result.outputs.get(0) is None  # nothing ever reached node 0
+    # node 0's own late environment send was still made (and then lost)
+    assert result.messages == 1
+    assert result.dropped == 1
+
+
+def test_drop_gets_link_layer_ack():
+    graph = topology.path_graph(2)
+    faults = FaultSchedule(drops=[(0, 1, 1)])  # first injection on 0 -> 1
+    result = AsyncRuntime(
+        graph, TwoBurst, ConstantDelay(0.5), faults=faults
+    ).run()
+    # m0 is lost at 0.5 but its ack frees the link at 1.0; m1 injects then
+    # and delivers at 1.5.  The sender's on_delivered fires only for m1.
+    assert result.outputs[1] == ((1.5, ("m", 1)),)
+    assert result.messages == 2
+    assert result.acks == 2
+    assert result.dropped == 1
+
+
+def test_empty_schedule_is_byte_identical_to_no_schedule():
+    graph = topology.cycle_graph(8)
+    empty = FaultSchedule(seed=9)
+    for model_idx in (0, 3, 6):
+        plain_trace, empty_trace = [], []
+        plain = AsyncRuntime(
+            graph, TwoBurst, standard_adversaries(4)[model_idx],
+            trace=lambda t, u, v, p: plain_trace.append((t, u, v, p)),
+        ).run()
+        with_empty = AsyncRuntime(
+            graph, TwoBurst, standard_adversaries(4)[model_idx],
+            faults=empty,
+            trace=lambda t, u, v, p: empty_trace.append((t, u, v, p)),
+        ).run()
+        assert empty_trace == plain_trace
+        assert with_empty == plain  # dataclass equality: every field
+
+
+def test_sweep_replays_pin_faulty_schedules():
+    """One schedule across sweep replays: every replay under the same delay
+    model is byte-identical to a standalone faulty run (the pinnable-churn
+    contract), and fault decisions are shared across models."""
+    graph = topology.grid_graph(3, 4)
+    faults = FaultSchedule(seed=21, crash_rate=0.2, down_rate=0.3,
+                           drop_rate=0.1)
+    sweep = AsyncSweep(graph, TwoBurst, faults=faults)
+    for model_idx in (1, 5):
+        model = standard_adversaries(2)[model_idx]
+        sweep_trace, solo_trace, again_trace = [], [], []
+        sweep_result = sweep.run(
+            model, trace=lambda t, u, v, p: sweep_trace.append((t, u, v, p))
+        )
+        again_result = sweep.run(
+            model, trace=lambda t, u, v, p: again_trace.append((t, u, v, p))
+        )
+        solo_result = AsyncRuntime(
+            graph, TwoBurst, model, faults=faults,
+            trace=lambda t, u, v, p: solo_trace.append((t, u, v, p)),
+        ).run()
+        assert sweep_trace == solo_trace == again_trace
+        assert sweep_result == solo_result == again_result
+
+
+# ----------------------------------------------------------------------
+# draw-time delay validation (InvalidDelayError)
+# ----------------------------------------------------------------------
+class _BadGeneric:
+    """No stream attributes: exercises the generic injection path."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def __call__(self, u, v, seq, now):
+        return self.value
+
+
+class _BadPair:
+    """pair_stream producing an invalid forward delay."""
+
+    def __init__(self, delay, ack=0.5):
+        self._pair = (delay, ack)
+
+    def __call__(self, u, v, seq, now):
+        return self._pair[0]
+
+    def link_stream(self, u, v):
+        d = self._pair[0]
+        return lambda seq: d
+
+    def pair_stream(self, u, v):
+        pair = self._pair
+        return lambda seq: pair
+
+
+class _BadBlock:
+    """block_stream filling the buffer with an invalid delay."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def __call__(self, u, v, seq, now):
+        return self.value
+
+    def link_stream(self, u, v):
+        value = self.value
+        return lambda seq: value
+
+    def block_stream(self, u, v):
+        value = self.value
+
+        def fill(buf, base, start, n):
+            for i in range(base, base + 2 * n):
+                buf[i] = value
+
+        return fill
+
+
+class _Sender(Process):
+    def on_start(self):
+        if self.ctx.node_id == 0:
+            self.ctx.send(1, "x")
+
+    def on_message(self, sender, payload):
+        pass
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0, nan, inf, 1.0000001])
+def test_generic_path_rejects_bad_delay(bad):
+    with pytest.raises(InvalidDelayError):
+        AsyncRuntime(topology.path_graph(2), _Sender, _BadGeneric(bad)).run()
+
+
+@pytest.mark.parametrize("bad", [0.0, nan, inf])
+def test_pair_stream_path_rejects_bad_delay(bad):
+    with pytest.raises(InvalidDelayError):
+        AsyncRuntime(topology.path_graph(2), _Sender, _BadPair(bad)).run()
+
+
+def test_pair_stream_path_rejects_bad_ack():
+    with pytest.raises(InvalidDelayError):
+        AsyncRuntime(
+            topology.path_graph(2), _Sender, _BadPair(0.5, ack=nan)
+        ).run()
+
+
+@pytest.mark.parametrize("bad", [0.0, nan, inf])
+def test_block_stream_path_rejects_bad_delay(bad):
+    with pytest.raises(InvalidDelayError):
+        AsyncRuntime(topology.path_graph(2), _Sender, _BadBlock(bad)).run()
+
+
+def test_environment_event_rejects_bad_delay():
+    class NegativeEnv(Process):
+        def on_start(self):
+            self.ctx.schedule_environment_event(-0.5, lambda: None)
+
+    with pytest.raises(InvalidDelayError):
+        AsyncRuntime(
+            topology.path_graph(2), NegativeEnv, ConstantDelay(0.5)
+        ).run()
+
+    class NanEnv(Process):
+        def on_start(self):
+            self.ctx.schedule_environment_event(nan, lambda: None)
+
+    with pytest.raises(InvalidDelayError):
+        AsyncRuntime(
+            topology.path_graph(2), NanEnv, ConstantDelay(0.5)
+        ).run()
+
+
+def test_invalid_delay_error_is_value_error():
+    # Existing callers catching ValueError keep working.
+    assert issubclass(InvalidDelayError, ValueError)
+
+
+# ----------------------------------------------------------------------
+# pooled-stage poison regression (satellite 2)
+# ----------------------------------------------------------------------
+class TestStagePoisoning:
+    def _module(self, children, events):
+        views = {
+            0: ClusterView(cluster_id=0, parent=None, children=tuple(children))
+        }
+        return RegistrationModule(
+            node_id=0,
+            clusters=views,
+            send=lambda to, payload, priority: events.append(("send", to, payload)),
+            on_registered=lambda c, t: events.append(("registered", c, t)),
+            on_go_ahead=lambda c, t: events.append(("go", c, t)),
+            priority_fn=lambda tag: (0,),
+        )
+
+    def test_clean_cycle_recycles_slot(self):
+        events = []
+        module = self._module((), events)
+        module.register(0, TAG)
+        module.deregister(0, TAG)
+        assert ("go", 0, TAG) in events
+        assert len(module._free) == 1
+
+    def test_crash_during_stage_poisons_slot(self):
+        events = []
+        module = self._module((1,), events)
+        module.register(0, TAG)
+        stage = next(iter(module._stages.values()))
+        # The only child crashes mid-wave: the stage completes over the
+        # survivors but its slot must never reach the free list.
+        module.prune_child(1)
+        assert stage.poisoned
+        assert ("registered", 0, TAG) in events
+        module.deregister(0, TAG)
+        assert ("go", 0, TAG) in events
+        assert module._free == []
+
+    def test_poisoned_slot_never_reused(self):
+        events = []
+        module = self._module((1,), events)
+        module.register(0, TAG)
+        stage = next(iter(module._stages.values()))
+        module.prune_child(1)
+        module.deregister(0, TAG)
+        # A later stage allocates fresh: it must not be the poisoned slot.
+        module.register(0, TAG + 1)
+        new_stage = module._stages.get((0 << 32) | (TAG + 1))
+        assert new_stage is not None
+        assert new_stage is not stage
+
+    def test_orphaned_stage_poisoned_on_parent_crash(self):
+        events = []
+        views = {
+            0: ClusterView(cluster_id=0, parent=1, children=())
+        }
+        module = RegistrationModule(
+            node_id=0,
+            clusters=views,
+            send=lambda to, payload, priority: events.append(("send", to, payload)),
+            on_registered=lambda c, t: events.append(("registered", c, t)),
+            on_go_ahead=lambda c, t: events.append(("go", c, t)),
+            priority_fn=lambda tag: (0,),
+        )
+        module.register(0, TAG)
+        stage = next(iter(module._stages.values()))
+        module.prune_child(1)  # the parent died: the stage is orphaned
+        assert stage.poisoned
+        assert module._free == []
+
+
+# ----------------------------------------------------------------------
+# sync engine fault mode
+# ----------------------------------------------------------------------
+class TestSyncFaults:
+    def test_crashed_relay_blocks_bfs(self):
+        graph = topology.path_graph(3)
+        faults = FaultSchedule(crashes={1: 0.0})
+        result = run_synchronous(graph, bfs_spec(0), faults=faults)
+        assert result.outputs == {0: (0, None)}
+        assert result.dropped >= 1
+
+    def test_crashed_initiator_never_starts(self):
+        graph = topology.path_graph(3)
+        faults = FaultSchedule(crashes={0: 0.0})
+        result = run_synchronous(graph, bfs_spec(0), faults=faults)
+        assert result.outputs == {}
+        assert result.messages == 0
+
+    def test_drop_loses_one_message(self):
+        graph = topology.path_graph(3)
+        faults = FaultSchedule(drops=[(0, 1, 1)])
+        result = run_synchronous(graph, bfs_spec(0), faults=faults)
+        assert result.outputs == {0: (0, None)}
+        assert result.dropped == 1
+
+    def test_down_interval_defers_rounds(self):
+        graph = topology.path_graph(3)
+        faults = FaultSchedule(downs={(0, 1): [(1.0, 3.0)]})
+        result = run_synchronous(graph, bfs_spec(0), faults=faults)
+        # 0 -> 1 would arrive at round 1, inside [1, 3): deferred to 3.
+        assert result.output_round[1] == 3
+        assert result.output_round[2] == 4
+        assert result.outputs[2] == (2, 1)
+        assert result.dropped == 0
+
+    def test_seeded_schedule_deterministic(self):
+        graph = topology.cycle_graph(16)
+        spec = bfs_spec(0)
+        faults = FaultSchedule(seed=5, crash_rate=0.25, drop_rate=0.1,
+                               protect=(0,))
+        a = run_synchronous(graph, spec, faults=faults)
+        b = run_synchronous(graph, spec, faults=faults)
+        assert a.outputs == b.outputs
+        assert a.messages == b.messages
+        assert a.dropped == b.dropped
+
+    def test_empty_schedule_identity(self):
+        graph = topology.cycle_graph(10)
+        spec = bfs_spec(0)
+        plain = run_synchronous(graph, spec)
+        empty = run_synchronous(graph, spec, faults=FaultSchedule(seed=3))
+        assert empty == plain
+
+
+# ----------------------------------------------------------------------
+# churn recovery end to end
+# ----------------------------------------------------------------------
+class TestRunChurn:
+    def _distances(self, graph, survivors, root):
+        live = set(survivors)
+        dist = {root: 0}
+        frontier = [root]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for u in graph.neighbors(v):
+                    if u in live and u not in dist:
+                        dist[u] = dist[v] + 1
+                        nxt.append(u)
+            frontier = nxt
+        return dist
+
+    def test_unprotected_root_rejected(self):
+        graph = topology.cycle_graph(8)
+        faults = FaultSchedule(crashes={0: 1.0})
+        with pytest.raises(ValueError, match="protect"):
+            run_churn(graph, bfs_spec, standard_adversaries(0)[0], faults)
+
+    def test_bad_mode_rejected(self):
+        graph = topology.cycle_graph(8)
+        faults = FaultSchedule(seed=1, crash_rate=0.2, protect=(0,))
+        with pytest.raises(ValueError, match="mode"):
+            run_churn(graph, bfs_spec, standard_adversaries(0)[0], faults,
+                      mode="panic")
+
+    @pytest.mark.parametrize("mode", ["degrade", "rebuild"])
+    def test_churn_terminates_with_correct_survivor_outputs(self, mode):
+        graph = topology.cycle_graph(24)
+        model = standard_adversaries(7)[2]
+        faults = FaultSchedule(seed=11, crash_rate=0.15, protect=(0,))
+        out = run_churn(graph, bfs_spec, model, faults, mode=mode, root=0)
+        assert out.stop_reason == "quiescent"
+        assert out.crashed  # the seed does crash somebody
+        assert 0 in out.survivors
+        dist = self._distances(graph, out.survivors, 0)
+        if mode == "rebuild":
+            # Exact BFS distances on the surviving component.
+            assert out.answered == len(out.survivors)
+            for v in out.survivors:
+                assert out.outputs[v][0] == dist[v]
+            assert out.rebuild_messages > 0
+        else:
+            # Degrade: every answered survivor is bounded by
+            # dist_G(v) <= output <= dist_H(v).
+            assert out.rebuild_messages == 0
+            for v, (d, _parent) in out.outputs.items():
+                assert d <= dist[v]
+
+    def test_churn_deterministic_across_runs(self):
+        graph = topology.cycle_graph(24)
+        model = standard_adversaries(7)[4]
+        faults = FaultSchedule(seed=13, crash_rate=0.15, protect=(0,))
+        a = run_churn(graph, bfs_spec, model, faults, mode="degrade")
+        b = run_churn(graph, bfs_spec, model, faults, mode="degrade")
+        assert a == b
+
+    def test_link_churn_only_matches_fault_free_outputs(self):
+        """Down intervals defer but never lose: a crash-free churn run must
+        produce exactly the fault-free BFS outputs (only later)."""
+        graph = topology.cycle_graph(16)
+        model = standard_adversaries(3)[1]
+        faults = FaultSchedule(seed=19, down_rate=0.3)
+        from repro.core.synchronizer import run_synchronized
+
+        clean = run_synchronized(graph, bfs_spec(0), model)
+        churned = run_churn(graph, bfs_spec, model, faults, mode="degrade")
+        assert churned.stop_reason == "quiescent"
+        assert len(churned.survivors) == graph.num_nodes
+        assert churned.outputs == clean.outputs
