@@ -1,3 +1,14 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-synchronizer",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            # Static determinism & protocol-invariant checker (DESIGN.md §12);
+            # equivalent to `python -m repro.lint`.
+            "repro-lint = repro.lint.cli:main",
+        ]
+    },
+)

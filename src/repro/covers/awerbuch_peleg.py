@@ -66,13 +66,14 @@ def build_ap_cover(graph: Graph, d: int) -> SparseCover:
                     boundary = touching
                     break
                 absorbed |= touching
-                for w in touching:
+                # Union of unions: order-free, sorted() for determinism.
+                for w in sorted(touching):
                     nodes |= balls[w]
             tree = bfs_cluster_tree(
                 graph, next_id, members=nodes, root=seed, allowed=frozenset(nodes)
             )
             clusters.append(tree)
-            for w in absorbed:
+            for w in sorted(absorbed):
                 home[w] = next_id
             next_id += 1
             unprocessed -= absorbed

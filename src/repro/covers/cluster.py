@@ -138,7 +138,7 @@ def bfs_cluster_tree(
     # Prune branches with no member below them: keep exactly the union of
     # member-to-root paths.
     keep = set()
-    for v in member_set:
+    for v in sorted(member_set):
         cur: Optional[NodeId] = v
         while cur is not None and cur not in keep:
             keep.add(cur)

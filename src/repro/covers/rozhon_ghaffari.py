@@ -186,10 +186,12 @@ def _build_one_color(
     n = graph.num_nodes
     b = max(1, math.ceil(math.log2(max(n, 2))))
     alive: Set[NodeId] = set(living)
-    label: Dict[NodeId, int] = {v: v for v in alive}
+    # The clusters dict's insertion order drives the merge loops below, so
+    # it is fixed by node id rather than inherited from set order.
+    label: Dict[NodeId, int] = {v: v for v in sorted(alive)}
     clusters: Dict[int, _LiveCluster] = {
         v: _LiveCluster(label=v, members={v}, root=v, parent={v: None})
-        for v in alive
+        for v in sorted(alive)
     }
     deny_threshold = 2 * b
 

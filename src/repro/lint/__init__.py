@@ -1,0 +1,34 @@
+"""repro.lint — static determinism & protocol-invariant checker.
+
+The determinism contract this repo's equivalence suites pin *dynamically*
+(byte-identical traces across both engines, all adversaries, and sweep
+replays), enforced *statically* at commit time: an ``ast``-based pass over
+the source tree flags the hazard classes that have historically needed
+runtime defenses — unordered set iteration in protocol code, unsanctioned
+entropy, incomplete pooled-state resets, ``__slots__``/dispatch-table
+integrity, and mutable default arguments.  See DESIGN.md §12 for the rule
+catalog with one real example per rule, and :mod:`repro.lint.rules` for
+the machine-readable catalog.
+
+Run as ``python -m repro.lint src/`` or via the ``repro-lint`` entry
+point; ``--json`` emits byte-stable machine-readable output for CI.
+"""
+
+from .cli import check_file, discover_files, main, module_name_for, run
+from .rules import RULES, Finding, Rule
+from .suppress import apply_suppressions, scan_directives
+from .visitor import check_module
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "Rule",
+    "apply_suppressions",
+    "check_file",
+    "check_module",
+    "discover_files",
+    "main",
+    "module_name_for",
+    "run",
+    "scan_directives",
+]

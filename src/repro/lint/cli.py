@@ -1,0 +1,146 @@
+"""Command line front end: ``python -m repro.lint src/`` (or ``repro-lint``).
+
+Exit codes: 0 — clean; 1 — findings; 2 — usage error.  Both the file walk
+and the finding order are fully deterministic (sorted directory traversal,
+total order on findings), so two runs over the same tree produce
+byte-identical output — the property CI relies on to diff ``--json`` runs
+(and which :mod:`tests.test_lint` pins).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Iterable, List, Optional, Tuple
+
+from .report import render_json, render_text
+from .rules import RULES, Finding
+from .suppress import apply_suppressions, scan_directives
+from .visitor import check_module
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def discover_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted, duplicate-free .py list.
+
+    ``os.walk`` yields directories in filesystem order, which differs
+    between machines (and inode histories); sorting ``dirnames`` in place
+    and the local files keeps the walk — and therefore every downstream
+    report — byte-stable.
+    """
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(os.path.normpath(path))
+            continue
+        if not os.path.isdir(path):
+            raise FileNotFoundError(path)
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in _SKIP_DIRS and not d.startswith(".")
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    found.append(os.path.normpath(
+                        os.path.join(dirpath, filename)
+                    ))
+    return sorted(dict.fromkeys(found))
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module path, found by climbing ``__init__.py`` package dirs.
+
+    Files outside any package lint under their bare stem — module-scoped
+    rules (DET001/DET002) then simply do not apply unless the file claims
+    a module with a ``# det: module=...`` directive (fixtures do).
+    """
+    abs_path = os.path.abspath(path)
+    directory, filename = os.path.split(abs_path)
+    parts = [os.path.splitext(filename)[0]]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        parts.append(package)
+    if parts[0] == "__init__" and len(parts) > 1:
+        parts = parts[1:]
+    return ".".join(reversed(parts))
+
+
+def check_file(path: str) -> Tuple[List[Finding], int]:
+    """Lint one file: ``(findings, suppressions_used)``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    scan = scan_directives(source)
+    module = scan.module_override or module_name_for(path)
+    raw = check_module(source, path, module)
+    findings = apply_suppressions(path, raw, scan)
+    used = sum(1 for supp in scan.suppressions.values() if supp.used)
+    return findings, used
+
+
+def run(paths: Iterable[str], rules: Optional[Iterable[str]] = None
+        ) -> Tuple[List[Finding], int, int]:
+    """Lint ``paths``; ``(sorted findings, files_checked, suppressions)``."""
+    only = None if rules is None else set(rules)
+    findings: List[Finding] = []
+    suppressions_used = 0
+    files = discover_files(paths)
+    for path in files:
+        file_findings, used = check_file(path)
+        suppressions_used += used
+        for finding in file_findings:
+            if only is None or finding.code in only:
+                findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings, len(files), suppressions_used
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based determinism & protocol-invariant checker"
+                    " (rule catalog: DESIGN.md §12)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable, byte-stable output")
+    parser.add_argument("--rules", default=None, metavar="CODES",
+                        help="comma-separated rule subset, e.g."
+                             " DET001,DET003")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            rule = RULES[code]
+            print(f"{code} {rule.name}: {rule.summary}")
+        return 0
+
+    selected = None
+    if args.rules is not None:
+        selected = [code.strip().upper() for code in args.rules.split(",")
+                    if code.strip()]
+        unknown = sorted(set(selected) - set(RULES))
+        if unknown:
+            print(f"repro-lint: unknown rule code(s):"
+                  f" {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    try:
+        findings, files_checked, used = run(args.paths, selected)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: no such file or directory: {exc}",
+              file=sys.stderr)
+        return 2
+
+    renderer = render_json if args.as_json else render_text
+    sys.stdout.write(renderer(findings, files_checked, used))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

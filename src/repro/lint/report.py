@@ -1,0 +1,50 @@
+"""Deterministic rendering of lint results (text and ``--json``).
+
+Output is byte-stable by construction — findings arrive pre-sorted by
+``(path, line, col, code, message)``, JSON keys are sorted, and nothing
+environment-dependent (timestamps, absolute paths, hash order) is ever
+emitted — so CI can diff two runs' ``--json`` output directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .rules import RULES, Finding
+
+
+def render_text(findings: List[Finding], files_checked: int,
+                suppressions_used: int) -> str:
+    lines = [finding.render() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"repro.lint: {len(findings)} {noun} in {files_checked} files"
+        f" ({suppressions_used} justified suppressions)"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(findings: List[Finding], files_checked: int,
+                suppressions_used: int) -> str:
+    by_code: Dict[str, int] = {}
+    for finding in findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+    payload = {
+        "version": 1,
+        "files_checked": files_checked,
+        "suppressions_used": suppressions_used,
+        "counts": {code: by_code[code] for code in sorted(by_code)},
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "code": finding.code,
+                "rule": RULES[finding.code].name,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,146 @@
+"""Inline suppression directives: ``# det: ignore[RULE, ...] -- justification``.
+
+A directive silences findings **on its own line only** — suppressions are
+site-local by design, so a justification can never drift away from the code
+it excuses.  The justification is mandatory: the linter's contract with the
+equivalence suites is that every statically-unprovable site carries a
+human-written determinism argument, enforced as LNT001 right here.  A
+directive that silences nothing is reported as LNT002 so stale suppressions
+cannot accumulate after the underlying code is fixed.
+
+Parsing runs on the token stream, not on raw lines, so a ``"# det:"``
+inside a string literal is never mistaken for a directive.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .rules import RULES, UNSUPPRESSIBLE, Finding
+
+#: A comment *starting* with ``det:`` claims to be a directive; the strict
+#: form then validates.  Matching loosely first means a typo'd directive is
+#: an LNT001 finding instead of a silently inert comment.  Anchored at the
+#: comment start so prose that merely mentions the syntax is never parsed.
+_DIRECTIVE_RE = re.compile(r"^#\s*det\s*:\s*(?P<body>.*)$")
+_IGNORE_RE = re.compile(
+    r"^ignore\s*\[\s*(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)\s*\]"
+    r"\s*(?:--\s*(?P<why>\S.*))?$"
+)
+#: In-file module override (first two lines), used by fixture files that do
+#: not live inside an importable package: ``# det: module=repro.core.x``.
+_MODULE_RE = re.compile(r"^module\s*=\s*(?P<mod>[A-Za-z_][A-Za-z0-9_.]*)$")
+
+
+@dataclass
+class Suppression:
+    line: int
+    codes: Tuple[str, ...]
+    justification: str
+    used: bool = False
+
+
+@dataclass
+class DirectiveScan:
+    """Everything the comment pass extracted from one file."""
+
+    suppressions: Dict[int, Suppression] = field(default_factory=dict)
+    module_override: Optional[str] = None
+    #: LNT001 findings for malformed/bare/unknown-code directives.
+    errors: List[Tuple[int, int, str]] = field(default_factory=list)
+
+
+def scan_directives(source: str) -> DirectiveScan:
+    """Extract ``# det:`` directives from ``source``'s comment tokens."""
+    scan = DirectiveScan()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The AST pass reports the file as LNT003; no directives to find.
+        return scan
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE_RE.match(tok.string)
+        if match is None:
+            continue
+        line, col = tok.start
+        body = match.group("body").strip()
+        module = _MODULE_RE.match(body)
+        if module is not None:
+            if line <= 2:
+                scan.module_override = module.group("mod")
+            else:
+                scan.errors.append(
+                    (line, col, "'# det: module=...' only applies on the"
+                                " first two lines of a file")
+                )
+            continue
+        ignore = _IGNORE_RE.match(body)
+        if ignore is None:
+            scan.errors.append(
+                (line, col,
+                 f"malformed directive {tok.string.strip()!r}; expected"
+                 " '# det: ignore[RULE, ...] -- justification'")
+            )
+            continue
+        codes = tuple(
+            code.strip().upper()
+            for code in ignore.group("codes").split(",")
+        )
+        unknown = sorted(code for code in codes if code not in RULES)
+        if unknown:
+            scan.errors.append(
+                (line, col, f"unknown rule code(s) {', '.join(unknown)}")
+            )
+            continue
+        banned = sorted(code for code in codes if code in UNSUPPRESSIBLE)
+        if banned:
+            scan.errors.append(
+                (line, col,
+                 f"{', '.join(banned)} cannot be suppressed (suppression"
+                 " hygiene rules keep the mechanism honest)")
+            )
+            continue
+        why = ignore.group("why")
+        if not why:
+            scan.errors.append(
+                (line, col,
+                 "suppression without a justification; every ignore must"
+                 " carry '-- <one-line determinism argument>'")
+            )
+            continue
+        scan.suppressions[line] = Suppression(line, codes, why.strip())
+    return scan
+
+
+def apply_suppressions(
+    path: str, findings: List[Finding], scan: DirectiveScan
+) -> List[Finding]:
+    """Filter ``findings`` through the scan; append LNT001/LNT002 findings.
+
+    Returns the surviving findings (unsorted — the caller owns ordering).
+    """
+    kept: List[Finding] = []
+    for finding in findings:
+        supp = scan.suppressions.get(finding.line)
+        if supp is not None and finding.code in supp.codes:
+            supp.used = True
+            continue
+        kept.append(finding)
+    for line, col, message in scan.errors:
+        kept.append(Finding(path, line, col, "LNT001", message))
+    for supp in scan.suppressions.values():
+        if not supp.used:
+            kept.append(
+                Finding(
+                    path, supp.line, 0, "LNT002",
+                    f"suppression ignore[{', '.join(supp.codes)}] matched"
+                    " no finding on this line; remove it",
+                )
+            )
+    return kept

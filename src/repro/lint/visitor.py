@@ -1,0 +1,683 @@
+"""The AST pass behind ``repro.lint``: DET001-DET005 on one module.
+
+The analysis is deliberately *local and conservative*: it infers set-ness
+and slot layouts from literals, constructor calls, and annotations visible
+in the module itself — no imports are followed, no types are solved.  A
+site the pass cannot prove safe is a finding; a site a human can prove safe
+carries a ``# det: ignore[...] -- why`` with the argument inline.  That
+split (machine proves the easy 95%, humans sign the rest) is the same
+contract the equivalence suites enforce dynamically, shifted to parse time.
+
+Entry point: :func:`check_module` — parse, walk, return unsuppressed
+findings (the caller applies :mod:`repro.lint.suppress`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .rules import (
+    PROTOCOL_PACKAGES,
+    SANCTIONED_ENTROPY,
+    Finding,
+    module_in,
+)
+
+#: Builtins whose consumption of an iterable is order-insensitive: feeding
+#: them a set cannot make any ordered effect depend on hash order.
+_ORDER_INSENSITIVE = frozenset(
+    {"sorted", "min", "max", "sum", "any", "all", "len", "set", "frozenset"}
+)
+
+#: Order-*sensitive* consumers: materializing a set through these bakes the
+#: hash order into a sequence.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+#: Set-returning methods: ``s.union(t)`` is as unordered as ``s``.
+_SET_METHODS = frozenset(
+    {"union", "difference", "intersection", "symmetric_difference", "copy"}
+)
+
+#: Names that denote a set type in annotations (bare, subscripted, or via
+#: ``typing.``-qualified attribute access).
+_SET_TYPE_NAMES = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "MutableSet", "AbstractSet"}
+)
+
+#: ``time`` module members that read a wall/CPU clock.
+_TIME_FUNCS = frozenset(
+    {
+        "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+        "monotonic_ns", "process_time", "process_time_ns", "clock_gettime",
+    }
+)
+
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+_MUTABLE_DEFAULT_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+#: Instance attributes treated as opcode dispatch tables when assigned a
+#: tuple literal (the transport indexes these unchecked — DESIGN.md §8).
+_DISPATCH_ATTRS = frozenset({"on_message_table", "_dispatch"})
+
+_RESET_METHOD_NAMES = ("reuse", "reset")
+
+
+def _annotation_is_set(node: Optional[ast.AST]) -> bool:
+    """Does this annotation denote a set type (unwrapping Optional)?"""
+    if node is None:
+        return False
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return False
+    if isinstance(node, ast.Name):
+        return node.id in _SET_TYPE_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_TYPE_NAMES
+    if isinstance(node, ast.Subscript):
+        value = node.value
+        if isinstance(value, ast.Name) and value.id == "Optional" or (
+            isinstance(value, ast.Attribute) and value.attr == "Optional"
+        ):
+            return _annotation_is_set(node.slice)
+        return _annotation_is_set(value)
+    return False
+
+
+class _ClassInfo:
+    """Statically collected facts about one class definition."""
+
+    def __init__(self, node: ast.ClassDef) -> None:
+        self.node = node
+        self.name = node.name
+        #: Simple-name bases; anything fancier marks the layout unknown.
+        self.base_names: List[str] = []
+        self.unknown_base = False
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                self.base_names.append(base.id)
+            else:
+                self.unknown_base = True
+        self.slots: Optional[Set[str]] = None
+        self.methods: Dict[str, ast.FunctionDef] = {}
+        self.class_level_names: Set[str] = set()
+        #: Every self attribute assigned anywhere in the class body.
+        self.assigned_attrs: Set[str] = set()
+        #: Self attributes inferred set-typed from any assignment/annotation.
+        self.set_attrs: Set[str] = set()
+        self._collect()
+
+    def _collect(self) -> None:
+        for stmt in self.node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.methods[stmt.name] = stmt  # type: ignore[assignment]
+                self.class_level_names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.class_level_names.add(target.id)
+                        if target.id == "__slots__":
+                            self.slots = _slot_names(stmt.value)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    self.class_level_names.add(stmt.target.id)
+        for method in self.methods.values():
+            for sub in ast.walk(method):
+                attr = _self_attr_target(sub)
+                if attr is not None:
+                    name, value, annotation = attr
+                    self.assigned_attrs.add(name)
+                    if _annotation_is_set(annotation) or (
+                        value is not None and _is_set_literalish(value)
+                    ):
+                        self.set_attrs.add(name)
+
+
+def _slot_names(node: ast.AST) -> Optional[Set[str]]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return {node.value}
+    if isinstance(node, (ast.Tuple, ast.List)):
+        names: Set[str] = set()
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                names.add(elt.value)
+            else:
+                return None  # computed slots: layout unknown
+        return names
+    return None
+
+
+def _self_attr_target(node: ast.AST):
+    """``(name, value, annotation)`` when ``node`` assigns ``self.<name>``."""
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            for leaf in _flatten_targets(target):
+                if _is_self_attr(leaf):
+                    return leaf.attr, node.value, None
+    elif isinstance(node, ast.AnnAssign) and _is_self_attr(node.target):
+        return node.target.attr, node.value, node.annotation
+    elif isinstance(node, ast.AugAssign) and _is_self_attr(node.target):
+        return node.target.attr, None, None
+    return None
+
+
+def _flatten_targets(target: ast.AST):
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _flatten_targets(elt)
+    else:
+        yield target
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _is_set_literalish(node: ast.AST) -> bool:
+    """Set-ness from the expression's own shape (no name environment)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return _is_set_literalish(func.value)
+    if isinstance(node, ast.IfExp):
+        return _is_set_literalish(node.body) or _is_set_literalish(node.orelse)
+    return False
+
+
+class _FunctionEnv:
+    """Names inferred set-typed inside one function scope.
+
+    A name counts only when *every* assignment to it in the scope is
+    set-typed (so ``x = sorted(x)`` cleanly demotes it) and at least one
+    assignment or annotation proves the set-ness.
+    """
+
+    def __init__(self, func: ast.AST, class_info: Optional[_ClassInfo],
+                 outer: Optional["_FunctionEnv"]) -> None:
+        self.class_info = class_info
+        self.assigned: Set[str] = set()
+        set_votes: Set[str] = set()
+        demoted: Set[str] = set()
+        args = getattr(func, "args", None)
+        if args is not None:
+            for arg in (
+                list(args.posonlyargs) + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                self.assigned.add(arg.arg)
+                if _annotation_is_set(arg.annotation):
+                    set_votes.add(arg.arg)
+        body = getattr(func, "body", [])
+        stack: List[ast.AST] = list(body) if isinstance(body, list) else [body]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda, ast.ClassDef)):
+                continue  # nested scopes vote for themselves
+            stack.extend(ast.iter_child_nodes(node))
+            if isinstance(node, ast.Assign):
+                value_is_set = self._value_is_set(node.value, set_votes)
+                for target in node.targets:
+                    for leaf in _flatten_targets(target):
+                        if isinstance(leaf, ast.Name):
+                            self.assigned.add(leaf.id)
+                            is_tuple_unpack = not isinstance(target, ast.Name)
+                            if value_is_set and not is_tuple_unpack:
+                                set_votes.add(leaf.id)
+                            else:
+                                demoted.add(leaf.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                self.assigned.add(node.target.id)
+                if _annotation_is_set(node.annotation):
+                    set_votes.add(node.target.id)
+                else:
+                    demoted.add(node.target.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for leaf in _flatten_targets(node.target):
+                    if isinstance(leaf, ast.Name):
+                        self.assigned.add(leaf.id)
+                        demoted.add(leaf.id)
+        self.set_names = set_votes - demoted
+        if outer is not None:
+            # Closure reads of an outer set-typed name stay set-typed
+            # unless this scope rebinds the name.
+            self.set_names |= outer.set_names - self.assigned
+            self.outer_assigned = outer.assigned | outer.outer_assigned
+        else:
+            self.outer_assigned = set()
+
+    def _value_is_set(self, value: ast.AST, votes: Set[str]) -> bool:
+        if _is_set_literalish(value):
+            return True
+        if isinstance(value, ast.Name) and value.id in votes:
+            return True
+        if isinstance(value, ast.BinOp) and isinstance(
+            value.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._value_is_set(value.left, votes) or self._value_is_set(
+                value.right, votes
+            )
+        return False
+
+    def is_shadowed(self, name: str) -> bool:
+        return name in self.assigned or name in self.outer_assigned
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: str, module: str) -> None:
+        self.path = path
+        self.module = module
+        self.findings: List[Finding] = []
+        in_protocol = module_in(module, PROTOCOL_PACKAGES)
+        self.check_det001 = in_protocol
+        self.check_det002 = in_protocol and not module_in(
+            module, SANCTIONED_ENTROPY
+        )
+        self.class_stack: List[Optional[_ClassInfo]] = [None]
+        self.env_stack: List[Optional[_FunctionEnv]] = [None]
+        #: Comprehension nodes whose consumer is order-insensitive.
+        self._sanctioned_comps: Set[int] = set()
+        #: alias -> canonical module for the entropy modules.
+        self.module_aliases: Dict[str, str] = {}
+        #: local name -> (module, member) for from-imports of banned members.
+        self.member_aliases: Dict[str, Tuple[str, str]] = {}
+
+    # -- plumbing ------------------------------------------------------
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                self.path,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                code,
+                message,
+            )
+        )
+
+    @property
+    def env(self) -> Optional[_FunctionEnv]:
+        return self.env_stack[-1]
+
+    @property
+    def class_info(self) -> Optional[_ClassInfo]:
+        return self.class_stack[-1]
+
+    # -- imports (DET002 bookkeeping) ----------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in {"random", "time", "datetime"}:
+                self.module_aliases[alias.asname or root] = root
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in {"random", "time", "datetime"}:
+            for alias in node.names:
+                self.member_aliases[alias.asname or alias.name] = (
+                    node.module,
+                    alias.name,
+                )
+        self.generic_visit(node)
+
+    # -- scopes --------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        info = _ClassInfo(node)
+        self._check_pool_reset(info)
+        self._check_slots(info)
+        self.class_stack.append(info)
+        self.env_stack.append(None)
+        self.generic_visit(node)
+        self.env_stack.pop()
+        self.class_stack.pop()
+
+    def _visit_function(self, node: ast.AST) -> None:
+        self._check_mutable_defaults(node)
+        self.env_stack.append(
+            _FunctionEnv(node, self.class_info, self.env)
+        )
+        self.generic_visit(node)
+        self.env_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_function(node)
+
+    # -- DET001 --------------------------------------------------------
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if _is_set_literalish(node):
+            return True
+        env = self.env
+        if isinstance(node, ast.Name):
+            return env is not None and node.id in env.set_names
+        if _is_self_attr(node):
+            info = self.class_info
+            return info is not None and node.attr in info.set_attrs
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+                return self._is_set_expr(func.value)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(
+                node.right
+            )
+        if isinstance(node, ast.IfExp):
+            return self._is_set_expr(node.body) or self._is_set_expr(
+                node.orelse
+            )
+        return False
+
+    def _flag_set_iteration(self, site: ast.AST, iterable: ast.AST,
+                            what: str) -> None:
+        if self.check_det001 and self._is_set_expr(iterable):
+            self.report(
+                site, "DET001",
+                f"{what} iterates a set-typed value; set order is"
+                " hash-dependent — wrap in sorted(...) or justify with"
+                " '# det: ignore[DET001] -- why'",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag_set_iteration(node.iter, node.iter, "for loop")
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._flag_set_iteration(node.iter, node.iter, "for loop")
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.AST, what: str,
+                    order_matters: bool) -> None:
+        if order_matters and id(node) not in self._sanctioned_comps:
+            for gen in node.generators:  # type: ignore[attr-defined]
+                self._flag_set_iteration(gen.iter, gen.iter, what)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comp(node, "list comprehension", True)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comp(node, "generator expression", True)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        # A dict built over a set bakes hash order into dict order.
+        self._visit_comp(node, "dict comprehension", True)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Set in, set out: no ordered effect can escape.
+        self._visit_comp(node, "set comprehension", False)
+
+    # -- DET002 + call-shaped pieces of DET001 -------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in _ORDER_INSENSITIVE:
+                for arg in node.args:
+                    if isinstance(
+                        arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+                    ):
+                        self._sanctioned_comps.add(id(arg))
+            elif func.id in _ORDER_SENSITIVE_CALLS and node.args:
+                self._flag_set_iteration(
+                    node, node.args[0], f"{func.id}(...)"
+                )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and node.args
+        ):
+            self._flag_set_iteration(node, node.args[0], "str.join(...)")
+        self._check_entropy_call(node)
+        self.generic_visit(node)
+
+    def _check_entropy_call(self, node: ast.Call) -> None:
+        if not self.check_det002:
+            return
+        func = node.func
+        sanctioned = " — seeded entropy belongs in " + " / ".join(
+            SANCTIONED_ENTROPY
+        )
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name):
+                canonical = self.module_aliases.get(base.id)
+                if canonical == "random":
+                    self.report(
+                        node, "DET002",
+                        f"call to random.{func.attr}{sanctioned}",
+                    )
+                    return
+                if canonical == "time" and func.attr in _TIME_FUNCS:
+                    self.report(
+                        node, "DET002",
+                        f"call to time.{func.attr} reads a wall/CPU clock"
+                        + sanctioned,
+                    )
+                    return
+            if func.attr in _DATETIME_FUNCS and self._is_datetime_type(base):
+                self.report(
+                    node, "DET002",
+                    f"call to datetime.{func.attr} reads the wall clock"
+                    + sanctioned,
+                )
+                return
+        elif isinstance(func, ast.Name):
+            member = self.member_aliases.get(func.id)
+            if member is not None:
+                mod, name = member
+                if mod == "random" or (mod == "time" and name in _TIME_FUNCS):
+                    self.report(
+                        node, "DET002",
+                        f"call to {mod}.{name}{sanctioned}",
+                    )
+                    return
+            env = self.env
+            shadowed = env is not None and env.is_shadowed(func.id)
+            if func.id == "id" and not shadowed:
+                self.report(
+                    node, "DET002",
+                    "id() is an address — it varies across runs and must"
+                    " never feed ordering or emission",
+                )
+            elif func.id == "hash" and not shadowed and node.args:
+                arg = node.args[0]
+                if not (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, int)
+                ):
+                    self.report(
+                        node, "DET002",
+                        "hash() of a possibly non-int value is salted per"
+                        " process (PYTHONHASHSEED); use an explicit key",
+                    )
+
+    def _is_datetime_type(self, base: ast.AST) -> bool:
+        if isinstance(base, ast.Name):
+            return (
+                self.member_aliases.get(base.id) == ("datetime", "datetime")
+            )
+        return (
+            isinstance(base, ast.Attribute)
+            and base.attr == "datetime"
+            and isinstance(base.value, ast.Name)
+            and self.module_aliases.get(base.value.id) == "datetime"
+        )
+
+    # -- DET003 --------------------------------------------------------
+    def _check_pool_reset(self, info: _ClassInfo) -> None:
+        reset_fn = None
+        for name in _RESET_METHOD_NAMES:
+            if name in info.methods:
+                reset_fn = info.methods[name]
+                break
+        init_fn = info.methods.get("__init__")
+        if reset_fn is None or init_fn is None:
+            return
+        required: Dict[str, int] = {}
+        for sub in ast.walk(init_fn):
+            attr = _self_attr_target(sub)
+            if attr is not None and attr[0] not in required:
+                required[attr[0]] = getattr(sub, "lineno", init_fn.lineno)
+        covered: Set[str] = set()
+        for sub in ast.walk(reset_fn):
+            attr = _self_attr_target(sub)
+            if attr is not None:
+                covered.add(attr[0])
+            elif isinstance(sub, ast.Call):
+                # self.X.clear() counts as resetting X in place.
+                func = sub.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "clear"
+                    and _is_self_attr(func.value)
+                ):
+                    covered.add(func.value.attr)
+            elif isinstance(sub, ast.Assign):
+                # self.X[:] = ... resets X's contents in place.
+                for target in sub.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Slice)
+                        and _is_self_attr(target.value)
+                    ):
+                        covered.add(target.value.attr)
+        for name in sorted(set(required) - covered):
+            self.findings.append(
+                Finding(
+                    self.path, required[name], 0, "DET003",
+                    f"{info.name}.__init__ assigns self.{name} but"
+                    f" {info.name}.{reset_fn.name}() never resets it — a"
+                    " recycled slot leaks the previous occupant's value",
+                )
+            )
+
+    # -- DET004: slots layout ------------------------------------------
+    def _check_slots(self, info: _ClassInfo) -> None:
+        if info.slots is None:
+            return
+        allowed = set(info.slots)
+        # Inherited layout: only provable when every base is a known
+        # __slots__ class in this module (or object); an unknown base may
+        # contribute a __dict__, which makes any assignment legal.
+        for base in info.base_names:
+            if base == "object":
+                continue
+            base_node = self._module_classes.get(base)
+            if base_node is None or base_node.slots is None:
+                return
+            allowed |= base_node.slots
+        if info.unknown_base:
+            return
+        for method in info.methods.values():
+            for sub in ast.walk(method):
+                attr = _self_attr_target(sub)
+                if attr is not None and attr[0] not in allowed:
+                    self.findings.append(
+                        Finding(
+                            self.path,
+                            getattr(sub, "lineno", method.lineno), 0,
+                            "DET004",
+                            f"{info.name} declares __slots__ but assigns"
+                            f" undeclared attribute self.{attr[0]} — this"
+                            " raises AttributeError at runtime",
+                        )
+                    )
+
+    # -- DET004: dispatch tables ---------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        info = self.class_info
+        if info is not None and isinstance(node.value, ast.Tuple):
+            for target in node.targets:
+                if (
+                    _is_self_attr(target)
+                    and target.attr in _DISPATCH_ATTRS
+                ):
+                    self._check_dispatch_table(info, node, node.value)
+        self.generic_visit(node)
+
+    def _check_dispatch_table(self, info: _ClassInfo, node: ast.Assign,
+                              table: ast.Tuple) -> None:
+        known = (
+            set(info.methods) | info.class_level_names | info.assigned_attrs
+        )
+        for opcode, elt in enumerate(table.elts):
+            if isinstance(elt, ast.Constant) and elt.value is None:
+                self.report(
+                    elt, "DET004",
+                    f"dispatch table leaves an opcode gap (None at index"
+                    f" {opcode}); the transport indexes this table"
+                    " unchecked",
+                )
+            elif _is_self_attr(elt) and elt.attr not in known:
+                self.report(
+                    elt, "DET004",
+                    f"dispatch table references missing handler"
+                    f" self.{elt.attr} (opcode {opcode})",
+                )
+
+    # -- DET005 --------------------------------------------------------
+    def _check_mutable_defaults(self, func: ast.AST) -> None:
+        args = getattr(func, "args", None)
+        if args is None:
+            return
+        name = getattr(func, "name", "<lambda>")
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            mutable = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_DEFAULT_CALLS
+            )
+            if mutable:
+                self.report(
+                    default, "DET005",
+                    f"mutable default argument on {name}() is shared across"
+                    " every call, node, and sweep replay; default to None"
+                    " and allocate inside",
+                )
+
+    # -- driver --------------------------------------------------------
+    def run(self, tree: ast.Module) -> List[Finding]:
+        self._module_classes: Dict[str, _ClassInfo] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                self._module_classes.setdefault(node.name, _ClassInfo(node))
+        self.visit(tree)
+        return self.findings
+
+
+def check_module(source: str, path: str, module: str) -> List[Finding]:
+    """Run every rule over one module's source; unsuppressed findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        detail = exc.msg if isinstance(exc, SyntaxError) else str(exc)
+        return [Finding(path, line, 0, "LNT003",
+                        f"cannot parse file: {detail}")]
+    checker = _Checker(path, module)
+    return checker.run(tree)

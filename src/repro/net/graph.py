@@ -137,7 +137,7 @@ class Graph:
     @property
     def weights(self) -> Dict[Edge, float]:
         """Weights for every edge (defaulting to 1.0), keyed canonically."""
-        return {e: self._weights.get(e, 1.0) for e in self._edges}
+        return {e: self._weights.get(e, 1.0) for e in sorted(self._edges)}
 
     def __iter__(self) -> Iterator[NodeId]:
         return iter(range(self._n))
@@ -244,14 +244,16 @@ class Graph:
         if not kept:
             raise ValueError("cannot induce the empty subgraph")
         remap = {old: new for new, old in enumerate(kept)}
+        # Sorted edge order: Graph() re-sorts adjacency anyway, but the
+        # weights dict (and anything that iterates it) stays canonical.
         edges = [
             (remap[u], remap[v])
-            for (u, v) in self._edges
+            for (u, v) in sorted(self._edges)
             if u in remap and v in remap
         ]
         weights = {
             edge_key(remap[u], remap[v]): self._weights.get((u, v), 1.0)
-            for (u, v) in self._edges
+            for (u, v) in sorted(self._edges)
             if u in remap and v in remap
         }
         return Graph(len(kept), edges, weights), remap

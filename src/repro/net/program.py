@@ -79,7 +79,7 @@ class PulseApi:
     __slots__ = ("_info", "_sends", "_output", "_has_output")
 
     def __init__(self, info: NodeInfo) -> None:
-        self._info = info
+        self._info = info  # det: ignore[DET003] -- reset() recycles the api for the SAME node; _info is the node's identity and must survive resets
         self._sends: List[Tuple[NodeId, Payload]] = []
         self._output: Any = None
         self._has_output = False
@@ -179,7 +179,7 @@ def fixed_initiators(nodes: Iterable[NodeId]) -> Callable[[Graph], Set[NodeId]]:
     frozen = frozenset(nodes)
 
     def pick(graph: Graph) -> Set[NodeId]:
-        for v in frozen:
+        for v in sorted(frozen):
             if not 0 <= v < graph.num_nodes:
                 raise ValueError(f"initiator {v} not in graph")
         return set(frozen)

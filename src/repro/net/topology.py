@@ -145,14 +145,14 @@ def lollipop_graph(clique_size: int, tail_length: int) -> Graph:
 
 def random_tree(n: int, seed: int) -> Graph:
     """Uniform-ish random tree: node i attaches to a random earlier node."""
-    rng = random.Random(("tree", n, seed).__repr__())
+    rng = random.Random(("tree", n, seed).__repr__())  # det: ignore[DET002] -- RNG seeded solely from the explicit (kind, n, seed) key; topology construction is reproducible and happens before any run draws entropy
     edges = [(rng.randrange(i), i) for i in range(1, n)]
     return Graph(n, edges)
 
 
 def erdos_renyi_graph(n: int, p: float, seed: int) -> Graph:
     """G(n, p) conditioned to be connected by adding a random tree skeleton."""
-    rng = random.Random(("gnp", n, p, seed).__repr__())
+    rng = random.Random(("gnp", n, p, seed).__repr__())  # det: ignore[DET002] -- RNG seeded solely from the explicit (kind, n, p, seed) key; reproducible construction-time randomness, not run-time entropy
     edges = {edge_key(rng.randrange(i), i) for i in range(1, n)}
     for i in range(n):
         for j in range(i + 1, n):
@@ -171,7 +171,7 @@ def random_regular_graph(n: int, degree: int, seed: int) -> Graph:
     """
     if n * degree % 2 != 0:
         raise ValueError("n * degree must be even")
-    rng = random.Random(("reg", n, degree, seed).__repr__())
+    rng = random.Random(("reg", n, degree, seed).__repr__())  # det: ignore[DET002] -- RNG seeded solely from the explicit (kind, n, degree, seed) key; reproducible construction-time randomness, not run-time entropy
     edges = {edge_key(i, (i + 1) % n) for i in range(n)} if n >= 3 else {(0, 1)}
     stubs = [v for v in range(n) for _ in range(degree)]
     for _ in range(20):
@@ -190,7 +190,7 @@ def random_regular_graph(n: int, degree: int, seed: int) -> Graph:
 
 def random_geometric_like_graph(n: int, radius: float, seed: int) -> Graph:
     """Unit-square geometric graph plus a tree skeleton for connectivity."""
-    rng = random.Random(("geo", n, radius, seed).__repr__())
+    rng = random.Random(("geo", n, radius, seed).__repr__())  # det: ignore[DET002] -- RNG seeded solely from the explicit (kind, n, radius, seed) key; reproducible construction-time randomness, not run-time entropy
     points = [(rng.random(), rng.random()) for _ in range(n)]
     edges = {edge_key(rng.randrange(i), i) for i in range(1, n)}
     r2 = radius * radius
@@ -207,7 +207,7 @@ def with_random_weights(
     graph: Graph, seed: int, low: float = 1.0, high: float = 100.0
 ) -> Graph:
     """Distinct random edge weights (unique => the MST is unique)."""
-    rng = random.Random(("weights", graph.num_nodes, seed).__repr__())
+    rng = random.Random(("weights", graph.num_nodes, seed).__repr__())  # det: ignore[DET002] -- RNG seeded solely from the explicit (kind, n, seed) key; reproducible construction-time randomness, not run-time entropy
     edges = sorted(graph.edges)
     base = rng.sample(range(1, len(edges) * 1000 + 1), len(edges))
     span = high - low

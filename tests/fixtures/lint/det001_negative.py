@@ -1,0 +1,43 @@
+# det: module=repro.core.fixture
+"""DET001 true negatives: sorted wrapping, order-insensitive consumers,
+set-to-set flows, and demoted names must all pass."""
+
+from typing import Dict, Set
+
+
+def sorted_iteration(pending: Set[int]):
+    for v in sorted(pending):             # sorted(): sanctioned
+        print(v)
+    return [v + 1 for v in sorted(pending)]
+
+
+def order_insensitive_consumers(pending: Set[int]):
+    total = sum(v for v in pending)       # sum/any/all/min/max/len: fine
+    biggest = max(pending)
+    return total, biggest, len(pending), any(v > 2 for v in pending)
+
+
+def set_to_set(pending: Set[int]):
+    return {v + 1 for v in pending}       # set comp over set: no order out
+
+
+def demoted_name(pending: Set[int]):
+    items = sorted(pending)               # reassignment demotes set-ness
+    for v in items:
+        print(v)
+
+
+def plain_containers(pairs: Dict[int, int], seq):
+    for k, v in pairs.items():            # dict iteration: insertion order
+        print(k, v)
+    for v in seq:                         # unknown type: never flagged
+        print(v)
+
+
+def membership_only(pending: Set[int], v: int):
+    return v in pending                   # membership is order-free
+
+
+def suppressed(pending: Set[int]):
+    for v in pending:  # det: ignore[DET001] -- demo fixture: body is commutative over elements
+        print(v)

@@ -1,0 +1,44 @@
+# det: module=repro.core.fixture
+"""DET001 true positives: ordered consumption of set-typed values."""
+
+from typing import Dict, Set
+
+
+def loop_over_set_literal():
+    for v in {3, 1, 2}:           # flagged: for over set literal
+        print(v)
+
+
+def loop_over_set_call(items):
+    pending = set(items)
+    for v in pending:             # flagged: name inferred set-typed
+        print(v)
+
+
+def loop_over_annotated_param(pending: Set[int]):
+    for v in pending:             # flagged: param annotation
+        print(v)
+
+
+def materialize(pending: Set[int]):
+    ordered = list(pending)       # flagged: list() bakes hash order in
+    pairs = [(i, v) for i, v in enumerate(pending)]  # flagged: enumerate()
+    return ordered, pairs
+
+
+def dict_from_set(pending: Set[int]):
+    return {v: 0 for v in pending}  # flagged: dict order from set order
+
+
+def union_iteration(a: Set[int], b: Set[int]):
+    for v in a | b:               # flagged: set union is still a set
+        print(v)
+
+
+class Holder:
+    def __init__(self):
+        self.waiting: Set[int] = set()
+
+    def drain(self):
+        for v in self.waiting:    # flagged: self attr annotated as set
+            print(v)

@@ -1,0 +1,21 @@
+# det: module=repro.net.delays_fixture
+"""DET002 true negatives: sanctioned module names pass (this fixture does
+NOT claim the sanctioned module), shadowed builtins pass, int hash passes."""
+
+import time
+
+
+def shadowed_id(id):
+    return id(3)                  # param shadows the builtin: fine
+
+
+def int_hash():
+    return hash(12345)            # int hash is unsalted: fine
+
+
+def not_a_clock():
+    return time.sleep             # attribute access without a call: fine
+
+
+def method_named_like_random(rng):
+    return rng.random()           # instance method on a seeded stream: fine

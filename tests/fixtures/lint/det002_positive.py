@@ -1,0 +1,31 @@
+# det: module=repro.net.fixture
+"""DET002 true positives: unsanctioned entropy / clock / address reads."""
+
+import random
+import time
+from random import randrange
+from time import perf_counter
+
+
+def unseeded_randomness():
+    return random.random()        # flagged: global RNG
+
+
+def seeded_but_unsanctioned():
+    return random.Random(7)       # flagged: entropy outside delays/faults
+
+
+def from_import_randomness():
+    return randrange(10)          # flagged: from-imported random member
+
+
+def wall_clock():
+    return time.time(), perf_counter()   # flagged twice
+
+
+def address_ordering(items):
+    return sorted(items, key=lambda x: id(x))  # flagged: id()
+
+
+def salted_hash(name: str):
+    return hash(name)             # flagged: str hash is salted per process

@@ -1,0 +1,8 @@
+# det: module=repro.net.delays
+"""DET002 does not apply inside the sanctioned entropy modules."""
+
+import random
+
+
+def draw():
+    return random.Random(("stream", 7).__repr__()).random()

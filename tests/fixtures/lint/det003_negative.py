@@ -1,0 +1,42 @@
+# det: module=repro.core.fixture
+"""DET003 true negatives: complete resets in every supported shape."""
+
+from typing import Dict, List
+
+
+class CompleteStageState:
+    """Scalars reassigned, containers cleared — the real pool shape."""
+
+    __slots__ = ("key", "state", "child_marks", "pending")
+
+    def __init__(self, key, state):
+        self.child_marks: Dict[int, str] = {}
+        self.pending: List[int] = []
+        self.key = key
+        self.state = state
+
+    def reuse(self, key, state):
+        self.key = key
+        self.state = state
+        self.child_marks.clear()
+        self.pending[:] = []          # slice assignment also counts
+
+
+class ResetNamed:
+    """The rule also accepts a method named ``reset``."""
+
+    def __init__(self):
+        self.count = 0
+
+    def reset(self):
+        self.count = 0
+
+
+class NoPool:
+    """No reuse()/reset() method: the rule does not apply."""
+
+    def __init__(self):
+        self.anything = 1
+
+    def clear_view(self):
+        self.anything = 2

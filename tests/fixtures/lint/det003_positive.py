@@ -1,0 +1,50 @@
+# det: module=repro.core.fixture
+"""DET003 true positive: the PR 5/6 slot-poisoning bug class, reconstructed.
+
+A trimmed copy of ``repro.core.registration._StageState`` with one field —
+``deferred_acks`` — added to ``__init__`` but NOT to ``reuse()``.  This is
+exactly the hazard the rule exists for: the pool recycles a slot, the new
+stage inherits the previous occupant's deferred acks, and the wave
+accounting silently corrupts.  The real class keeps every scalar reset in
+``reuse()`` and clears its containers there; this fixture proves the
+linter would have caught the regression before runtime.
+"""
+
+from typing import Dict, List
+
+
+class BrokenStageState:
+    __slots__ = ("key", "state", "child_marks", "pending_child_invokers",
+                 "deferred_acks")
+
+    def __init__(self, key, state):
+        self.child_marks: Dict[int, str] = {}
+        self.pending_child_invokers: List[int] = []
+        # The regression: a field added later to __init__ ...
+        self.deferred_acks: List[int] = []
+        self.reuse(key, state)
+
+    def reuse(self, key, state):
+        # ... but never reset here: a recycled slot keeps the previous
+        # occupant's deferred_acks.  DET003 fires on the __init__ line.
+        self.key = key
+        self.state = state
+        self.child_marks.clear()
+        self.pending_child_invokers.clear()
+
+
+class BrokenAggInstance:
+    """Same bug class for the cluster-agg pool: plain assignment missed."""
+
+    __slots__ = ("key", "value", "child_values", "missing")
+
+    def __init__(self, key):
+        self.child_values = {}
+        self.missing = 0
+        self.reuse(key)
+
+    def reuse(self, key):
+        self.key = key
+        self.value = None
+        self.child_values.clear()
+        # self.missing is never reset: DET003 fires.

@@ -1,0 +1,44 @@
+# det: module=repro.core.fixture
+"""DET004 true negatives: clean slots, unknown bases, indirect tables."""
+
+from collections import UserDict
+
+
+class CleanSlots:
+    __slots__ = ("count", "total")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0
+
+
+class InheritsSlots(CleanSlots):
+    __slots__ = ("extra",)
+
+    def __init__(self):
+        super().__init__()
+        self.extra = 1            # declared here
+        self.count = 2            # declared on the known base
+
+
+class UnknownBase(UserDict):
+    """Base outside the module may carry __dict__: rule stays silent."""
+
+    __slots__ = ("x",)
+
+    def __init__(self):
+        super().__init__()
+        self.whatever = 1         # not flagged: layout unknowable
+
+
+class CleanDispatch:
+    def __init__(self, agg):
+        self.agg = agg
+        self._dispatch = (
+            self.agg.handle_up,   # nested attribute: not resolvable, skipped
+            self._handle_down,    # defined below: fine
+        )
+        self.on_message_table = self._dispatch   # not a tuple literal: fine
+
+    def _handle_down(self, sender, payload):
+        pass

@@ -1,0 +1,37 @@
+# det: module=repro.core.fixture
+"""DET004 true positives: slots violations and broken dispatch tables."""
+
+
+class SlotsTypo:
+    __slots__ = ("count", "total")
+
+    def __init__(self):
+        self.count = 0
+        self.totl = 0             # flagged: undeclared attribute (typo)
+
+    def bump(self):
+        self.coutn = self.count + 1   # flagged: undeclared attribute
+
+
+class GappyDispatch:
+    def __init__(self):
+        # flagged twice: a None opcode gap, and a missing handler.
+        self._dispatch = (
+            self._handle_up,      # 0
+            None,                 # 1 — flagged: opcode gap
+            self._handle_missing, # 2 — flagged: no such method
+        )
+
+    def _handle_up(self, sender, payload):
+        pass
+
+
+class BrokenMessageTable:
+    def __init__(self):
+        self.on_message_table = (
+            self._on_ping,        # 0
+            self._on_gone,        # 1 — flagged: no such method
+        )
+
+    def _on_ping(self, sender, payload):
+        pass

@@ -1,0 +1,17 @@
+# det: module=repro.core.fixture
+"""DET005 true negatives: immutable defaults and the None idiom."""
+
+
+class FakeProcess:
+    def __init__(self, ctx, peers=None, mode="fast", limit=16, pair=(1, 2)):
+        self.peers = [] if peers is None else peers
+        self.mode = mode
+        self.limit = limit
+        self.pair = pair
+
+    def on_message(self, sender, payload, retries=0):
+        return sender, payload, retries
+
+
+def handler(batch=None, empty=(), name=""):
+    return batch, empty, name

@@ -1,0 +1,22 @@
+# det: module=repro.core.fixture
+"""DET005 true positives: mutable defaults on handlers and processes."""
+
+
+class FakeProcess:
+    def __init__(self, ctx, peers=[]):        # flagged: shared list
+        self.peers = peers
+
+    def on_message(self, sender, payload, seen={}):   # flagged: shared dict
+        seen[sender] = payload
+
+
+def handler(batch=set()):                     # flagged: shared set
+    return batch
+
+
+def factory(pool=list(), table=dict()):       # flagged twice: ctor calls
+    return pool, table
+
+
+def keyword_only(*, acc=[]):                  # flagged: kw-only default
+    return acc

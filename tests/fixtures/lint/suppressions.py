@@ -1,0 +1,31 @@
+# det: module=repro.core.fixture
+"""Suppression hygiene: LNT001 for bare/malformed directives, LNT002 for
+stale ones, and justified suppressions silencing real findings."""
+
+from typing import Set
+
+
+def justified(pending: Set[int]):
+    for v in pending:  # det: ignore[DET001] -- fixture: order provably cannot escape this body
+        print(v)
+
+
+def bare(pending: Set[int]):
+    for v in pending:  # det: ignore[DET001]
+        print(v)       # LNT001: no justification (DET001 NOT silenced? it is
+                       # silenced only by valid directives, so it survives too)
+
+
+def unknown_code(pending: Set[int]):
+    for v in pending:  # det: ignore[DET999] -- no such rule
+        print(v)
+
+
+def malformed(pending: Set[int]):
+    for v in sorted(pending):  # det: ignore DET001 missing brackets
+        print(v)
+
+
+def stale(pending: Set[int]):
+    for v in sorted(pending):  # det: ignore[DET001] -- nothing left to suppress here
+        print(v)

@@ -1,0 +1,5 @@
+# det: module=repro.core.fixture
+"""LNT003: this file is deliberately not valid Python."""
+
+def broken(:
+    return

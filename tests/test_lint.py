@@ -1,0 +1,290 @@
+"""Fixture-driven tests for ``repro.lint`` (DESIGN.md §12).
+
+Every rule DET001-DET005 is exercised in both directions — a fixture file
+of true positives that must all be flagged, and a fixture of true
+negatives (sorted wrapping, sanctioned modules, order-insensitive
+consumers, complete resets) that must pass silently.  On top of the
+fixtures: the real pooled classes (`_StageState`, `_InstanceState`) are
+re-checked with a deliberately-injected missing-reset field to prove
+DET003 guards the actual PR 5/6 bug class, the repo itself must lint
+clean via the same entry point CI runs, and the ``--json`` output must be
+byte-identical across runs (the linter's own determinism contract).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import check_file, check_module, discover_files, module_name_for
+from repro.lint.cli import main
+from repro.lint.rules import RULES, UNSUPPRESSIBLE
+
+ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+SRC = ROOT / "src"
+
+
+def lint_fixture(name):
+    findings, used = check_file(str(FIXTURES / name))
+    return findings, used
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# ----------------------------------------------------------------------
+# rule catalog sanity
+# ----------------------------------------------------------------------
+def test_rule_catalog_complete():
+    assert {"DET001", "DET002", "DET003", "DET004", "DET005"} <= set(RULES)
+    assert set(UNSUPPRESSIBLE) <= set(RULES)
+
+
+# ----------------------------------------------------------------------
+# DET001 — set iteration order
+# ----------------------------------------------------------------------
+def test_det001_positive_fixture():
+    findings, _ = lint_fixture("det001_positive.py")
+    assert codes(findings) == ["DET001"] * 8
+    flagged_lines = {f.line for f in findings}
+    # for-loop, inferred name, annotated param, list(), enumerate(),
+    # dict comp, set union, self attribute — one line each.
+    assert flagged_lines == {8, 14, 19, 24, 25, 30, 34, 43}
+
+
+def test_det001_negative_fixture():
+    findings, used = lint_fixture("det001_negative.py")
+    assert findings == []
+    assert used == 1  # the justified demo suppression
+
+
+def test_det001_does_not_apply_outside_protocol_packages(tmp_path):
+    source = (
+        "# det: module=repro.analysis.fixture\n"
+        "def f(s: set):\n"
+        "    for v in s:\n"
+        "        print(v)\n"
+    )
+    path = tmp_path / "mod.py"
+    path.write_text(source)
+    findings, _ = check_file(str(path))
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# DET002 — unsanctioned entropy
+# ----------------------------------------------------------------------
+def test_det002_positive_fixture():
+    findings, _ = lint_fixture("det002_positive.py")
+    assert codes(findings) == ["DET002"] * 7
+
+
+def test_det002_negative_fixture():
+    findings, _ = lint_fixture("det002_negative.py")
+    assert findings == []
+
+
+def test_det002_sanctioned_module_passes():
+    findings, _ = lint_fixture("det002_sanctioned.py")
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# DET003 — pooled-state reset completeness
+# ----------------------------------------------------------------------
+def test_det003_positive_fixture():
+    findings, _ = lint_fixture("det003_positive.py")
+    assert codes(findings) == ["DET003", "DET003"]
+    messages = "\n".join(f.message for f in findings)
+    assert "deferred_acks" in messages
+    assert "missing" in messages
+
+
+def test_det003_negative_fixture():
+    findings, _ = lint_fixture("det003_negative.py")
+    assert findings == []
+
+
+def test_real_pooled_classes_are_reset_complete():
+    """The live pools must stay clean — this is the shipped audit result."""
+    for module in ("registration", "cluster_ops"):
+        path = SRC / "repro" / "core" / f"{module}.py"
+        findings, _ = check_file(str(path))
+        assert findings == [], f"{module}: {[f.render() for f in findings]}"
+
+
+@pytest.mark.parametrize(
+    "module, anchor, classname",
+    [
+        (
+            "registration",
+            "        self.child_marks: Dict[NodeId, str] = {}\n",
+            "_StageState",
+        ),
+        (
+            "cluster_ops",
+            "        self.child_values: Dict[NodeId, Any] = {}\n",
+            "_InstanceState",
+        ),
+    ],
+)
+def test_det003_would_catch_field_added_to_real_pool(module, anchor, classname):
+    """Inject the PR 5/6 regression into the REAL source: a field added to
+    ``__init__`` but not to ``reuse()`` must fire DET003 on today's code."""
+    path = SRC / "repro" / "core" / f"{module}.py"
+    source = path.read_text(encoding="utf-8")
+    assert source.count(anchor) == 1
+    broken = source.replace(anchor, anchor + "        self.sneaky_field = None\n")
+    findings = check_module(broken, str(path), f"repro.core.{module}")
+    det003 = [f for f in findings if f.code == "DET003"]
+    assert len(det003) == 1
+    assert "sneaky_field" in det003[0].message
+    assert classname in det003[0].message
+
+
+# ----------------------------------------------------------------------
+# DET004 — __slots__ and dispatch-table integrity
+# ----------------------------------------------------------------------
+def test_det004_positive_fixture():
+    findings, _ = lint_fixture("det004_positive.py")
+    assert codes(findings) == ["DET004"] * 5
+    messages = "\n".join(f.message for f in findings)
+    assert "self.totl" in messages and "self.coutn" in messages
+    assert "opcode gap" in messages
+    assert "self._handle_missing" in messages
+    assert "self._on_gone" in messages
+
+
+def test_det004_negative_fixture():
+    findings, _ = lint_fixture("det004_negative.py")
+    assert findings == []
+
+
+def test_det004_real_dispatch_tables_clean():
+    for rel in ("core/synchronizer.py", "core/thresholded_bfs.py"):
+        findings, _ = check_file(str(SRC / "repro" / rel))
+        assert [f for f in findings if f.code == "DET004"] == []
+
+
+# ----------------------------------------------------------------------
+# DET005 — mutable defaults
+# ----------------------------------------------------------------------
+def test_det005_positive_fixture():
+    findings, _ = lint_fixture("det005_positive.py")
+    assert codes(findings) == ["DET005"] * 6
+
+
+def test_det005_negative_fixture():
+    findings, _ = lint_fixture("det005_negative.py")
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# suppression hygiene
+# ----------------------------------------------------------------------
+def test_suppression_fixture():
+    findings, used = lint_fixture("suppressions.py")
+    assert used == 1  # only the justified directive counts
+    got = sorted(codes(findings))
+    assert got == ["DET001", "DET001", "LNT001", "LNT001", "LNT001", "LNT002"]
+
+
+def test_unsuppressible_rules_reject_suppression(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(
+        "# det: module=repro.core.fixture\n"
+        "x = 1  # det: ignore[LNT002] -- trying to silence the police\n"
+    )
+    findings, used = check_file(str(path))
+    assert codes(findings) == ["LNT001"]
+    assert "cannot be suppressed" in findings[0].message
+    assert used == 0
+
+
+def test_unparseable_file_is_lnt003():
+    findings, _ = lint_fixture("unparseable.py")
+    assert codes(findings) == ["LNT003"]
+
+
+# ----------------------------------------------------------------------
+# discovery, module mapping, and output determinism
+# ----------------------------------------------------------------------
+def test_discovery_is_sorted_and_deduplicated():
+    twice = discover_files([str(FIXTURES), str(FIXTURES / "det001_positive.py")])
+    assert twice == sorted(twice)
+    assert len(twice) == len(set(twice))
+    assert all(p.endswith(".py") for p in twice)
+
+
+def test_module_name_for_real_tree():
+    assert (
+        module_name_for(str(SRC / "repro" / "core" / "registration.py"))
+        == "repro.core.registration"
+    )
+    assert module_name_for(str(SRC / "repro" / "lint" / "__init__.py")) == "repro.lint"
+    assert module_name_for(str(FIXTURES / "det001_positive.py")) == "det001_positive"
+
+
+def _run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=str(ROOT), env=env, capture_output=True, text=True,
+    )
+
+
+def test_repo_lints_clean_via_module_entry_point():
+    """The acceptance gate: ``python -m repro.lint src/`` exits 0."""
+    proc = _run_cli("src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout
+
+
+def test_json_output_is_byte_stable():
+    first = _run_cli("tests/fixtures/lint", "--json")
+    second = _run_cli("tests/fixtures/lint", "--json")
+    assert first.returncode == 1 and second.returncode == 1
+    assert first.stdout == second.stdout
+    payload = json.loads(first.stdout)
+    assert payload["version"] == 1
+    keys = [
+        (f["path"], f["line"], f["col"], f["code"], f["message"])
+        for f in payload["findings"]
+    ]
+    assert keys == sorted(keys)
+    assert payload["counts"]["DET001"] >= 8
+    assert payload["suppressions_used"] == 2
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULES:
+        assert code in out
+
+
+def test_cli_rule_subset(capsys):
+    rc = main([str(FIXTURES / "det005_positive.py"), "--rules", "det001"])
+    assert rc == 0  # DET005 findings filtered out
+    rc = main([str(FIXTURES / "det005_positive.py"), "--rules", "DET005"])
+    assert rc == 1
+    capsys.readouterr()
+
+
+def test_cli_unknown_rule_code(capsys):
+    assert main(["src", "--rules", "DET042"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_missing_path(capsys):
+    assert main(["no/such/dir"]) == 2
+    capsys.readouterr()
