@@ -9,6 +9,9 @@ setup(
             # Static determinism & protocol-invariant checker (DESIGN.md §12);
             # equivalent to `python -m repro.lint`.
             "repro-lint = repro.lint.cli:main",
+            # DPOR-style schedule-space model checker (DESIGN.md §13);
+            # equivalent to `python -m repro.check`.
+            "repro-check = repro.check.cli:main",
         ]
     },
 )

@@ -1,0 +1,118 @@
+"""Replayable counterexample traces (DESIGN.md §13).
+
+A trace is the complete choice sequence of one controlled execution plus
+the violation it produced, serialized as *canonical* JSON — sorted keys,
+no whitespace, ``\\n``-terminated — so that two runs that reproduce the
+same counterexample produce byte-identical files.  Replay is strict: the
+recorded key must be enabled at every step (engine determinism guarantees
+it for a trace produced by the same build; a mismatch means the trace is
+stale).  Shrinking is greedy event deletion: drop one choice, re-run with
+the tolerant :class:`PreferenceController`, keep the deletion iff the
+same violation signature reproduces, repeat to fixpoint.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .explorer import DEFAULT_MAX_STEPS, RunOutcome, run_execution
+from .scheduler import EventKey, PreferenceController, ReplayController
+from .workloads import Workload, build_workload
+
+TRACE_VERSION = 1
+
+
+def make_trace(
+    workload: str,
+    choices: Sequence[EventKey],
+    violation: Tuple[str, str],
+) -> Dict:
+    return {
+        "version": TRACE_VERSION,
+        "workload": workload,
+        "choices": [list(c) for c in choices],
+        "violation": {"probe": violation[0], "message": violation[1]},
+    }
+
+
+def canonical_bytes(trace: Dict) -> bytes:
+    """Byte-stable encoding: key-sorted, whitespace-free JSON."""
+    return (
+        json.dumps(trace, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def save_trace(trace: Dict, path: str) -> None:
+    with open(path, "wb") as fh:
+        fh.write(canonical_bytes(trace))
+
+
+def load_trace(path: str) -> Dict:
+    with open(path, "rb") as fh:
+        trace = json.loads(fh.read().decode("utf-8"))
+    if trace.get("version") != TRACE_VERSION:
+        raise ValueError(
+            f"trace version {trace.get('version')!r} unsupported"
+            f" (expected {TRACE_VERSION})"
+        )
+    return trace
+
+
+def trace_choices(trace: Dict) -> List[EventKey]:
+    return [tuple(c) for c in trace["choices"]]
+
+
+def trace_signature(trace: Dict) -> Tuple[str, str]:
+    violation = trace["violation"]
+    return (violation["probe"], violation["message"])
+
+
+def replay(trace: Dict, workload: Optional[Workload] = None) -> RunOutcome:
+    """Strict replay of a serialized trace.
+
+    Returns the normalized outcome; the caller compares
+    ``outcome.violation.signature()`` against :func:`trace_signature`.
+    """
+    if workload is None:
+        workload = build_workload(trace["workload"])
+    controller = ReplayController(
+        trace_choices(trace), workload.probes(), max_steps=DEFAULT_MAX_STEPS
+    )
+    return run_execution(workload, controller)
+
+
+def shrink(
+    workload: Workload,
+    choices: Sequence[EventKey],
+    signature: Tuple[str, str],
+    max_rounds: int = 8,
+) -> List[EventKey]:
+    """Greedy event-deletion minimization.
+
+    Each accepted deletion replaces the choice list with the choices the
+    tolerant re-execution *actually* fired — re-canonicalizing the trace
+    so the final list strict-replays without any skip semantics.
+    """
+    current = [tuple(c) for c in choices]
+    for _ in range(max_rounds):
+        shrunk = False
+        index = len(current) - 1
+        while index >= 0:
+            candidate = current[:index] + current[index + 1:]
+            controller = PreferenceController(
+                candidate, workload.probes(),
+                extend=True, max_steps=DEFAULT_MAX_STEPS,
+            )
+            outcome = run_execution(workload, controller)
+            if (outcome.violation is not None
+                    and outcome.violation.signature() == signature
+                    and len(outcome.chosen) < len(current)):
+                current = outcome.chosen
+                shrunk = True
+                index = min(index, len(current)) - 1
+            else:
+                index -= 1
+        if not shrunk:
+            break
+    return current

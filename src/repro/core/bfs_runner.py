@@ -14,7 +14,7 @@ from ..net.delays import DelayModel
 from ..net.graph import Graph, NodeId
 from .pulse import COVER_LEVEL_OFFSET
 from .registry import CoverRegistry
-from .thresholded_bfs import UNREACHED, ThresholdedBFSCore
+from .thresholded_bfs import OP_GA, UNREACHED, ThresholdedBFSCore
 
 
 @dataclass
@@ -73,6 +73,10 @@ class ThresholdedBFSProcess(Process):
     #: Recycle registration stage slots (DESIGN.md §10).  Subclasses (or
     #: the byte-identity A/B tests) set False to force fresh allocation.
     pool: bool = True
+
+    #: Opcode range of the core's dispatch tuple (0..OP_GA): the transport
+    #: validates the table against this at wiring time.
+    NUM_OPCODES = OP_GA + 1
 
     def __init__(self, ctx: ProcessContext) -> None:
         super().__init__(ctx)

@@ -736,6 +736,10 @@ class SynchronizerProcess(Process):
     # transport skips the on_delivered call for all machinery traffic.
     ACK_INTEREST_PREFIX = OP_APP
 
+    #: Opcode range of the node engine's dispatch tuple (0..OP_VRELEASE):
+    #: the transport validates the table against this at wiring time.
+    NUM_OPCODES = OP_VRELEASE + 1
+
     #: Recycle registration stage slots (DESIGN.md §10).  Subclasses (or
     #: the byte-identity A/B tests) set False to force fresh allocation.
     pool: bool = True

@@ -10,13 +10,15 @@ byte-identical output — the property CI relies on to diff ``--json`` runs
 from __future__ import annotations
 
 import argparse
+import ast
 import os
 import sys
 from typing import Iterable, List, Optional, Tuple
 
+from .flow import FlowSummary, analyze_flow, collect_flow
 from .report import render_json, render_text
 from .rules import RULES, Finding
-from .suppress import apply_suppressions, scan_directives
+from .suppress import DirectiveScan, apply_suppressions, scan_directives
 from .visitor import check_module
 
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
@@ -68,13 +70,34 @@ def module_name_for(path: str) -> str:
     return ".".join(reversed(parts))
 
 
-def check_file(path: str) -> Tuple[List[Finding], int]:
-    """Lint one file: ``(findings, suppressions_used)``."""
+def _check_file_raw(
+    path: str,
+) -> Tuple[List[Finding], DirectiveScan, Optional[FlowSummary]]:
+    """Per-file pass, suppressions not yet applied.
+
+    The flow summary is ``None`` for unparseable files (the AST pass has
+    already reported them as LNT003)."""
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
     scan = scan_directives(source)
     module = scan.module_override or module_name_for(path)
     raw = check_module(source, path, module)
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError):
+        summary = None
+    else:
+        summary = collect_flow(tree, path, module)
+    return raw, scan, summary
+
+
+def check_file(path: str) -> Tuple[List[Finding], int]:
+    """Lint one file: ``(findings, suppressions_used)``.
+
+    Single-file entry point: the per-file rules only.  The cross-module
+    DET006 flow pass needs the whole file set and runs in :func:`run`.
+    """
+    raw, scan, _summary = _check_file_raw(path)
     findings = apply_suppressions(path, raw, scan)
     used = sum(1 for supp in scan.suppressions.values() if supp.used)
     return findings, used
@@ -82,17 +105,35 @@ def check_file(path: str) -> Tuple[List[Finding], int]:
 
 def run(paths: Iterable[str], rules: Optional[Iterable[str]] = None
         ) -> Tuple[List[Finding], int, int]:
-    """Lint ``paths``; ``(sorted findings, files_checked, suppressions)``."""
+    """Lint ``paths``; ``(sorted findings, files_checked, suppressions)``.
+
+    Two passes: the per-file rules, then the cross-module DET006 flow
+    analysis over every parseable file at once.  Flow findings are merged
+    into their file's raw findings *before* suppressions apply, so an
+    inline ``# det: ignore[DET006] -- why`` works (and an unused one is
+    still LNT002)."""
     only = None if rules is None else set(rules)
+    files = discover_files(paths)
+    per_file: List[Tuple[str, List[Finding], DirectiveScan]] = []
+    summaries: List[FlowSummary] = []
+    for path in files:
+        raw, scan, summary = _check_file_raw(path)
+        per_file.append((path, raw, scan))
+        if summary is not None:
+            summaries.append(summary)
+    flow_by_path: dict = {}
+    for finding in analyze_flow(summaries):
+        flow_by_path.setdefault(finding.path, []).append(finding)
     findings: List[Finding] = []
     suppressions_used = 0
-    files = discover_files(paths)
-    for path in files:
-        file_findings, used = check_file(path)
-        suppressions_used += used
-        for finding in file_findings:
+    for path, raw, scan in per_file:
+        raw = raw + flow_by_path.get(path, [])
+        for finding in apply_suppressions(path, raw, scan):
             if only is None or finding.code in only:
                 findings.append(finding)
+        suppressions_used += sum(
+            1 for supp in scan.suppressions.values() if supp.used
+        )
     findings.sort(key=Finding.sort_key)
     return findings, len(files), suppressions_used
 

@@ -27,6 +27,14 @@ against) at runtime, lifted to a static check that runs at commit time:
 * **DET005** — mutable default arguments: a shared ``[]``/``{}``/``set()``
   default on a handler or ``Process`` subclass aliases state across nodes
   and across sweep replays.
+* **DET006** — dangling message flow: every ``(OP_*, ...)`` tuple a module
+  emits must have a consumer *somewhere* in the linted tree (a dispatch
+  table slot covering its value, a comparison, or an opcode-set
+  membership test), and every defined opcode must participate in some
+  flow.  Emitters and consumers routinely live in different modules, so
+  this is the one cross-module pass (:mod:`repro.lint.flow`); it runs
+  over the whole file set in ``run()``/the CLI, not in single-file
+  ``check_file``.
 
 Two hygiene rules keep the suppression mechanism honest (and are not
 themselves suppressible):
@@ -93,6 +101,13 @@ RULES: Dict[str, Rule] = {
             "mutable-default-argument",
             "mutable default argument ([]/{}/set()/list()/dict()) shared"
             " across calls, nodes, and sweep replays",
+        ),
+        Rule(
+            "DET006",
+            "dangling-message-flow",
+            "message opcode emitted with no consumer anywhere in the"
+            " linted files, or defined but never emitted nor consumed"
+            " (cross-module flow check)",
         ),
         Rule(
             "LNT001",

@@ -94,6 +94,7 @@ from .events import (
     CODE_ACK_PAYLOAD,
     CODE_DELIVER,
     CODE_DELIVER_PAYLOAD,
+    EV_CALLBACK,
     LINK_MASK,
     EventQueue,
 )
@@ -254,6 +255,14 @@ class Process:
     #: externally supplied payloads.
     on_message_table: Optional[Tuple[Callable[[NodeId, Payload], None], ...]] = None
 
+    #: Declared opcode range of ``on_message_table``: when set, the engine
+    #: validates ``len(on_message_table) == NUM_OPCODES`` once at wiring time
+    #: (alongside a callable check on every slot), so a short or gap-ridden
+    #: table fails loudly at setup instead of as an ``IndexError``/
+    #: ``TypeError`` deep inside the dispatch loop.  ``None`` skips the
+    #: length check (the callable check still runs for any table).
+    NUM_OPCODES: Optional[int] = None
+
     def on_delivered(self, to: NodeId, payload: Payload) -> None:
         """Acknowledgment arrived: ``payload`` was delivered to ``to``.
 
@@ -384,6 +393,98 @@ class AsyncResult:
         return self.messages + self.acks
 
 
+#: :class:`ControlledEvent` kinds (strings, not ints: controlled runs are a
+#: verification surface, not a hot path, and the kinds surface verbatim in
+#: serialized counterexample traces).
+CTRL_DELIVER = "deliver"
+CTRL_ACK = "ack"
+CTRL_CALLBACK = "callback"
+CTRL_CRASH = "crash"
+CTRL_DETECT = "detect"
+
+
+class ControlledEvent:
+    """One schedulable step offered to a :class:`ScheduleController`.
+
+    ``seq`` is the underlying heap record's scheduling sequence number —
+    unique, and (because record creation is deterministic given the choices
+    made so far) a stable identity for the event across re-executions of
+    the same choice prefix.  Synthetic actions (``crash``/``detect``) have
+    no record and ``seq is None``; they are identified by their node
+    fields instead.  ``acting`` is the process whose protocol state the
+    step mutates — the commutativity key of repro.check's partial-order
+    reduction (``None`` = unknown, treated as racing with everything).
+    """
+
+    __slots__ = ("kind", "seq", "link", "src", "dst", "node", "record")
+
+    def __init__(self, kind, seq, link, src, dst, node, record):
+        self.kind = kind
+        self.seq = seq
+        self.link = link
+        self.src = src
+        self.dst = dst
+        self.node = node
+        self.record = record
+
+    @property
+    def acting(self) -> Optional[NodeId]:
+        kind = self.kind
+        if kind == CTRL_DELIVER:
+            return self.dst  # the receiver's handler runs
+        if kind == CTRL_ACK:
+            return self.src  # the sender's callback/outbox drain runs
+        if kind == CTRL_DETECT:
+            return self.dst  # the observer's on_neighbor_dead runs
+        return self.node  # callback (None when unattributed) / crash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ControlledEvent({self.kind}, seq={self.seq},"
+                f" link={self.link}, src={self.src}, dst={self.dst},"
+                f" node={self.node})")
+
+
+class ScheduleController:
+    """Scheduling adversary hook for controlled runs (repro.check).
+
+    When an instance is passed to :class:`AsyncRuntime`, ``run()`` enters
+    :meth:`AsyncRuntime._run_controlled` instead of the clock-driven
+    dispatch loops: the heap becomes an unordered bag of *enabled* events,
+    and at every step the controller is shown all of them (plus the
+    synthetic crash/detect actions below) and picks which one fires next.
+    The delay model still runs — record timestamps and acknowledgment
+    redraws are drawn exactly as always, so a replayed choice sequence
+    reproduces the execution bit-for-bit — but it no longer *orders*
+    anything.  With no controller installed this machinery is never
+    touched and the fast dispatch loops are byte-identical.
+
+    ``crashable`` folds fail-stop branch points into the schedule space:
+    every node listed here contributes a ``crash`` action to the enabled
+    set until it is chosen, and a chosen crash arms one ``detect`` action
+    per live neighbor that overrides ``on_neighbor_dead``.  Detection
+    honors the fault model's synchrony bound (DESIGN.md §11: delays ≤ τ,
+    detection at crash + 2.25τ): a detect action is *withheld* while any
+    delivery from a then-live sender that was in flight at the crash is
+    still undelivered — those messages provably resolve before the
+    timeout fires.  The corpse's own in-flight messages do not block
+    detection: a down interval may legally defer them past it, which is
+    the straggler race the recovery guard exists for.
+    """
+
+    #: Nodes the controller may crash (fail-stop) at a step of its choosing.
+    crashable: Tuple[NodeId, ...] = ()
+
+    def choose(self, events: List[ControlledEvent]) -> Optional[int]:
+        """Pick the next step: an index into ``events``, or ``None`` to stop.
+
+        ``events`` is non-empty; record-backed events come first, sorted by
+        ``seq``, followed by crash actions (crashable order) and armed
+        detect actions (arming order).  Returning ``None`` ends the run
+        with ``stop_reason == "controller"``.
+        """
+        raise NotImplementedError
+
+
 class AsyncRuntime(EventQueue):
     """Discrete-event executor for one protocol over one graph.
 
@@ -433,7 +534,7 @@ class AsyncRuntime(EventQueue):
         "messages", "acks", "_fused", "outputs",
         "output_time", "_time_to_output", "processes", "_active_seq",
         "faults", "detect_timeout", "_crash_t", "_down_fn", "_drop_fn",
-        "dropped",
+        "dropped", "controller", "crashed",
     )
 
     def __init__(
@@ -448,6 +549,7 @@ class AsyncRuntime(EventQueue):
         block_buffer: Optional[MutableSequence[float]] = None,
         faults: Optional[FaultSchedule] = None,
         detect_timeout: float = DETECT_TIMEOUT,
+        controller: Optional[ScheduleController] = None,
     ) -> None:
         """``count_fused_acks=True`` restores the paper's raw event
         accounting in ``events_fired`` (fused acknowledgments count as one
@@ -487,6 +589,19 @@ class AsyncRuntime(EventQueue):
             # Empty schedules normalize to "no faults": the fast dispatch
             # loops run and existing schedules/metrics stay byte-identical.
             faults = None
+        if controller is not None and faults is not None:
+            # Controlled runs model fail-stop crashes as controller-chosen
+            # actions (``ScheduleController.crashable``); a timer-keyed
+            # fault schedule would reintroduce the clock the controller
+            # exists to replace.
+            raise ValueError(
+                "controller and faults are mutually exclusive: controlled"
+                " runs take crash points from ScheduleController.crashable"
+            )
+        self.controller = controller
+        #: Nodes crashed by controller-chosen actions, with the logical
+        #: time of the crash.  Populated only by ``_run_controlled``.
+        self.crashed: Dict[NodeId, float] = {}
         self.faults = faults
         self.detect_timeout = detect_timeout
         self.dropped = 0
@@ -580,6 +695,30 @@ class AsyncRuntime(EventQueue):
         table = self._table = [None] * n_links
         delivered = self._delivered = [None] * n_links
         ack_prefix = self._ack_prefix = [None] * n_links
+        # One-time per-process table validation: the dispatch loops call
+        # ``table[payload[0]]`` unguarded (in-simulation traffic is
+        # trusted), so a short table or a ``None`` gap must fail loudly
+        # here, at wiring time, not as an ``IndexError``/``TypeError``
+        # mid-run.
+        for node, proc in processes.items():
+            tab = proc.on_message_table
+            if tab is None:
+                continue
+            expected = type(proc).NUM_OPCODES
+            if expected is not None and len(tab) != expected:
+                raise ValueError(
+                    f"node {node}: {type(proc).__name__}.on_message_table"
+                    f" has {len(tab)} entries but the class declares"
+                    f" NUM_OPCODES = {expected}"
+                )
+            for op, handler in enumerate(tab):
+                if not callable(handler):
+                    raise ValueError(
+                        f"node {node}: {type(proc).__name__}"
+                        f".on_message_table[{op}] is not callable"
+                        f" ({handler!r}); every slot in the opcode range"
+                        f" must be a bound handler"
+                    )
         for lid in range(n_links):
             dst = processes[lv[lid]]
             src = processes[lu[lid]]
@@ -1416,11 +1555,262 @@ class AsyncRuntime(EventQueue):
         )
 
     # ------------------------------------------------------------------
+    # controlled mode (repro.check; DESIGN.md §13)
+    # ------------------------------------------------------------------
+    def _run_controlled(
+        self, max_events: Optional[int] = None
+    ) -> AsyncResult:
+        """The controller-driven dispatch loop (DESIGN.md §13).
+
+        The heap is treated as an unordered *bag* of enabled events: heap
+        order is never consulted (``heappush`` from the send paths is
+        harmless on a bag), and at every step the installed
+        :class:`ScheduleController` is shown every record plus the pending
+        synthetic crash/detect actions and picks one.  Acknowledgments are
+        never fused and same-time deliveries never batch, so every causal
+        step is a controller decision.  Logical time is the running
+        maximum of fired record timestamps — deterministic given the
+        choice sequence, which is what makes serialized counterexample
+        traces replay bit-exactly.
+
+        Crash semantics mirror ``_run_faulty``'s fail-stop rules, keyed on
+        the dynamic ``crashed`` set instead of precomputed crash times:
+        deliveries to a corpse vanish and jam the link, a dead sender's
+        acknowledgment still frees the link state but the corpse takes no
+        step, and a crashed node's scheduled callbacks are elided.
+        ``max_time`` has no meaning without the clock; only the
+        ``max_events`` step budget is honored.
+        """
+        controller = self.controller
+        processes = self.processes
+        heap = self._heap
+        counter = self._counter
+        push = heappush
+        # Attribution of engine-scheduled callbacks (on_start) to their
+        # node: the reduction layer treats an attributed callback as a step
+        # of that process, and a crashed node's callbacks must not fire.
+        cb_node: Dict[int, NodeId] = {}
+        for v in self.graph.nodes:  # ``nodes`` is an ascending range
+            seq = next(counter)
+            push(heap, (0.0, seq, EV_CALLBACK, processes[v].on_start))
+            cb_node[seq] = v
+        if self._blk_i is not None:
+            self._blk_i[:] = self._skeleton.blk_lims
+
+        crashable = tuple(controller.crashable)
+        crashed = self.crashed
+        base_detect = Process.on_neighbor_dead
+        #: Armed failure-detector steps: (observer, dead), arming order.
+        detect_ready: List[Tuple[NodeId, NodeId]] = []
+        #: Per-corpse seqs of live-sender deliveries in flight at the
+        #: crash; the corpse's detects are withheld until all have fired
+        #: (the §11 synchrony bound: such messages resolve before the
+        #: detection timeout).
+        detect_blockers: Dict[NodeId, set] = {}
+
+        trace = self.trace
+        lu = self._lu
+        lv = self._lv
+        busy_a = self._busy
+        outbox_a = self._outbox
+        pending_a = self._pending
+        slot_p_a = self._slot_payload
+        slot_ack_a = self._slot_ack
+        deliver_a = self._deliver
+        table_a = self._table
+        delivered_a = self._delivered
+        prefix_a = self._ack_prefix
+        injected_a = self._injected
+        acode_a = self._skeleton.ack_codes
+        apcode_a = self._skeleton.ack_payload_codes
+        inject = self._inject_link
+        budget = (1 << 62) if max_events is None else max_events
+        budget0 = budget
+        stop_reason = "quiescent"
+        acks = self.acks
+        dropped = self.dropped
+        try:
+            while True:
+                events: List[ControlledEvent] = []
+                for record in heap:
+                    code = record[2]
+                    if code >= CODE_DELIVER:
+                        lid = code - CODE_DELIVER
+                        events.append(ControlledEvent(
+                            CTRL_DELIVER, record[1], lid, lu[lid], lv[lid],
+                            None, record))
+                    elif code >= CODE_ACK:
+                        lid = code - CODE_ACK
+                        events.append(ControlledEvent(
+                            CTRL_ACK, record[1], lid, lu[lid], lv[lid],
+                            None, record))
+                    elif code >= CODE_ACK_PAYLOAD:
+                        lid = code - CODE_ACK_PAYLOAD
+                        events.append(ControlledEvent(
+                            CTRL_ACK, record[1], lid, lu[lid], lv[lid],
+                            None, record))
+                    elif code >= CODE_DELIVER_PAYLOAD:
+                        lid = code - CODE_DELIVER_PAYLOAD
+                        events.append(ControlledEvent(
+                            CTRL_DELIVER, record[1], lid, lu[lid], lv[lid],
+                            None, record))
+                    else:
+                        events.append(ControlledEvent(
+                            CTRL_CALLBACK, record[1], None, None, None,
+                            cb_node.get(record[1]), record))
+                events.sort(key=lambda e: e.seq)
+                for v in crashable:
+                    if v not in crashed:
+                        events.append(ControlledEvent(
+                            CTRL_CRASH, None, None, None, None, v, None))
+                for u, c in detect_ready:
+                    if detect_blockers.get(c):
+                        continue
+                    # detect: src = the dead node, dst/node = the observer.
+                    events.append(ControlledEvent(
+                        CTRL_DETECT, None, None, c, u, u, None))
+                if not events:
+                    break
+                if budget == 0:
+                    stop_reason = "max_events"
+                    break
+                choice = controller.choose(events)
+                if choice is None:
+                    stop_reason = "controller"
+                    break
+                budget -= 1
+                ev = events[choice]
+                record = ev.record
+                if record is None:
+                    if ev.kind == CTRL_CRASH:
+                        v = ev.node
+                        crashed[v] = self._now
+                        blockers = set()
+                        for rec in heap:
+                            rcode = rec[2]
+                            if rcode >= CODE_DELIVER:
+                                rlid = rcode - CODE_DELIVER
+                            elif rcode >= CODE_ACK_PAYLOAD:
+                                continue  # acks drain before any timeout
+                            elif rcode >= CODE_DELIVER_PAYLOAD:
+                                rlid = rcode - CODE_DELIVER_PAYLOAD
+                            else:
+                                continue  # callbacks are untimed
+                            if lu[rlid] not in crashed:
+                                blockers.add(rec[1])
+                        if blockers:
+                            detect_blockers[v] = blockers
+                        # The corpse observes nothing from now on.
+                        detect_ready[:] = [
+                            pair for pair in detect_ready if pair[0] != v
+                        ]
+                        for u in sorted(self.graph.neighbors(v)):
+                            if u in crashed:
+                                continue
+                            if type(processes[u]).on_neighbor_dead \
+                                    is base_detect:
+                                continue
+                            detect_ready.append((u, v))
+                    else:  # CTRL_DETECT
+                        detect_ready.remove((ev.dst, ev.src))
+                        processes[ev.dst].on_neighbor_dead(ev.src)
+                    continue
+                # Record-backed step: pull it out of the bag and dispatch.
+                heap.remove(record)
+                if detect_blockers:
+                    for blk in detect_blockers.values():
+                        blk.discard(record[1])
+                if record[0] > self._now:
+                    self._now = record[0]
+                now = self._now
+                self._active_seq = record[1]
+                code = record[2]
+                if code >= CODE_DELIVER:
+                    lid = code - CODE_DELIVER
+                    payload = slot_p_a[lid]
+                    inj = injected_a[lid]
+                    ack = slot_ack_a[lid]
+                elif code >= CODE_ACK:
+                    lid = code - CODE_ACK
+                    pending_a[lid] -= 1
+                    busy_a[lid] = False
+                    ob = outbox_a[lid]
+                    if ob and lu[lid] not in crashed:
+                        inject(lid, heappop(ob)[2])
+                    continue
+                elif code >= CODE_ACK_PAYLOAD:
+                    lid = code - CODE_ACK_PAYLOAD
+                    pending_a[lid] -= 1
+                    busy_a[lid] = False
+                    if lu[lid] in crashed:
+                        # The sender is dead: no callback, no drain.
+                        continue
+                    delivered_a[lid](lv[lid], record[3])
+                    ob = outbox_a[lid]
+                    if ob:
+                        inject(lid, heappop(ob)[2])
+                    continue
+                elif code >= CODE_DELIVER_PAYLOAD:
+                    lid = code - CODE_DELIVER_PAYLOAD
+                    payload = record[3]
+                    inj = record[4]
+                    ack = record[5]
+                else:
+                    node = cb_node.get(record[1])
+                    if node is None or node not in crashed:
+                        record[3]()
+                    continue
+                # ---- delivery flow (packed or fat record) ----
+                dst = lv[lid]
+                if dst in crashed:
+                    # Receiver crashed: the message vanishes and the link
+                    # jams (recovery uses ProcessContext.reset_link).
+                    dropped += 1
+                    pending_a[lid] -= 1
+                    continue
+                if trace is not None:
+                    trace(now, lu[lid], dst, payload)
+                acks += 1
+                if ack is None or injected_a[lid] != inj:
+                    ack = self._ack_delay(lid)
+                delivered = delivered_a[lid]
+                if delivered is not None and (
+                    prefix_a[lid] is None or payload[0] == prefix_a[lid]
+                ):
+                    push(heap, (now + ack, next(counter), apcode_a[lid],
+                                payload))
+                else:
+                    push(heap, (now + ack, next(counter), acode_a[lid]))
+                table = table_a[lid]
+                if table is not None:
+                    table[payload[0]](lu[lid], payload)
+                else:
+                    deliver_a[lid](lu[lid], payload)
+        finally:
+            self._fired += budget0 - budget
+            self.acks = acks
+            self.dropped = dropped
+            self.messages = sum(self._injected)
+        return AsyncResult(
+            time_to_output=self._time_to_output,
+            time_to_quiescence=self._now,
+            messages=self.messages,
+            acks=self.acks if self.count_acks else 0,
+            outputs=dict(self.outputs),
+            output_time=dict(self.output_time),
+            events_fired=self._fired,
+            stop_reason=stop_reason,
+            dropped=dropped,
+        )
+
+    # ------------------------------------------------------------------
     def run(
         self,
         max_time: Optional[float] = None,
         max_events: Optional[int] = None,
     ) -> AsyncResult:
+        if self.controller is not None:
+            return self._run_controlled(max_events=max_events)
         if self._crash_t is not None:
             return self._run_faulty(max_time=max_time, max_events=max_events)
         processes = self.processes

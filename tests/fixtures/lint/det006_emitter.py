@@ -1,0 +1,16 @@
+# det: module=repro.core.fixture_flow_emitter
+"""DET006 cross-module fixture, emitting half: the consumers live in
+``det006_handler.py`` — linting this file alone dangles both opcodes,
+linting the pair together is clean."""
+
+OP_WAVE_UP = 0
+OP_WAVE_DOWN = 1
+
+
+def send(to, payload):
+    del to, payload
+
+
+def start_wave():
+    send(1, (OP_WAVE_UP, "token"))
+    send(2, (OP_WAVE_DOWN, "token"))

@@ -1,0 +1,18 @@
+# det: module=repro.core.fixture_flow_handler
+"""DET006 cross-module fixture, consuming half (see det006_emitter.py)."""
+
+from det006_emitter import OP_WAVE_DOWN, OP_WAVE_UP  # noqa: F401
+
+
+class WaveNode:
+    def __init__(self):
+        self.on_message_table = (
+            self._handle_up,
+            self._handle_down,
+        )
+
+    def _handle_up(self, sender, payload):
+        del sender, payload
+
+    def _handle_down(self, sender, payload):
+        del sender, payload

@@ -1,0 +1,41 @@
+# det: module=repro.core.fixture_flow_neg
+"""DET006 negative fixture: every opcode participates in a full flow."""
+
+OP_PING = 0
+OP_PONG = 1
+OP_BULK = 2
+
+_KNOWN_OPS = (OP_PING, OP_PONG, OP_BULK)
+
+
+def send(to, payload):
+    del to, payload
+
+
+def emit_all():
+    send(1, (OP_PING, "payload"))
+    send(1, (OP_PONG,))
+    send(1, (OP_BULK, 1, 2, 3))
+
+
+class Node:
+    def __init__(self):
+        self._dispatch = (
+            self._handle_ping,
+            self._handle_pong,
+            self._handle_bulk,
+        )
+
+    def _handle_ping(self, sender, payload):
+        del sender, payload
+
+    def _handle_pong(self, sender, payload):
+        del sender, payload
+
+    def _handle_bulk(self, sender, payload):
+        del sender, payload
+
+    def handle(self, sender, payload):
+        op = payload[0]
+        if op in _KNOWN_OPS:
+            self._dispatch[op](sender, payload)

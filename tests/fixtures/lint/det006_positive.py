@@ -1,0 +1,21 @@
+# det: module=repro.core.fixture_flow_pos
+"""DET006 positive fixture: one dangling emission, one dead opcode."""
+
+OP_PING = 0
+OP_LOST = 1
+OP_DEAD = 2
+
+
+def send(to, payload):
+    del to, payload
+
+
+def emit_all():
+    send(1, (OP_PING, "payload"))
+    send(1, (OP_LOST, 42))  # nothing anywhere consumes OP_LOST
+
+
+def consume(op):
+    if op == OP_PING:
+        return True
+    return False

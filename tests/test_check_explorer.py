@@ -1,0 +1,219 @@
+"""repro.check unit tests: exploration, reduction soundness checks,
+trace round-trips, CLI exit codes, and the dispatch-table validation the
+controlled engine performs at wiring time (DESIGN.md §13)."""
+
+import json
+
+import pytest
+
+from repro.check import explore
+from repro.check.cli import main as check_main
+from repro.check.scheduler import ReplayMismatch
+from repro.check.trace import (
+    canonical_bytes,
+    load_trace,
+    make_trace,
+    replay,
+    save_trace,
+    trace_choices,
+    trace_signature,
+)
+from repro.check.workloads import build_workload, expand_workloads
+from repro.net.async_runtime import AsyncRuntime, Process
+from repro.net.delays import ConstantDelay
+from repro.net.topology import path_graph
+
+
+class TestExploration:
+    def test_sync_cycle3_exhausts_clean(self):
+        report = explore(build_workload("sync-bfs:cycle:3"))
+        assert report.exhausted
+        assert not report.truncated
+        assert report.violation is None
+        assert report.executions > 1
+        assert report.states > report.executions  # decision points dominate
+
+    def test_reg_star4_exhausts_clean(self):
+        report = explore(build_workload("reg:star:4"))
+        assert report.exhausted
+        assert report.violation is None
+
+    def test_churn_crash_cell_clean_under_budget(self):
+        report = explore(build_workload("churn:cycle:5:crash:1"), budget=60)
+        assert report.violation is None
+        assert report.executions == 60
+        assert not report.exhausted  # budget cut, honestly reported
+
+    def test_budget_zero_like_minimal(self):
+        report = explore(build_workload("reg:star:3"), budget=1)
+        assert report.executions == 1
+        assert report.violation is None
+
+    def test_deterministic_reports(self):
+        """Two independent explorations are field-for-field identical —
+        the property every replayable-trace claim rests on."""
+        a = explore(build_workload("reg:star:3:crash:1"))
+        b = explore(build_workload("reg:star:3:crash:1"))
+        assert (a.executions, a.states, a.races, a.steps_total,
+                a.max_depth, a.violation) == (
+            b.executions, b.states, b.races, b.steps_total,
+            b.max_depth, b.violation)
+        assert a.exhausted and b.exhausted
+
+    def test_dpor_agrees_with_full_baseline(self):
+        """DPOR + sleep sets vs backtrack-everything on the same cells:
+        both must exhaust with zero violations, and DPOR must actually
+        reduce (fewer executions than the baseline)."""
+        for spec in ("reg:star:3", "reg:star:3:crash:1"):
+            reduced = explore(build_workload(spec))
+            full = explore(build_workload(spec), full=True)
+            assert reduced.exhausted and full.exhausted
+            assert reduced.violation is None and full.violation is None
+            assert reduced.executions < full.executions
+
+
+class TestWorkloadSpecs:
+    def test_crash_root_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("churn:cycle:5:crash:0")
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("nonsense:cycle:4")
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("sync-bfs:torus:4")
+
+    def test_matrix_expansion(self):
+        cells = expand_workloads("churn:cycle:5")
+        assert [c.name for c in cells] == [
+            f"churn:cycle:5:crash:{v}" for v in (1, 2, 3, 4)
+        ]
+        reg = expand_workloads("reg:star:4:crash")
+        assert [c.name for c in reg] == [
+            f"reg:star:4:crash:{v}" for v in (1, 2, 3)
+        ]
+        single = expand_workloads("sync-bfs:cycle:3")
+        assert len(single) == 1
+
+
+class TestTraces:
+    VIOLATION = ("pulse-bound", "synthetic")
+
+    def _trace(self):
+        return make_trace(
+            "sync-bfs:cycle:3", [("ev", 3), ("crash", 1)], self.VIOLATION
+        )
+
+    def test_canonical_bytes_stable(self):
+        raw = canonical_bytes(self._trace())
+        assert raw.endswith(b"\n")
+        assert b" " not in raw.replace(b"synthetic", b"")
+        # Key order is canonical: re-encoding a parsed copy is identical.
+        assert canonical_bytes(json.loads(raw)) == raw
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        trace = self._trace()
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert trace_choices(loaded) == [("ev", 3), ("crash", 1)]
+        assert trace_signature(loaded) == self.VIOLATION
+        assert canonical_bytes(loaded) == canonical_bytes(trace)
+
+    def test_version_check(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        trace = self._trace()
+        trace["version"] = 99
+        save_trace(trace, path)
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_replay_mismatch_on_stale_choice(self):
+        trace = make_trace(
+            "reg:star:3", [("ev", 999_999)], self.VIOLATION
+        )
+        with pytest.raises(ReplayMismatch):
+            replay(trace)
+
+    def test_replay_clean_prefix_reports_no_violation(self):
+        outcome = replay(make_trace("reg:star:3", [], self.VIOLATION))
+        assert outcome.violation is None
+
+
+class TestCli:
+    def test_explore_clean_exits_zero(self, capsys):
+        assert check_main(["explore", "reg:star:3"]) == 0
+        out = capsys.readouterr().out
+        assert "exhausted" in out
+
+    def test_bare_flags_imply_explore(self, capsys):
+        assert check_main(["--budget", "5", "reg:star:3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reports"][0]["workload"] == "reg:star:3"
+        assert payload["reports"][0]["executions"] == 5
+
+    def test_bad_spec_exits_two(self, capsys):
+        assert check_main(["explore", "bogus:cell:1"]) == 2
+        assert "repro.check" in capsys.readouterr().err
+
+    def test_replay_missing_file_exits_two(self, capsys):
+        assert check_main(["replay", "/nonexistent/trace.json"]) == 2
+        capsys.readouterr()
+
+    def test_replay_unreproduced_violation_exits_one(self, tmp_path, capsys):
+        path = str(tmp_path / "fake.json")
+        save_trace(
+            make_trace("reg:star:3", [], ("pulse-bound", "fabricated")), path
+        )
+        assert check_main(["replay", path]) == 1
+        assert "did NOT reproduce" in capsys.readouterr().err
+
+    def test_list_exits_zero(self, capsys):
+        assert check_main(["list"]) == 0
+        assert "sync-bfs" in capsys.readouterr().out
+
+
+class _Tabled(Process):
+    """Opcode-dispatch process used to exercise the wiring-time table
+    validation; never actually run."""
+
+    NUM_OPCODES = 3
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.on_message_table = self._make_table()
+
+    def on_message(self, sender, payload):  # pragma: no cover
+        pass
+
+    def _h(self, sender, payload):  # pragma: no cover
+        pass
+
+    def _make_table(self):
+        return (self._h, self._h, self._h)
+
+
+class TestTableValidation:
+    def _build(self, cls):
+        return AsyncRuntime(path_graph(2), cls, ConstantDelay(1.0))
+
+    def test_correct_table_accepted(self):
+        self._build(_Tabled)
+
+    def test_short_table_rejected(self):
+        class Short(_Tabled):
+            def _make_table(self):
+                return (self._h, self._h)
+
+        with pytest.raises(ValueError, match="NUM_OPCODES"):
+            self._build(Short)
+
+    def test_gap_table_rejected(self):
+        class Gap(_Tabled):
+            def _make_table(self):
+                return (self._h, None, self._h)
+
+        with pytest.raises(ValueError, match="not callable"):
+            self._build(Gap)

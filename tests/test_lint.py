@@ -19,7 +19,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import check_file, check_module, discover_files, module_name_for
+from repro.lint import check_file, check_module, discover_files, module_name_for, run
 from repro.lint.cli import main
 from repro.lint.rules import RULES, UNSUPPRESSIBLE
 
@@ -31,6 +31,11 @@ SRC = ROOT / "src"
 def lint_fixture(name):
     findings, used = check_file(str(FIXTURES / name))
     return findings, used
+
+
+def lint_run(*paths):
+    """Multi-file entry point — the one that includes the DET006 pass."""
+    return run(list(paths))
 
 
 def codes(findings):
@@ -182,6 +187,71 @@ def test_det005_positive_fixture():
 def test_det005_negative_fixture():
     findings, _ = lint_fixture("det005_negative.py")
     assert findings == []
+
+
+# ----------------------------------------------------------------------
+# DET006 — cross-module message flow
+# ----------------------------------------------------------------------
+def test_det006_positive_fixture():
+    findings, _, _ = lint_run(str(FIXTURES / "det006_positive.py"))
+    assert codes(findings) == ["DET006", "DET006"]
+    messages = "\n".join(f.message for f in findings)
+    assert "OP_LOST" in messages and "no handler consumes" in messages
+    assert "OP_DEAD" in messages and "dead message kind" in messages
+
+
+def test_det006_negative_fixture():
+    findings, _, _ = lint_run(str(FIXTURES / "det006_negative.py"))
+    assert findings == []
+
+
+def test_det006_is_cross_module():
+    """The emitter dangles alone; adding the handler file (whose dispatch
+    table imports the opcode names) completes the flow."""
+    emitter = str(FIXTURES / "det006_emitter.py")
+    handler = str(FIXTURES / "det006_handler.py")
+    alone, _, _ = lint_run(emitter)
+    assert codes(alone) == ["DET006", "DET006"]
+    paired, _, _ = lint_run(emitter, handler)
+    assert paired == []
+
+
+def test_det006_table_coverage_is_module_scoped():
+    """A dispatch table only consumes opcodes visible in its own module —
+    the positive fixture's danglers survive even when linted alongside
+    fixtures that carry wide tables."""
+    findings, _, _ = lint_run(str(FIXTURES))
+    det006 = [f for f in findings if f.code == "DET006"]
+    assert [os.path.basename(f.path) for f in det006] == (
+        ["det006_positive.py"] * 2
+    )
+
+
+def test_det006_not_in_single_file_check():
+    """check_file is the per-file API: cross-module flow needs the whole
+    set and deliberately stays out of it."""
+    findings, _ = check_file(str(FIXTURES / "det006_positive.py"))
+    assert [f for f in findings if f.code == "DET006"] == []
+
+
+def test_det006_suppression(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(
+        "OP_EXT = 7\n"
+        "def send(to, p):\n"
+        "    del to, p\n"
+        "def go():\n"
+        "    send(1, (OP_EXT, 'x'))  # det: ignore[DET006]"
+        " -- consumed by the out-of-tree collector\n"
+    )
+    findings, _, used = lint_run(str(path))
+    assert findings == []
+    assert used == 1
+
+
+def test_det006_real_tree_flows_complete():
+    findings, _, _ = lint_run("src")
+    assert [f for f in findings if f.code == "DET006"] == []
 
 
 # ----------------------------------------------------------------------
