@@ -17,6 +17,7 @@ from repro.analysis import Series
 from repro.apps.programs import bfs_spec, broadcast_echo_spec, flood_max_spec
 from repro.core import SynchronizerSweep
 from repro.net import run_synchronous, topology
+from repro.net.shard import summarize
 
 # Per-program sweep sizes: the rebuilt event engine (see DESIGN.md §6)
 # makes n=256 routine for single-initiator programs; flood-max (every node
@@ -151,3 +152,19 @@ def test_e05_overheads_across_delay_models(benchmark):
     # factor across the delay-model family, not by a structural gap.
     for family, band in bands.items():
         assert band < 2.0, (family, band)
+
+
+def test_e05_sharded_sweep_matches_serial(benchmark, jobs):
+    """DESIGN.md §14: the process-pool executor reproduces the serial
+    sweep byte-for-byte — message counts, simulated times, and output
+    digests — on the E5 spotlight cell, for any ``--jobs``."""
+
+    def run():
+        g = FAMILIES["cycle"](256)
+        sweep = SynchronizerSweep(g, bfs_spec(0))
+        models = SWEEP_DELAYS()
+        serial = [summarize(i, r) for i, r in enumerate(sweep.run_all(models))]
+        return serial, sweep.run_all_sharded(models, jobs=jobs)
+
+    serial, sharded = run_once(benchmark, run)
+    assert [s.comparable() for s in sharded] == [s.comparable() for s in serial]

@@ -20,7 +20,8 @@ sys.path.insert(0, str(Path(__file__).parent))
 from harness import BENCH_DELAYS, SWEEP_DELAYS, record, run_once
 
 from repro.analysis import Series
-from repro.core import SynchronizerSweep
+from repro.core import SynchronizerSweep, run_sweeps_sharded
+from repro.net.shard import summarize
 from repro.net import (
     NodeProgram,
     ProgramSpec,
@@ -184,3 +185,32 @@ def test_e10_clock_penalty_across_delay_models(benchmark):
     # The penalty exists under every adversary and stays in a narrow band.
     assert min(penalties) > 1.5
     assert max(penalties) / min(penalties) < 1.5
+
+
+def test_e10_sharded_matrix_matches_serial(benchmark, jobs):
+    """DESIGN.md §14: one pool spans the event-vs-clock sweep matrix —
+    both program variants shipped in one bundle — and every cell comes
+    back byte-identical to the serial sweep, for any ``--jobs``."""
+
+    def run():
+        g = topology.path_graph(96)
+        sweeps = [
+            SynchronizerSweep(
+                g, ProgramSpec("token-event", EventDrivenToken, all_nodes_initiate)
+            ),
+            SynchronizerSweep(
+                g, ProgramSpec("token-clock", ClockBasedToken, all_nodes_initiate)
+            ),
+        ]
+        models = SWEEP_DELAYS()
+        serial = [
+            [summarize(i, r) for i, r in enumerate(s.run_all(models))]
+            for s in sweeps
+        ]
+        return serial, run_sweeps_sharded(sweeps, models, jobs=jobs)
+
+    serial, sharded = run_once(benchmark, run)
+    for serial_cells, sharded_cells in zip(serial, sharded):
+        assert [s.comparable() for s in sharded_cells] == [
+            s.comparable() for s in serial_cells
+        ]

@@ -18,6 +18,7 @@ from repro.core import (
     run_multi_stage_bfs,
 )
 from repro.net import topology
+from repro.net.shard import summarize
 
 
 def _threshold_sweep():
@@ -120,3 +121,18 @@ def test_e11_family_scaling(benchmark):
     # across families of the same size.
     per_edge = series.column("msgs/m")
     assert max(per_edge) <= 12 * min(per_edge)
+
+
+def test_e11_sharded_sweep_matches_serial(benchmark, jobs):
+    """DESIGN.md §14: the thresholded-BFS sweep shards byte-identically —
+    the BFSOutcome wrapper is unwrapped on the worker side, and the merged
+    summaries match the serial engine cell-for-cell, for any ``--jobs``."""
+
+    def run():
+        sweep = ThresholdedBFSSweep(topology.cycle_graph(256), 0, 8)
+        models = SWEEP_DELAYS()
+        serial = [summarize(i, o) for i, o in enumerate(sweep.run_all(models))]
+        return serial, sweep.run_all_sharded(models, jobs=jobs)
+
+    serial, sharded = run_once(benchmark, run)
+    assert [s.comparable() for s in sharded] == [s.comparable() for s in serial]

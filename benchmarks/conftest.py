@@ -1,0 +1,29 @@
+"""Shared pytest options for the experiment benchmarks.
+
+``--jobs N`` controls the worker count of the sharded sweep-equivalence
+cells in bench_e05 / bench_e10 / bench_e11 (DESIGN.md §14).  The default
+of 2 keeps the process-pool path exercised on every CI runner; the cells
+assert digest equality against the serial engine, so any N is equally
+valid — a larger N only changes wall time, never results.
+"""
+
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes for the sharded sweep cells (default: 2)",
+    )
+
+
+@pytest.fixture
+def jobs(request):
+    value = request.config.getoption("--jobs")
+    if value < 1:
+        raise pytest.UsageError("--jobs must be >= 1")
+    return value

@@ -16,6 +16,15 @@ thresholded-BFS sweep and the n=512 smoke cell at the same -30% threshold
 as the single-run entries, and ``--write`` records the measured
 sweep-vs-independent speedups under ``sweep_speedups``.
 
+The shard-* workloads run the same matrices through the process-pool
+executor (``repro.net.shard`` + ``repro.core.run_sweeps_sharded``,
+DESIGN.md §14) with ``--jobs`` workers; the n=2048/n=4096 pairs are the
+scale cells sharding unblocks.  Sharded aggregates must be byte-identical
+to their serial twins — asserted in-run whenever both sides are measured —
+while the shard-vs-serial wall ratios under ``sweep_speedups`` are
+print-only evidence, never a ``--check`` gate (they depend on the host's
+core count; see harness.py on reading them under drift).
+
 Usage:
     python benchmarks/perf_regression.py            # run full matrix, print
     python benchmarks/perf_regression.py --quick    # CI subset
@@ -28,6 +37,15 @@ Usage:
         --workloads sync-bfs/cycle/256,tbfs-16      # substring-select the
                                                     #   matrix (the CI
                                                     #   protocol-bench step)
+    python benchmarks/perf_regression.py --jobs 2 \
+        --workloads "=shard-ms512-5x/cycle+grid/512,=sweep-ms512-5x/cycle+grid/512"
+                                                    # '=name' selects exactly
+                                                    #   one workload; the CI
+                                                    #   sweep-shard job runs
+                                                    #   this pair and dies
+                                                    #   unless the sharded
+                                                    #   digests equal the
+                                                    #   serial run's
     python benchmarks/perf_regression.py \
         --profile tbfs-16/cycle/256                 # cProfile one workload,
                                                     #   print the top-N
@@ -47,7 +65,6 @@ a noise allowance.
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import statistics
 import sys
@@ -62,6 +79,7 @@ from repro.core import (  # noqa: E402
     SynchronizerSweep,
     ThresholdedBFSSweep,
     run_churn,
+    run_sweeps_sharded,
     run_synchronized,
     run_thresholded_bfs,
 )
@@ -74,10 +92,21 @@ from repro.net.delays import (  # noqa: E402
     SlowEdgesDelay,
     UniformDelay,
 )
+from repro.net.shard import default_jobs, digest_outputs  # noqa: E402
 
 BENCH_PATH = Path(__file__).resolve().parent / "BENCH_core.json"
 SEED = 2305  # arXiv number of the paper
 DEFAULT_THRESHOLD = 0.30  # fail --check when msgs/sec drops by more than this
+
+#: Worker count for the shard-* workloads, set from --jobs (None = one per
+#: visible core).  The serial workloads never read it: jobs only ever
+#: affects how the sharded cells are *executed*, never what they compute —
+#: the shard-vs-serial digest assertion below enforces exactly that.
+_JOBS: Optional[int] = None
+
+
+def _effective_jobs() -> int:
+    return _JOBS if _JOBS else default_jobs()
 
 #: Wall time of ``run_synchronized(bfs_spec(0), cycle_graph(64), UniformDelay)``
 #: at the seed revision (commit 1863e4f), measured on the same host with the
@@ -97,8 +126,10 @@ SEED_REFERENCE = {
 }
 
 
-def _digest(outputs) -> str:
-    return hashlib.sha256(repr(sorted(outputs.items())).encode()).hexdigest()[:16]
+# One digest implementation for the serial and sharded paths (the shard
+# workers digest outputs in-worker and ship only the 16-hex string back);
+# pinned equal by tests/test_shard.py.
+_digest = digest_outputs
 
 
 def _calibrate(reps: int = 3) -> float:
@@ -193,6 +224,15 @@ class _SweepAggregate:
         self.events_fired += result.events_fired
         self.outputs[key] = (result.messages, _digest(result.outputs))
 
+    def add_summary(self, key, summary):
+        """Fold a shard-worker :class:`repro.net.shard.CellSummary` — same
+        fields, with the per-cell digest computed in-worker, so a sharded
+        aggregate is byte-identical to the serial aggregate over the same
+        cells."""
+        self.messages += summary.messages
+        self.events_fired += summary.events_fired
+        self.outputs[key] = (summary.messages, summary.outputs_digest)
+
 
 def _run_sweep_tbfs(_):
     # Fresh graphs per call: the timed reps include the sweep's one-time
@@ -246,6 +286,68 @@ def _run_sweep_ms1024(_):
         for mi, result in enumerate(sweep.run_all(_sweep_models())):
             agg.add((gi, mi), result)
     return agg
+
+
+def _run_sweep_ms2048(_):
+    # n=2048 cells (ROADMAP: the scale regime sharding unblocks): 64 evenly
+    # spaced sources keep the initiator stride at 32 — and so the pulse
+    # bound and per-cell traffic shape — aligned with the ms512/ms1024
+    # cells, charting one clean scaling curve.  Serial half of the ms2048
+    # shard-vs-serial pair; full matrix only.
+    agg = _SweepAggregate()
+    for gi, graph in enumerate((topology.cycle_graph(2048),
+                                topology.grid_graph(32, 64))):
+        sweep = SynchronizerSweep(graph, multi_bfs_spec(64))
+        for mi, result in enumerate(sweep.run_all(_sweep_models())):
+            agg.add((gi, mi), result)
+    return agg
+
+
+def _run_sweep_ms4096(_):
+    # n=4096, stride-32 again (128 sources).  Serial half of the ms4096
+    # pair; full matrix only — each rep is the better part of a minute.
+    agg = _SweepAggregate()
+    for gi, graph in enumerate((topology.cycle_graph(4096),
+                                topology.grid_graph(64, 64))):
+        sweep = SynchronizerSweep(graph, multi_bfs_spec(128))
+        for mi, result in enumerate(sweep.run_all(_sweep_models())):
+            agg.add((gi, mi), result)
+    return agg
+
+
+def _run_sharded_ms(n_sources, builds):
+    """Sharded multi-source sweep runner (DESIGN.md §14).
+
+    Setup (graphs, covers, registries, pulse bounds, bound process classes)
+    happens in the parent and is included in the wall, exactly as in the
+    serial sweep cells; one pool then spans all ``graphs x models`` cells so
+    workers stay busy across graph boundaries.  The aggregate folds the
+    workers' summaries in canonical (graph, model) order — byte-identical
+    to the serial aggregate, which `_check_shard_digests` asserts whenever
+    both sides of a pair were measured.
+    """
+    def run(_):
+        sweeps = [
+            SynchronizerSweep(build(), multi_bfs_spec(n_sources))
+            for build in builds
+        ]
+        per_sweep = run_sweeps_sharded(
+            sweeps, _sweep_models(), jobs=_effective_jobs()
+        )
+        agg = _SweepAggregate()
+        for gi, summaries in enumerate(per_sweep):
+            for mi, summary in enumerate(summaries):
+                agg.add_summary((gi, mi), summary)
+        return agg
+    return run
+
+
+_run_sharded_ms512 = _run_sharded_ms(
+    16, (lambda: topology.cycle_graph(512), lambda: topology.grid_graph(16, 32)))
+_run_sharded_ms2048 = _run_sharded_ms(
+    64, (lambda: topology.cycle_graph(2048), lambda: topology.grid_graph(32, 64)))
+_run_sharded_ms4096 = _run_sharded_ms(
+    128, (lambda: topology.cycle_graph(4096), lambda: topology.grid_graph(64, 64)))
 
 
 def _run_independent_tbfs(_):
@@ -340,6 +442,24 @@ WORKLOADS = [
      False, 2),
     ("independent-ms1024-5x/cycle+grid/1024", lambda: None,
      _run_independent_ms1024, False, 2),
+    # Sharded executor cells (DESIGN.md §14): the same (graph, model)
+    # matrices run through the process-pool executor with --jobs workers.
+    # shard-ms512 reuses the committed sweep-ms512 cells, so its digest must
+    # equal that entry's byte-for-byte — the cheap CI equivalence cell the
+    # sweep-shard job gates with --jobs 2.  The ms2048/ms4096 pairs are the
+    # scale cells sharding unblocks; their shard-vs-serial wall ratios are
+    # recorded under sweep_speedups (print-only on --check — wall ratios
+    # never gate, per the host-drift policy).  Full matrix only.
+    ("shard-ms512-5x/cycle+grid/512", lambda: None, _run_sharded_ms512,
+     False, 3),
+    ("sweep-ms2048-5x/cycle+grid/2048", lambda: None, _run_sweep_ms2048,
+     False, 2),
+    ("shard-ms2048-5x/cycle+grid/2048", lambda: None, _run_sharded_ms2048,
+     False, 2),
+    ("sweep-ms4096-5x/cycle+grid/4096", lambda: None, _run_sweep_ms4096,
+     False, 1),
+    ("shard-ms4096-5x/cycle+grid/4096", lambda: None, _run_sharded_ms4096,
+     False, 1),
 ]
 
 #: Sweep-vs-independent workload pairs recorded under ``sweep_speedups``:
@@ -353,6 +473,21 @@ SWEEP_PAIRS = {
               "independent-ms512-5x/cycle+grid/512"),
     "ms1024": ("sweep-ms1024-5x/cycle+grid/1024",
                "independent-ms1024-5x/cycle+grid/1024"),
+}
+
+#: Shard-vs-serial pairs (DESIGN.md §14): kind -> (sharded entry, serial
+#: entry).  Timed interleaved like SWEEP_PAIRS so host drift cancels out of
+#: the ratio; whenever both sides of a pair are measured in one invocation
+#: their aggregate digests must be byte-identical (`_check_shard_digests` —
+#: the executor must never change what a sweep computes).  Ratios land
+#: under ``sweep_speedups`` with the worker count that produced them.
+SHARD_PAIRS = {
+    "ms512shard": ("shard-ms512-5x/cycle+grid/512",
+                   "sweep-ms512-5x/cycle+grid/512"),
+    "ms2048": ("shard-ms2048-5x/cycle+grid/2048",
+               "sweep-ms2048-5x/cycle+grid/2048"),
+    "ms4096": ("shard-ms4096-5x/cycle+grid/4096",
+               "sweep-ms4096-5x/cycle+grid/4096"),
 }
 
 
@@ -409,6 +544,19 @@ def profile_workload(name: str, top: int = 25) -> int:
     return 0
 
 
+def _workload_matches(pat: str, name: str) -> bool:
+    """One --workloads pattern against one matrix name.
+
+    ``=name`` demands an exact match — the sweep-shard CI job selects
+    ``=shard-ms512-5x/...`` without dragging in every other name the bare
+    substring would also hit; anything else keeps the original substring
+    semantics (the protocol-bench step's selection syntax is unchanged).
+    """
+    if pat.startswith("="):
+        return name == pat[1:]
+    return pat in name
+
+
 def measure(quick: bool, reps: int = 5, only: Optional[list] = None) -> dict:
     """Time the workload matrix.
 
@@ -423,16 +571,25 @@ def measure(quick: bool, reps: int = 5, only: Optional[list] = None) -> dict:
     selected = {}
     for name, build, runner, in_quick, reps_override in WORKLOADS:
         if only is not None:
-            # Substring selection (the CI protocol-bench step): --quick
-            # does not further filter an explicit selection.
-            if not any(pat in name for pat in only):
+            # Pattern selection (the CI protocol-bench / sweep-shard
+            # steps): --quick does not further filter an explicit
+            # selection.
+            if not any(_workload_matches(pat, name) for pat in only):
                 continue
         elif quick and not in_quick:
             continue
         selected[name] = (build, runner, reps_override or reps)
     interleaved = {}
-    for sweep_name, indep_name in SWEEP_PAIRS.values():
-        if sweep_name in selected and indep_name in selected:
+    for sweep_name, indep_name in (
+        list(SWEEP_PAIRS.values()) + list(SHARD_PAIRS.values())
+    ):
+        # A workload joins at most one interleaved pair per invocation
+        # (sweep-ms512 partners independent-ms512 in the full matrix, but
+        # partners shard-ms512 when the sweep-shard CI selection names only
+        # those two): first pair with both members selected wins.
+        if (sweep_name in selected and indep_name in selected
+                and sweep_name not in interleaved
+                and indep_name not in interleaved):
             interleaved[sweep_name] = indep_name
             interleaved[indep_name] = sweep_name
     for name, (build, runner, n_reps) in selected.items():
@@ -560,6 +717,55 @@ def _sweep_speedups(current: dict) -> dict:
                 "sweep_wall_best": sweep["wall_best"],
                 "speedup": round(indep["wall_best"] / sweep["wall_best"], 2),
             }
+    out.update(_shard_ratios(current))
+    return out
+
+
+def _check_shard_digests(current: dict) -> None:
+    """Sharded and serial runs of the same cells must agree byte-for-byte.
+
+    Runs after *every* measurement (not just --write): whenever both sides
+    of a SHARD_PAIRS pair were measured, their aggregate digests — one
+    16-hex digest per (graph, model) cell, folded through `_record_entry` —
+    and message totals must be identical, or the invocation dies.  This is
+    the assertion the CI sweep-shard job leans on.
+    """
+    for kind, (shard_name, serial_name) in SHARD_PAIRS.items():
+        shard_e = current.get(shard_name)
+        serial_e = current.get(serial_name)
+        if not (shard_e and serial_e):
+            continue
+        if (shard_e["outputs_digest"] != serial_e["outputs_digest"]
+                or shard_e["messages"] != serial_e["messages"]):
+            raise AssertionError(
+                f"{kind}: sharded run diverged from serial"
+                f" (digest {shard_e['outputs_digest']} vs"
+                f" {serial_e['outputs_digest']}, messages"
+                f" {shard_e['messages']} vs {serial_e['messages']})"
+            )
+
+
+def _shard_ratios(current: dict) -> dict:
+    """Shard-vs-serial wall ratios for the measured SHARD_PAIRS.
+
+    Print-only evidence, never a --check gate (host-drift policy): a ratio
+    is meaningful on a multi-core host and ~1.0 or below on the 1-2 core
+    runners CI uses.  Digest equality is enforced separately (and
+    unconditionally) by `_check_shard_digests`.
+    """
+    out = {}
+    for kind, (shard_name, serial_name) in SHARD_PAIRS.items():
+        shard_e = current.get(shard_name)
+        serial_e = current.get(serial_name)
+        if shard_e and serial_e and shard_e["wall_best"]:
+            out[kind] = {
+                "serial_wall_best": serial_e["wall_best"],
+                "shard_wall_best": shard_e["wall_best"],
+                "speedup": round(
+                    serial_e["wall_best"] / shard_e["wall_best"], 2
+                ),
+                "jobs": _effective_jobs(),
+            }
     return out
 
 
@@ -572,10 +778,17 @@ def main() -> int:
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
     parser.add_argument("--reps", type=int, default=5)
     parser.add_argument(
-        "--workloads", type=str, default=None, metavar="SUBSTR[,SUBSTR...]",
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the shard-* workloads (default: one per"
+             " visible core; 1 short-circuits to the in-process loop)."
+             " Serial workloads are unaffected — jobs can change walls,"
+             " never digests")
+    parser.add_argument(
+        "--workloads", type=str, default=None, metavar="PAT[,PAT...]",
         help="run only workloads whose name contains one of the given"
              " substrings (e.g. 'sync-bfs/cycle/256,tbfs-16' — the CI"
-             " protocol-bench selection)")
+             " protocol-bench selection); a pattern starting with '='"
+             " demands an exact name match (the CI sweep-shard selection)")
     parser.add_argument(
         "--profile", type=str, default=None, metavar="WORKLOAD",
         help="cProfile one workload (substring match against the matrix"
@@ -588,13 +801,20 @@ def main() -> int:
     if args.profile is not None:
         return profile_workload(args.profile, top=args.profile_top)
 
+    global _JOBS
+    if args.jobs is not None and args.jobs < 1:
+        print(f"ERROR: --jobs must be >= 1, got {args.jobs}")
+        return 1
+    _JOBS = args.jobs
+
     only = args.workloads.split(",") if args.workloads else None
     if only is not None:
         # Every pattern must select something: a stale name in the CI
         # protocol-bench step must fail the job, not gate zero workloads
         # and pass vacuously.
         names = [w[0] for w in WORKLOADS]
-        dead = [pat for pat in only if not any(pat in n for n in names)]
+        dead = [pat for pat in only
+                if not any(_workload_matches(pat, n) for n in names)]
         if dead:
             print(f"ERROR: --workloads pattern(s) {dead} match no workload;"
                   f" known: {', '.join(names)}")
@@ -608,6 +828,17 @@ def main() -> int:
               " baseline; run --write on the full matrix (or --quick)")
         return 1
     current = measure(quick=args.quick, reps=args.reps, only=only)
+
+    # Whenever a shard cell and its serial twin were both measured, their
+    # digests must be byte-identical — this dies otherwise (the CI
+    # sweep-shard assertion).  Ratios are printed as evidence but never
+    # gate: wall clocks drift, digests don't.
+    _check_shard_digests(current)
+    for kind, ratio in _shard_ratios(current).items():
+        print(f"shard speedup [{kind}] x{ratio['speedup']:.2f}"
+              f"  (serial {ratio['serial_wall_best']*1e3:.1f} ms ->"
+              f" shard {ratio['shard_wall_best']*1e3:.1f} ms,"
+              f" jobs={ratio['jobs']})")
 
     if args.check:
         if not BENCH_PATH.exists():

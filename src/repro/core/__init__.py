@@ -32,7 +32,13 @@ from .multi_stage import run_multi_stage_bfs
 from .full_bfs import run_full_bfs
 from .synchronizer import pulse_bound_for, run_synchronized
 from .recovery import ChurnOutcome, RecoverySynchronizerProcess, run_churn
-from .sweep import SynchronizerSweep, ThresholdedBFSSweep, sweep_synchronized
+from .sweep import (
+    SynchronizerSweep,
+    ThresholdedBFSSweep,
+    bound_process_class,
+    run_sweeps_sharded,
+    sweep_synchronized,
+)
 
 __all__ = [
     "COVER_LEVEL_OFFSET", "cover_level", "gating_pulses_at", "level", "prev",
@@ -45,4 +51,5 @@ __all__ = [
     "pulse_bound_for", "run_synchronized",
     "ChurnOutcome", "RecoverySynchronizerProcess", "run_churn",
     "SynchronizerSweep", "ThresholdedBFSSweep", "sweep_synchronized",
+    "bound_process_class", "run_sweeps_sharded",
 ]

@@ -21,12 +21,16 @@ equivalence tests pin per delay model.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+import copyreg
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Type
 
 from ..net.delays import DelayModel
 from ..net.graph import Graph, NodeId
 from ..net.program import ProgramSpec
-from ..net.async_runtime import AsyncResult
+from ..net.async_runtime import AsyncResult, Process
+from ..net.shard import CellSummary, run_sharded, run_timed
 from ..net.sweep import AsyncSweep, run_models
 from .bfs_runner import (
     BFSOutcome,
@@ -35,6 +39,48 @@ from .bfs_runner import (
 )
 from .registry import CoverRegistry
 from .synchronizer import SynchronizerProcess, pulse_bound_for
+
+
+class _BoundProcessMeta(type):
+    """Metaclass of the dynamically bound per-sweep process classes.
+
+    A sweep binds its immutable setup (registry views, pulse tables, node
+    infos...) into a throwaway class — ``type("SweepSynchronizer",
+    (SynchronizerProcess,), namespace)`` historically.  Such classes are
+    anonymous: pickle's by-name class lookup fails, which would block
+    shipping a sweep to shard workers.  Classes created through
+    :func:`bound_process_class` use this metaclass instead, and a
+    ``copyreg`` reducer (consulted by pickle *before* the by-name fallback)
+    reduces the class to a module-level rebuild call carrying its
+    ``(name, base, namespace)`` ingredients — so the worker reconstructs a
+    class with the parent's exact bound state, and objects referenced from
+    both the namespace and the sweep (the registry in particular) are
+    shipped once thanks to pickle memoization.
+    """
+
+
+def bound_process_class(
+    name: str, base: Type[Process], namespace: Dict[str, object]
+) -> type:
+    """A sweep-bound ``base`` subclass with ``namespace`` as class attrs,
+    picklable by reconstruction (see :class:`_BoundProcessMeta`)."""
+    namespace = dict(namespace)
+    cls = _BoundProcessMeta(name, (base,), dict(namespace))
+    cls._bound_class_state = (name, base, namespace)
+    return cls
+
+
+def _rebuild_bound_class(
+    name: str, base: Type[Process], namespace: Dict[str, object]
+) -> type:
+    return bound_process_class(name, base, namespace)
+
+
+def _reduce_bound_class(cls: type):
+    return _rebuild_bound_class, cls._bound_class_state
+
+
+copyreg.pickle(_BoundProcessMeta, _reduce_bound_class)
 
 
 class SynchronizerSweep:
@@ -69,8 +115,8 @@ class SynchronizerSweep:
             initiators=frozenset(spec.initiators(graph)),
             infos=spec.make_infos(graph),
         )
-        self.process_cls = type(
-            "SweepSynchronizer", (SynchronizerProcess,), namespace
+        self.process_cls = bound_process_class(
+            "SweepSynchronizer", SynchronizerProcess, namespace
         )
         self._sweep = AsyncSweep(graph, self.process_cls)
 
@@ -92,6 +138,23 @@ class SynchronizerSweep:
         return run_models(
             lambda model: self.run(model, max_events=max_events), delay_models
         )
+
+    def run_all_sharded(
+        self,
+        delay_models: Iterable[DelayModel],
+        jobs: Optional[int] = None,
+        max_events: int = 100_000_000,
+        start_method: Optional[str] = None,
+    ) -> List[CellSummary]:
+        """Fan the models across ``jobs`` workers; summaries in model order.
+
+        Digest/count-identical to :meth:`run_all` (see DESIGN.md §14);
+        ``jobs=1`` is the untouched in-process loop.
+        """
+        return run_sweeps_sharded(
+            [self], delay_models,
+            jobs=jobs, max_events=max_events, start_method=start_method,
+        )[0]
 
 
 class ThresholdedBFSSweep:
@@ -124,8 +187,8 @@ class ThresholdedBFSSweep:
         namespace = dict(
             registry=registry, sources=source_set, threshold=threshold
         )
-        self.process_cls = type(
-            "SweepThresholdedBFS", (ThresholdedBFSProcess,), namespace
+        self.process_cls = bound_process_class(
+            "SweepThresholdedBFS", ThresholdedBFSProcess, namespace
         )
         self._sweep = AsyncSweep(graph, self.process_cls)
 
@@ -152,6 +215,88 @@ class ThresholdedBFSSweep:
         return run_models(
             lambda model: self.run(model, max_events=max_events), delay_models
         )
+
+    def run_all_sharded(
+        self,
+        delay_models: Iterable[DelayModel],
+        jobs: Optional[int] = None,
+        max_events: int = 50_000_000,
+        start_method: Optional[str] = None,
+    ) -> List[CellSummary]:
+        """Fan the models across ``jobs`` workers; summaries in model order.
+
+        Digest/count-identical to :meth:`run_all` (see DESIGN.md §14);
+        ``jobs=1`` is the untouched in-process loop.
+        """
+        return run_sweeps_sharded(
+            [self], delay_models,
+            jobs=jobs, max_events=max_events, start_method=start_method,
+        )[0]
+
+
+class _SweepCells:
+    """Picklable bundle of ``len(sweeps) * len(models)`` replay cells.
+
+    The per-worker shipment of DESIGN.md §14: the sweeps carry every piece
+    of shared immutable state (graph, link skeleton, cover, registry views,
+    pulse tables, node infos, bound process class — all constructed once in
+    the parent), the models carry the per-cell adversaries.  Cell ``index``
+    maps to ``(sweep index, model index)`` in row-major order, so the
+    canonical index-sorted merge equals the serial ``for sweep: for
+    model:`` nesting exactly.
+    """
+
+    def __init__(
+        self,
+        sweeps: Sequence[object],
+        delay_models: Sequence[DelayModel],
+        max_events: Optional[int] = None,
+    ) -> None:
+        self.sweeps = tuple(sweeps)
+        self.models = tuple(delay_models)
+        self.max_events = max_events
+
+    def __len__(self) -> int:
+        return len(self.sweeps) * len(self.models)
+
+    def run_cell(self, index: int) -> CellSummary:
+        sweep_idx, model_idx = divmod(index, len(self.models))
+        sweep = self.sweeps[sweep_idx]
+        model = self.models[model_idx]
+        if self.max_events is None:
+            # Each sweep type's own run() default (sync 100M / tbfs 50M).
+            return run_timed(index, lambda: sweep.run(model))
+        return run_timed(
+            index, lambda: sweep.run(model, max_events=self.max_events)
+        )
+
+
+def run_sweeps_sharded(
+    sweeps: Sequence[object],
+    delay_models: Iterable[DelayModel],
+    jobs: Optional[int] = None,
+    max_events: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> List[List[CellSummary]]:
+    """Fan a ``sweeps x models`` matrix across a process pool.
+
+    One pool (and one bundle shipment per worker) for the whole matrix, so
+    multi-graph aggregates — the E5/E10/E11 benchmark cells pair a cycle
+    and a grid — keep every core busy across graph boundaries instead of
+    paying a pool per graph.  Returns one summary list per sweep, each in
+    model order; ``max_events=None`` leaves each sweep's own default.
+    """
+    cells = _SweepCells(sweeps, tuple(delay_models), max_events)
+    flat = run_sharded(cells, jobs=jobs, start_method=start_method)
+    per_sweep = len(cells.models)
+    # Re-index each sweep's slice to model order: a summary's index is its
+    # position within its own sweep (as run_all's results are), not its
+    # position in the flat matrix.
+    return [
+        [replace(s, index=mi) for mi, s in
+         enumerate(flat[i * per_sweep:(i + 1) * per_sweep])]
+        for i in range(len(cells.sweeps))
+    ]
 
 
 def sweep_synchronized(

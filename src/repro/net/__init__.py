@@ -36,6 +36,13 @@ from .async_runtime import (
     link_skeleton_for,
     run_asynchronous,
 )
+from .shard import (
+    CellSummary,
+    default_jobs,
+    digest_outputs,
+    run_serial,
+    run_sharded,
+)
 from .sweep import AsyncSweep, sweep_asynchronous
 from . import topology
 
@@ -81,5 +88,10 @@ __all__ = [
     "run_asynchronous",
     "AsyncSweep",
     "sweep_asynchronous",
+    "CellSummary",
+    "default_jobs",
+    "digest_outputs",
+    "run_serial",
+    "run_sharded",
     "topology",
 ]

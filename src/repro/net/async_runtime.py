@@ -209,6 +209,36 @@ class LinkSkeleton:
         self.blk_lims = tuple(range(BLOCK_SPAN, (lid + 1) * BLOCK_SPAN,
                                     BLOCK_SPAN))
 
+    def __getstate__(self):
+        """Explicit pickle state: the link-id assignment itself.
+
+        ``mappingproxy`` views don't pickle, and the packed code tuples are
+        pure functions of ``num_links`` — so a shipped skeleton carries only
+        the endpoint arrays and a plain-dict copy of the outgoing map.
+        Crucially this preserves the *parent's* id assignment verbatim: a
+        sharded sweep worker (repro.net.shard) replays against exactly the
+        link ids the parent's digests were computed over, instead of
+        re-deriving them from the unpickled graph.
+        """
+        return (self.lu, self.lv,
+                {v: dict(links) for v, links in self.out.items()})
+
+    def __setstate__(self, state) -> None:
+        lu, lv, out = state
+        self.lu = tuple(lu)
+        self.lv = tuple(lv)
+        self.out = MappingProxyType(
+            {v: MappingProxyType(dict(links)) for v, links in out.items()}
+        )
+        lid = len(self.lu)
+        self.num_links = lid
+        self.deliver_codes = tuple(CODE_DELIVER + i for i in range(lid))
+        self.ack_codes = tuple(CODE_ACK + i for i in range(lid))
+        self.ack_payload_codes = tuple(CODE_ACK_PAYLOAD + i for i in range(lid))
+        self.fat_codes = tuple(CODE_DELIVER_PAYLOAD + i for i in range(lid))
+        self.blk_lims = tuple(range(BLOCK_SPAN, (lid + 1) * BLOCK_SPAN,
+                                    BLOCK_SPAN))
+
 
 #: Skeletons are pure functions of the immutable graph; weak keys release
 #: dead graphs.  Standalone runs over one graph share the table exactly as
@@ -220,6 +250,26 @@ def link_skeleton_for(graph: Graph) -> LinkSkeleton:
     skeleton = _SKELETON_CACHE.get(graph)
     if skeleton is None:
         skeleton = _SKELETON_CACHE[graph] = LinkSkeleton(graph)
+    return skeleton
+
+
+def adopt_skeleton(graph: Graph, skeleton: LinkSkeleton) -> LinkSkeleton:
+    """Seed the per-graph cache with a skeleton shipped from another process.
+
+    The per-graph cache is keyed by graph *identity* (weak keys), so a
+    worker that unpickles a ``(graph, skeleton)`` pair starts with a cold
+    cache even though the parent built the table already.  Adopting the
+    shipped skeleton makes the parent's link-id assignment authoritative in
+    the child: every standalone runtime (and every sweep) over the adopted
+    graph object shares the one table, exactly as in the parent.  If the
+    child cached a skeleton for this graph first, the cached one wins — both
+    are derived from the same immutable graph, so they are equal — keeping
+    a single shared table per graph either way.
+    """
+    cached = _SKELETON_CACHE.get(graph)
+    if cached is not None:
+        return cached
+    _SKELETON_CACHE[graph] = skeleton
     return skeleton
 
 

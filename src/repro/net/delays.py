@@ -280,6 +280,13 @@ class UniformDelay:
         self._blocks[(u, v)] = fill
         return fill
 
+    def __reduce__(self):
+        # The stream/pair/block closures memoized on the instance are pure
+        # functions of (seed, link) and don't pickle; a shipped model
+        # rebuilds from its constructor state and re-derives bit-equal
+        # streams on demand (shard workers rely on this — DESIGN.md §14).
+        return (UniformDelay, (self.seed, self.low, self.high))
+
     def __repr__(self) -> str:
         return f"UniformDelay(seed={self.seed}, low={self.low}, high={self.high})"
 

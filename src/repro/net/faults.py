@@ -184,6 +184,25 @@ class FaultSchedule:
         self._down_cache: Dict[Edge, Optional[_DownFn]] = {}
         self._drop_cache: Dict[Tuple[NodeId, NodeId], Optional[_DropFn]] = {}
 
+    def __getstate__(self):
+        # The checker caches memoize pure functions of the domain-separated
+        # seeds — and the down/drop checkers are closures, which don't
+        # pickle.  Ship every validated field and start the caches cold: a
+        # shard worker's schedule re-derives byte-identical fault decisions
+        # on demand (DESIGN.md §14).
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if not name.endswith("_cache")
+        }
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._crash_cache = {}
+        self._down_cache = {}
+        self._drop_cache = {}
+
     # -- queries ---------------------------------------------------------
 
     def is_empty(self) -> bool:

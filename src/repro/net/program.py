@@ -166,25 +166,62 @@ def all_nodes_initiate(graph: Graph) -> Set[NodeId]:
     return set(graph.nodes)
 
 
-def single_initiator(node: NodeId) -> Callable[[Graph], Set[NodeId]]:
-    def pick(graph: Graph) -> Set[NodeId]:
+# The initiator pickers are module-level callable classes rather than
+# closures: a ``ProgramSpec`` must survive ``pickle`` so the sharded sweep
+# executor (repro.net.shard, DESIGN.md §14) can ship one spec per worker
+# under the ``spawn`` start method.  Behaviour is identical to the former
+# closures; identity semantics are preserved on purpose (no ``__eq__``) so
+# per-spec caches keyed by spec objects are unperturbed.
+
+
+class _SingleInitiator:
+    __slots__ = ("node",)
+
+    def __init__(self, node: NodeId) -> None:
+        self.node = node
+
+    def __call__(self, graph: Graph) -> Set[NodeId]:
+        node = self.node
         if not 0 <= node < graph.num_nodes:
             raise ValueError(f"initiator {node} not in graph")
         return {node}
 
-    return pick
+
+class _FixedInitiators:
+    __slots__ = ("frozen",)
+
+    def __init__(self, nodes: Iterable[NodeId]) -> None:
+        self.frozen = frozenset(nodes)
+
+    def __call__(self, graph: Graph) -> Set[NodeId]:
+        for v in sorted(self.frozen):
+            if not 0 <= v < graph.num_nodes:
+                raise ValueError(f"initiator {v} not in graph")
+        return set(self.frozen)
+
+
+class _SampledInitiators:
+    __slots__ = ("count",)
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise ValueError(f"need at least one initiator, got {count}")
+        self.count = count
+
+    def __call__(self, graph: Graph) -> Set[NodeId]:
+        n = graph.num_nodes
+        k = min(self.count, n)
+        stride = n / k
+        # Floors of strictly increasing multiples of stride >= 1: distinct.
+        return {int(i * stride) for i in range(k)}
+
+
+def single_initiator(node: NodeId) -> Callable[[Graph], Set[NodeId]]:
+    return _SingleInitiator(node)
 
 
 def fixed_initiators(nodes: Iterable[NodeId]) -> Callable[[Graph], Set[NodeId]]:
-    frozen = frozenset(nodes)
-
-    def pick(graph: Graph) -> Set[NodeId]:
-        for v in sorted(frozen):
-            if not 0 <= v < graph.num_nodes:
-                raise ValueError(f"initiator {v} not in graph")
-        return set(frozen)
-
-    return pick
+    return _FixedInitiators(nodes)
 
 
 def sampled_initiators(count: int) -> Callable[[Graph], Set[NodeId]]:
@@ -199,14 +236,4 @@ def sampled_initiators(count: int) -> Callable[[Graph], Set[NodeId]]:
     from 0, so the same spec is reproducible across runs and comparable
     across graph sizes.
     """
-    if count < 1:
-        raise ValueError(f"need at least one initiator, got {count}")
-
-    def pick(graph: Graph) -> Set[NodeId]:
-        n = graph.num_nodes
-        k = min(count, n)
-        stride = n / k
-        # Floors of strictly increasing multiples of stride >= 1: distinct.
-        return {int(i * stride) for i in range(k)}
-
-    return pick
+    return _SampledInitiators(count)

@@ -38,6 +38,7 @@ from .async_runtime import (
     Payload,
     Process,
     ProcessContext,
+    adopt_skeleton,
     link_skeleton_for,
     make_block_buffer,
 )
@@ -132,6 +133,33 @@ class AsyncSweep:
         # every other sequential driver) satisfies by construction.
         # Allocated lazily on first use: models without ``block_stream``
         # never need it.
+        self._block_buffer = None
+
+    def __getstate__(self):
+        """Pickle state for shard workers (repro.net.shard, DESIGN.md §14).
+
+        The skeleton ships explicitly — the parent's link-id assignment is
+        part of the replay contract — while the block buffer stays behind:
+        it is pure scratch (``num_links * BLOCK_SPAN`` floats), cheaper to
+        reallocate in the worker than to serialize.
+        """
+        return (
+            self.graph,
+            self.process_factory,
+            self.count_acks,
+            self.count_fused_acks,
+            self.faults,
+            self.detect_timeout,
+            self._skeleton,
+        )
+
+    def __setstate__(self, state) -> None:
+        (self.graph, self.process_factory, self.count_acks,
+         self.count_fused_acks, self.faults, self.detect_timeout,
+         skeleton) = state
+        # Make the shipped assignment authoritative for this graph copy in
+        # the unpickling process, then share whichever table the cache holds.
+        self._skeleton = adopt_skeleton(self.graph, skeleton)
         self._block_buffer = None
 
     def runtime(self, delay_model: DelayModel, trace: Optional[TraceFn] = None) -> AsyncRuntime:
