@@ -5,11 +5,17 @@ Claims measured here:
 * **Degrade** terminates quiescent on the surviving component with
   best-effort outputs bounded by ``dist_G(v) <= output(v) <= dist_H(v)``,
   at zero extra message cost over the faulty run itself.
+* **Reanchor** (DESIGN.md §15) re-attaches orphaned survivors beneath
+  the degraded tree with a bounded offset-BFS wave: every survivor
+  answers, the answers satisfy ``dist_G <= output <= dist_H``, and the
+  repair cost sits between degrade's zero and rebuild's full clean pass.
 * **Rebuild** pays one extra clean pass on the surviving component and
   returns exact ``dist_H`` — the cost ratio is the price of exactness.
 * **Link churn alone** (down intervals, no crashes) only *defers*
   delivery, so outputs equal the fault-free run byte for byte; the
-  message overhead is exactly zero and only the completion time moves.
+  message overhead is exactly zero and only the completion time moves —
+  and the same holds when the links *flap* (recurrent mode: every down
+  interval re-draws forever instead of healing once).
 """
 
 import sys
@@ -43,14 +49,16 @@ def _bfs_distances(graph, survivors, root=0):
 
 def _crash_churn():
     series = Series(
-        "E12: BFS under node churn, degrade vs rebuild (crash_rate=0.1)",
-        ["n", "mode", "survivors", "answered", "messages", "rebuild_msgs",
+        "E12: BFS under node churn, degrade vs reanchor vs rebuild"
+        " (crash_rate=0.1)",
+        ["n", "mode", "survivors", "answered", "messages", "repair_msgs",
          "dropped", "time"],
     )
     for n in (64, 128):
         graph = topology.cycle_graph(n)
         faults = FaultSchedule(seed=2305, crash_rate=0.1, protect=(0,))
-        for mode in ("degrade", "rebuild"):
+        dist_g = _bfs_distances(graph, range(n))
+        for mode in ("degrade", "reanchor", "rebuild"):
             out = run_churn(graph, bfs_spec, BENCH_DELAYS, faults, mode=mode)
             assert out.stop_reason == "quiescent"
             dist = _bfs_distances(graph, out.survivors)
@@ -60,13 +68,21 @@ def _crash_churn():
                 assert out.answered == out.survivor_count
                 for v in out.survivors:
                     assert out.outputs[v][0] == dist[v]
+            elif mode == "reanchor":
+                # Completeness + sandwich: re-anchoring answers every
+                # survivor, and every answer sits in the dist_G <= out
+                # <= dist_H band — a reattached orphan may keep a
+                # pre-crash shortcut but never beats the original graph.
+                assert out.answered == out.survivor_count
+                for v in out.survivors:
+                    assert dist_g[v] <= out.outputs[v][0] <= dist[v]
             else:
                 # Degrade bound: dist_G(v) <= output(v) (<= dist_H(v)).
                 for v, (d, _parent) in out.outputs.items():
                     assert d <= dist[v]
             series.add(
                 n, mode, out.survivor_count, out.answered, out.messages,
-                out.rebuild_messages, out.dropped,
+                out.rebuild_messages + out.reanchor_messages, out.dropped,
                 round(out.time_to_quiescence, 1),
             )
     return series
@@ -81,18 +97,22 @@ def _link_churn():
         graph = topology.cycle_graph(n)
         spec = bfs_spec(0)
         clean = run_synchronized(graph, spec, BENCH_DELAYS)
-        faults = FaultSchedule(seed=2305 + n, down_rate=0.05)
-        churned = run_churn(graph, bfs_spec, BENCH_DELAYS, faults,
-                            mode="degrade")
-        # Down intervals defer but never lose: identical outputs, zero
-        # message overhead, only the clock moves.
-        assert churned.outputs == clean.outputs
-        assert churned.messages == clean.messages
-        assert churned.dropped == 0
         series.add(n, "clean", clean.messages, 0,
                    round(clean.time_to_output, 1))
-        series.add(n, "churned", churned.messages, churned.dropped,
-                   round(churned.time_to_output, 1))
+        for run, recurrent in (("churned", False), ("flapping", True)):
+            faults = FaultSchedule(seed=2305 + n, down_rate=0.05,
+                                   recurrent=recurrent)
+            churned = run_churn(graph, bfs_spec, BENCH_DELAYS, faults,
+                                mode="degrade")
+            # Down intervals defer but never lose: identical outputs,
+            # zero message overhead, only the clock moves.  Recurrent
+            # (flapping) links re-draw a fresh down interval after every
+            # heal, forever — deferral still never becomes loss.
+            assert churned.outputs == clean.outputs
+            assert churned.messages == clean.messages
+            assert churned.dropped == 0
+            series.add(n, run, churned.messages, churned.dropped,
+                       round(churned.time_to_output, 1))
     return series
 
 
@@ -100,17 +120,27 @@ def test_e12_crash_churn(benchmark):
     series = run_once(benchmark, _crash_churn)
     record(benchmark, series)
     rows = list(series.rows)
-    # Rebuild pays extra messages for exactness; degrade pays none.
-    for degrade, rebuild in zip(rows[::2], rows[1::2]):
-        assert degrade[5] == 0          # rebuild_msgs column
-        assert rebuild[5] > 0
-        assert rebuild[3] >= degrade[3]  # answered column
+    # Three rows per size: degrade, reanchor, rebuild.  The repair-cost
+    # ladder orders them — degrade pays nothing, re-anchoring pays a
+    # bounded patch wave, rebuild pays a full clean pass; completeness
+    # moves the same way (reanchor and rebuild answer everyone).
+    for degrade, reanchor, rebuild in zip(rows[::3], rows[1::3], rows[2::3]):
+        assert degrade[5] == 0           # repair_msgs column
+        assert reanchor[5] < rebuild[5]
+        # The patch wave is free exactly when there is nothing to patch:
+        # it spends messages iff degrade left survivors unanswered.
+        assert (reanchor[5] > 0) == (degrade[3] < degrade[2])
+        assert rebuild[3] >= reanchor[3] >= degrade[3]  # answered column
+        assert reanchor[3] == reanchor[2]  # reanchor answers all survivors
 
 
 def test_e12_link_churn(benchmark):
     series = run_once(benchmark, _link_churn)
     record(benchmark, series)
     times = series.column("time_to_output")
-    # Deferral can only slow the run down, never speed it up.
-    for clean_t, churned_t in zip(times[::2], times[1::2]):
+    # Three rows per size: clean, churned, flapping.  Deferral can only
+    # slow the run down, never speed it up.
+    for clean_t, churned_t, flap_t in zip(times[::3], times[1::3],
+                                          times[2::3]):
         assert churned_t >= clean_t
+        assert flap_t >= clean_t

@@ -195,6 +195,27 @@ def _run_churn_mode(mode):
     return run
 
 
+def _run_churn_flap(graph):
+    # Flapping links (recurrent mode, DESIGN.md §15): every seeded down
+    # interval re-draws forever instead of healing once.  Recurrent churn
+    # still only defers — the digest pins the fault-free outputs and the
+    # message count pins zero retransmission overhead.
+    faults = FaultSchedule(seed=SEED, down_rate=0.05, recurrent=True)
+    return _ChurnResult(run_churn(
+        graph, bfs_spec, UniformDelay(seed=SEED), faults, mode="degrade"))
+
+
+def _run_churn_rejoin(graph):
+    # Crash + certain re-join (DESIGN.md §15): every crashed node returns
+    # after a seeded delay and is readmitted by its neighbors.  The CI
+    # protocol-bench rejoin smoke cell — messages and outputs pin the
+    # whole prune → detect → readmit → re-answer cycle.
+    faults = FaultSchedule(
+        seed=SEED, crash_rate=0.1, rejoin_rate=1.0, protect=(0,))
+    return _ChurnResult(run_churn(
+        graph, bfs_spec, UniformDelay(seed=SEED), faults, mode="degrade"))
+
+
 def _sweep_models():
     """The 5-model family the sweep benchmarks replay (all with pair
     streams; fresh instances per call so per-model caches start cold, as an
@@ -412,6 +433,16 @@ WORKLOADS = [
      _run_churn_mode("degrade"), False, None),
     ("churn-rebuild/cycle/128", lambda: topology.cycle_graph(128),
      _run_churn_mode("rebuild"), False, None),
+    # Dynamic-network cells (DESIGN.md §15): reanchor sits between degrade
+    # and rebuild in the cost table; churn-flap pins recurrent link churn
+    # (deferral forever, never loss); rejoin-degrade is the CI smoke cell
+    # for the crash → detect → readmit → re-answer cycle.
+    ("churn-reanchor/cycle/128", lambda: topology.cycle_graph(128),
+     _run_churn_mode("reanchor"), False, None),
+    ("churn-flap/cycle/128", lambda: topology.cycle_graph(128),
+     _run_churn_flap, False, None),
+    ("rejoin-degrade/cycle/128", lambda: topology.cycle_graph(128),
+     _run_churn_rejoin, False, None),
     # 5-delay-model sweeps at n=256 on cycle+grid: the sweep engine builds
     # covers/registry/infos once per graph and replays per model.  Their
     # "independent-*" counterparts run the same 10 (graph, model) cells with

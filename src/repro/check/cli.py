@@ -40,7 +40,10 @@ from .workloads import Workload, build_workload, expand_workloads
 
 #: The CI cells: exhaustive fault-free cells, the registration crash
 #: matrix, and the crash-at-each-point churn matrix (CI budget-bounds the
-#: churn cells; everything else exhausts in seconds).
+#: churn cells; everything else exhausts in seconds).  The rejoin matrix
+#: (``rejoin:cycle:5``) is deliberately absent: its cells are too deep to
+#: exhaust, so a bare (unbudgeted) ``explore`` would never finish — CI
+#: runs it as a separate budget-bounded step instead.
 DEFAULT_WORKLOADS = (
     "sync-bfs:cycle:4",
     "sync-bfs:star:4",
@@ -169,6 +172,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("  sync-bfs:TOPO:N          fault-free synchronized BFS")
     print("  churn:TOPO:N             crash-at-each-point matrix")
     print("  churn:TOPO:N:crash:V     single crashable node V")
+    print("  rejoin:TOPO:N            crash+rejoin-at-each-point matrix")
+    print("  rejoin:TOPO:N:crash:V    single crashable+rejoinable node V")
     print("  reg:TOPO:N               registration cycles, fault-free")
     print("  reg:TOPO:N:crash         registration crash matrix")
     print("  reg:TOPO:N:crash:V       single crashable node V")

@@ -32,6 +32,11 @@ state:
 * **Output bounds** — fault-free runs must reproduce the synchronous
   reference outputs exactly; crash runs must keep every produced BFS
   distance inside ``dist_G(v) <= out <= dist_H(v)`` (DESIGN.md §11).
+* **Rejoin consistency** — blank state at rebirth (the output register is
+  voided), immediate and durable readmission after ``on_neighbor_alive``,
+  and the lower half of the sandwich for the fresh incarnation's output
+  (DESIGN.md §15).  :class:`RejoinConsistencyProbe` is what catches the
+  seeded readmit-dropping mutant of the recovery synchronizer.
 """
 
 from __future__ import annotations
@@ -39,7 +44,9 @@ from __future__ import annotations
 from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..net.async_runtime import (
+    CTRL_ALIVE,
     CTRL_DETECT,
+    CTRL_REJOIN,
     AsyncResult,
     AsyncRuntime,
     ControlledEvent,
@@ -131,6 +138,10 @@ class PulseProbe(Probe):
         self._seen: Dict[NodeId, FrozenSet[int]] = {}
 
     def after_step(self, runtime: AsyncRuntime, ev: ControlledEvent) -> None:
+        if ev.kind == CTRL_REJOIN:
+            # The returned node is a fresh incarnation with an empty
+            # evaluated set; its old generation's history does not bind it.
+            self._seen.pop(ev.node, None)
         for v, node in _sync_nodes(runtime):
             evaluated = node.evaluated
             prev = self._seen.get(v, frozenset())
@@ -296,6 +307,80 @@ class DistanceBoundProbe(Probe):
                     f"survivor {v} output distance {dist} outside"
                     f" [{self.dist_g[v]}, {self.dist_h[v]}]"
                 )
+
+
+class RejoinConsistencyProbe(Probe):
+    """Re-join semantics hold on every interleaving (DESIGN.md §15).
+
+    Three checkable halves of the blank-state + readmission contract:
+
+    * **Blank state includes the output register** — immediately after a
+      ``rejoin`` step the returned node must have no recorded output (the
+      previous incarnation's answer died with it).
+    * **Readmission is immediate and durable** — after an ``alive`` step
+      fires at observer ``u`` for returned node ``r``, ``u``'s
+      synchronizer must no longer prune ``r`` (``r ∉ node._pruned``), and
+      it must still not prune it at quiescence (nothing disarms a
+      readmission: detects for ``r`` were withdrawn at the rejoin and a
+      node crashes at most once).  The seeded readmit-dropping mutant of
+      ``RecoverySynchronizerProcess.on_neighbor_alive`` is caught here on
+      every interleaving where a detect fired before the rejoin.
+    * **Lower distance bound** — any output the fresh incarnation does
+      produce is a real path length in a sub-topology of ``G``, so it
+      must respect ``dist_G(r) <= out`` (no finite upper bound applies:
+      the time-varying graph ``H`` admits arbitrarily late readmission).
+    """
+
+    name = "rejoin-consistency"
+
+    def __init__(self, dist_g: Dict[NodeId, float]) -> None:
+        self.dist_g = dist_g  # det: ignore[DET003] -- per-cell configuration (distances in the full topology G), constant across executions; reset() clears all per-execution state
+
+    def reset(self, runtime: AsyncRuntime) -> None:
+        self._returned: Set[NodeId] = set()
+        #: returned node -> observers whose ``alive`` step fired.
+        self._notified: Dict[NodeId, Set[NodeId]] = {}
+
+    def _pruned_at(self, runtime: AsyncRuntime, observer: NodeId):
+        node = getattr(runtime.processes[observer], "node", None)
+        return getattr(node, "_pruned", None)
+
+    def after_step(self, runtime: AsyncRuntime, ev: ControlledEvent) -> None:
+        if ev.kind == CTRL_REJOIN:
+            v = ev.node
+            self._returned.add(v)
+            if v in runtime.outputs:
+                self.fail(
+                    f"re-joined node {v} kept its pre-crash output"
+                    f" {runtime.outputs[v]!r} (blank state must void it)"
+                )
+        elif ev.kind == CTRL_ALIVE:
+            observer, returned = ev.dst, ev.src
+            self._notified.setdefault(returned, set()).add(observer)
+            pruned = self._pruned_at(runtime, observer)
+            if pruned is not None and returned in pruned:
+                self.fail(
+                    f"observer {observer} still prunes re-joined neighbor"
+                    f" {returned} after on_neighbor_alive"
+                )
+
+    def at_end(self, runtime: AsyncRuntime, result: AsyncResult) -> None:
+        for v in sorted(self._returned):
+            out = result.outputs.get(v)
+            if out is not None:
+                dist = out[0] if isinstance(out, tuple) else out
+                if dist < self.dist_g.get(v, 0):
+                    self.fail(
+                        f"re-joined node {v} output distance {dist} below"
+                        f" dist_G {self.dist_g[v]}"
+                    )
+            for observer in sorted(self._notified.get(v, ())):
+                pruned = self._pruned_at(runtime, observer)
+                if pruned is not None and v in pruned:
+                    self.fail(
+                        f"observer {observer} re-pruned re-joined neighbor"
+                        f" {v} by quiescence"
+                    )
 
 
 class QuiescentOutputsProbe(Probe):

@@ -30,9 +30,11 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..net.async_runtime import (
     CTRL_ACK,
+    CTRL_ALIVE,
     CTRL_CALLBACK,
     CTRL_CRASH,
     CTRL_DETECT,
+    CTRL_REJOIN,
     AsyncRuntime,
     ControlledEvent,
     ScheduleController,
@@ -41,8 +43,9 @@ from ..net.graph import NodeId
 from .invariants import Probe
 from .state import fingerprint
 
-#: Serializable event identity: ("ev", seq) | ("crash", v) | ("detect", u, c)
-#: where u is the observer and c the corpse.
+#: Serializable event identity: ("ev", seq) | ("crash", v) | ("rejoin", v)
+#: | ("detect", u, c) | ("alive", u, r) where u is the observer, c the
+#: corpse and r the returned node.
 EventKey = Tuple
 
 
@@ -51,6 +54,10 @@ def event_key(ev: ControlledEvent) -> EventKey:
         return ("ev", ev.seq)
     if ev.kind == CTRL_CRASH:
         return ("crash", ev.node)
+    if ev.kind == CTRL_REJOIN:
+        return ("rejoin", ev.node)
+    if ev.kind == CTRL_ALIVE:
+        return ("alive", ev.dst, ev.src)
     return ("detect", ev.dst, ev.src)
 
 
@@ -111,19 +118,23 @@ def _default_pick(
     keys: List[EventKey],
     sleep: Set[EventKey],
 ) -> Optional[int]:
-    """First awake event in offer order, crashes last.
+    """First awake event in offer order, crashes and rejoins last.
 
     The engine offers record-backed events in ``seq`` order, then crash
-    actions, then armed detects; deferring crashes makes the first
-    execution of a churn cell the run where the crash lands at
-    quiescence, and backtracking walks it earlier step by step
-    (crash-at-each-point falls out of DPOR instead of being sampled).
+    actions, then rejoin actions, then armed detects and alives;
+    deferring crashes makes the first execution of a churn cell the run
+    where the crash lands at quiescence, and backtracking walks it
+    earlier step by step (crash-at-each-point falls out of DPOR instead
+    of being sampled).  Rejoins defer for the same reason — the natural
+    first execution is crash → drain → detect batch → rejoin → alive
+    batch, and DPOR walks the rejoin back across the detects (the D1–D3
+    race of DESIGN.md §15) and across deliveries step by step.
     """
     fallback = None
     for i, ev in enumerate(events):
         if keys[i] in sleep:
             continue
-        if ev.kind == CTRL_CRASH:
+        if ev.kind in (CTRL_CRASH, CTRL_REJOIN):
             if fallback is None:
                 fallback = i
             continue
@@ -158,7 +169,11 @@ class _ProbedController(ScheduleController):
     neighbor pruning the corpse while another keeps weaving waves through
     it — are not behaviors of the implemented model.  Only the batch
     *position* is a decision; order within the batch is arming order
-    (prunes at distinct observers commute)."""
+    (prunes at distinct observers commute).  **Alive batching** mirrors
+    it for recovery: the timed model fires every observer's
+    ``on_neighbor_alive`` at rejoin + timeout, so once the first alive
+    for a returned node is picked the rest of its batch auto-fires
+    (readmissions at distinct observers commute too)."""
 
     def __init__(
         self, probes: Sequence[Probe], max_steps: int = 1 << 30
@@ -173,6 +188,9 @@ class _ProbedController(ScheduleController):
         #: Corpses whose detect batch has started: src values of fired
         #: CTRL_DETECT steps.
         self._detected: Set[NodeId] = set()
+        #: Returned nodes whose alive batch has started: src values of
+        #: fired CTRL_ALIVE steps.
+        self._enlivened: Set[NodeId] = set()
 
     def attach(self, runtime: AsyncRuntime) -> None:
         self.runtime = runtime
@@ -193,6 +211,11 @@ class _ProbedController(ScheduleController):
                 if ev.kind == CTRL_DETECT and ev.src in self._detected:
                     auto = i
                     break
+        if auto is None and self._enlivened:
+            for i, ev in enumerate(events):
+                if ev.kind == CTRL_ALIVE and ev.src in self._enlivened:
+                    auto = i
+                    break
         if auto is None:
             for i, ev in enumerate(events):
                 if ev.kind in (CTRL_ACK, CTRL_CALLBACK) and (
@@ -210,6 +233,8 @@ class _ProbedController(ScheduleController):
         ev = events[choice]
         if ev.kind == CTRL_DETECT:
             self._detected.add(ev.src)
+        elif ev.kind == CTRL_ALIVE:
+            self._enlivened.add(ev.src)
         for probe in self.probes:
             probe.before_step(runtime, ev)
         self.last_event = ev

@@ -10,8 +10,9 @@ ordering (a state is only ever revisited after its first occurrence's
 subtree completed), this turns the exploration tree into a DAG without
 losing coverage.
 
-What the fingerprint includes: the crashed set, the enabled synthetic
-actions, per-link transport state (busy/pending/injection counters,
+What the fingerprint includes: the crashed and rejoined sets, the
+enabled synthetic actions (crash/rejoin/detect/alive), per-link
+transport state (busy/pending/injection counters,
 outbox contents in pop order, in-flight payloads in FIFO order) and every
 process's protocol state (walked structurally).  What it deliberately
 excludes — and why exclusion is sound:
@@ -39,8 +40,10 @@ from ..net.async_runtime import (
     CODE_ACK_PAYLOAD,
     CODE_DELIVER,
     CODE_DELIVER_PAYLOAD,
+    CTRL_ALIVE,
     CTRL_CRASH,
     CTRL_DETECT,
+    CTRL_REJOIN,
     AsyncRuntime,
     ControlledEvent,
 )
@@ -178,12 +181,17 @@ def fingerprint(
         ])
     synthetic = sorted(
         ("crash", ev.node) if ev.kind == CTRL_CRASH
-        else ("detect", ev.dst, ev.src)
+        else ("rejoin", ev.node) if ev.kind == CTRL_REJOIN
+        else ("detect", ev.dst, ev.src) if ev.kind == CTRL_DETECT
+        else ("alive", ev.dst, ev.src)
         for ev in events
-        if ev.kind in (CTRL_CRASH, CTRL_DETECT)
+        if ev.kind in (CTRL_CRASH, CTRL_DETECT, CTRL_REJOIN, CTRL_ALIVE)
     )
     state = [
         sorted(runtime.crashed),
+        # Rejoined set: membership gates the crash offer (one crash per
+        # node) — two states differing only here diverge later.
+        sorted(runtime.rejoined),
         [list(item) for item in synthetic],
         links,
         link_state,

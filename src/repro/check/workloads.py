@@ -30,6 +30,12 @@ Workload spec strings (the CLI surface)::
     churn:cycle:5:crash:2     recovery synchronizer, node 2 crashable
     churn:cycle:5             the crash-at-each-point matrix (one cell
                               per non-root node)
+    rejoin:cycle:5:crash:2    recovery synchronizer, node 2 crashable
+                              AND re-joinable: the controller may bring
+                              it back after the crash, racing the
+                              rejoin against the armed detects (the
+                              D1–D3 interleaving space of DESIGN.md §15)
+    rejoin:cycle:5            the crash+rejoin-at-each-point matrix
     reg:star:4                fault-free registration cycles on star(4)
     reg:star:4:crash:2        ... with node 2 crashable
     reg:star:4:crash          the crash-at-each-point matrix
@@ -58,6 +64,7 @@ from .invariants import (
     PulseProbe,
     QuiescentOutputsProbe,
     RegistrationProbe,
+    RejoinConsistencyProbe,
 )
 
 _TOPOLOGIES: Dict[str, Callable[[int], Graph]] = {
@@ -67,7 +74,7 @@ _TOPOLOGIES: Dict[str, Callable[[int], Graph]] = {
 
 
 class Workload:
-    """Base cell: a graph, a process class, crash actions, probes."""
+    """Base cell: a graph, a process class, crash/rejoin actions, probes."""
 
     def __init__(
         self,
@@ -75,15 +82,18 @@ class Workload:
         graph: Graph,
         root: NodeId = 0,
         crashable: Tuple[NodeId, ...] = (),
+        rejoinable: Tuple[NodeId, ...] = (),
     ) -> None:
         self.name = name
         self.graph = graph
         self.root = root
         self.crashable = crashable
+        self.rejoinable = rejoinable
         self.process_cls: type = Process
 
     def build_runtime(self, controller: ScheduleController) -> AsyncRuntime:
         controller.crashable = self.crashable
+        controller.rejoinable = self.rejoinable
         return AsyncRuntime(
             self.graph, self.process_cls, ConstantDelay(1.0),
             controller=controller,
@@ -107,9 +117,13 @@ class SyncWorkload(Workload):
         graph: Graph,
         root: NodeId = 0,
         crashable: Tuple[NodeId, ...] = (),
+        rejoinable: Tuple[NodeId, ...] = (),
         base_cls: Optional[type] = None,
     ) -> None:
-        super().__init__(name, graph, root=root, crashable=crashable)
+        super().__init__(
+            name, graph, root=root, crashable=crashable,
+            rejoinable=rejoinable,
+        )
         self.spec = bfs_spec(root)
         self.max_pulse = pulse_bound_for(graph, self.spec)
         self.registry = registry_for_threshold(graph, self.max_pulse, "ap")
@@ -150,7 +164,14 @@ class SyncWorkload(Workload):
             sub_dist = sub.bfs_distances(remap[self.root])
             dist_h = {v: sub_dist[remap[v]] for v in survivors}
             probes.append(PoolTaintProbe())
+            # The sandwich over survivors stays sound under rejoin: the
+            # crippled-component wave is unaffected by the returning
+            # node, so first-wins outputs still respect dist_H, and no
+            # path anywhere beats dist_G.  The returned node itself is
+            # not a survivor — RejoinConsistencyProbe owns its output.
             probes.append(DistanceBoundProbe(dist_g, dist_h, survivors))
+            if self.rejoinable:
+                probes.append(RejoinConsistencyProbe(dist_g))
         else:
             probes.append(OutputEqualityProbe(self.reference_outputs()))
             probes.append(QuiescentOutputsProbe())
@@ -262,7 +283,8 @@ def build_workload(spec: str) -> Workload:
         _, topo, n = parts
         graph = _topology(topo, int(n))
         return RegWorkload(spec, graph)
-    if len(parts) == 5 and parts[3] == "crash" and parts[0] in ("churn", "reg"):
+    if len(parts) == 5 and parts[3] == "crash" and \
+            parts[0] in ("churn", "rejoin", "reg"):
         kind, topo, n, _, v = parts
         graph = _topology(topo, int(n))
         crash = int(v)
@@ -270,19 +292,24 @@ def build_workload(spec: str) -> Workload:
             raise ValueError("the root/source node 0 cannot be crashable")
         if kind == "churn":
             return SyncWorkload(spec, graph, crashable=(crash,))
+        if kind == "rejoin":
+            return SyncWorkload(
+                spec, graph, crashable=(crash,), rejoinable=(crash,)
+            )
         return RegWorkload(spec, graph, crashable=(crash,))
     raise ValueError(
         f"unknown workload spec {spec!r} (try sync-bfs:cycle:4,"
-        f" churn:cycle:5:crash:2 or reg:star:4)"
+        f" churn:cycle:5:crash:2, rejoin:cycle:5:crash:2 or reg:star:4)"
     )
 
 
 def expand_workloads(spec: str) -> List[Workload]:
-    """Expand matrix specs: ``churn:T:N`` / ``reg:T:N:crash`` become one
-    cell per non-root node; everything else is a single cell."""
+    """Expand matrix specs: ``churn:T:N`` / ``rejoin:T:N`` /
+    ``reg:T:N:crash`` become one cell per non-root node; everything else
+    is a single cell."""
     parts = spec.split(":")
     matrix = (
-        (len(parts) == 3 and parts[0] == "churn")
+        (len(parts) == 3 and parts[0] in ("churn", "rejoin"))
         or (len(parts) == 4 and parts[0] == "reg" and parts[3] == "crash")
     )
     if matrix:

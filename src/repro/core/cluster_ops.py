@@ -160,6 +160,9 @@ class ClusterAggregateModule:
         """
         self.node_id = node_id
         self.clusters = clusters
+        # Never mutated (prunes are copy-on-write): the pristine topology a
+        # readmitted child is restored from (DESIGN.md §15).
+        self._pristine_clusters = clusters
         self._links, self._send_link = resolve_link_pair(
             "ClusterAggregateModule", send, links, send_link
         )
@@ -299,6 +302,12 @@ class ClusterAggregateModule:
         instance = self._instances.get(key)
         if instance is None:
             instance = self._instance_from_wire(key)
+        if instance.child_values.get(sender) is _PRUNED:
+            # A re-joined child's late value: this barrier already re-closed
+            # over the survivors when the crash was detected, so the fresh
+            # incarnation's word is dropped (degrade semantics, DESIGN.md
+            # §15) — it participates from the next instance onward.
+            return
         if sender in instance.child_values:
             raise ValueError(
                 f"duplicate convergecast value from {sender} in"
@@ -352,6 +361,39 @@ class ClusterAggregateModule:
                 instance.child_values[dead] = _PRUNED
                 instance.missing -= 1
                 self._maybe_forward(instance)
+
+    def readmit_child(self, returned: NodeId) -> None:
+        """Restore a re-joined child into the cluster views (DESIGN.md §15).
+
+        Topology-only inverse of :meth:`prune_child`, mirroring
+        :meth:`RegistrationModule.readmit_child
+        <repro.core.registration.RegistrationModule.readmit_child>`: the
+        child re-enters every pristine view in its original sibling
+        position, so instances created after the readmission address it
+        again.  Live instances keep their pruned closure — a barrier the
+        crash already re-closed must not start waiting on a contribution
+        the fresh (blank-state) incarnation never sends, and its late
+        values are dropped by the ``_PRUNED`` guard in :meth:`handle_up`.
+        Idempotent per neighbor.
+        """
+        pristine = self._pristine_clusters
+        clusters = dict(self.clusters)
+        changed = False
+        for cid, view in clusters.items():
+            pv = pristine.get(cid)
+            if (pv is None or returned not in pv.children
+                    or returned in view.children):
+                continue
+            keep = set(view.children)
+            keep.add(returned)
+            clusters[cid] = ClusterView(
+                cluster_id=cid,
+                parent=view.parent,
+                children=tuple(c for c in pv.children if c in keep),
+            )
+            changed = True
+        if changed:
+            self.clusters = clusters
 
     def handle_down(self, sender: NodeId, payload: Tuple) -> None:
         """The broadcast result — ``(OP_AGG_DOWN, key, result)``."""

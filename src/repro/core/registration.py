@@ -262,6 +262,10 @@ class RegistrationModule:
         """
         self.node_id = node_id
         self.clusters = clusters
+        # The ctor view dict is never mutated (prunes are copy-on-write), so
+        # it doubles as the pristine topology a readmitted child is restored
+        # from (DESIGN.md §15).
+        self._pristine_clusters = clusters
         self._links, self._send_link = resolve_link_pair(
             "RegistrationModule", send, links, send_link
         )
@@ -570,6 +574,40 @@ class RegistrationModule:
                 self._root_maybe_go_ahead(stage)
             elif not stage.dirty_children:
                 self._run_d(stage)
+
+    def readmit_child(self, returned: NodeId) -> None:
+        """Restore a re-joined child into the cluster views (DESIGN.md §15).
+
+        The inverse of :meth:`prune_child`, restricted to topology: the
+        child re-enters every view it held in the pristine (construction
+        time) trees — in its original sibling position, so stages created
+        after the readmission see the same deterministic child order a
+        never-crashed run would.  Live stages are *not* rewound: the waves
+        they carry re-closed over the survivors when the crash was
+        detected, and un-closing them would make a barrier wait on a
+        contribution the fresh incarnation (which starts with blank
+        protocol state) never sends.  Poisoned slots stay poisoned — the
+        crash happened; readmission does not launder the slot back into
+        the free list.  Idempotent per neighbor.
+        """
+        pristine = self._pristine_clusters
+        clusters = dict(self.clusters)
+        changed = False
+        for cid, view in clusters.items():
+            pv = pristine.get(cid)
+            if (pv is None or returned not in pv.children
+                    or returned in view.children):
+                continue
+            keep = set(view.children)
+            keep.add(returned)
+            clusters[cid] = ClusterView(
+                cluster_id=cid,
+                parent=view.parent,
+                children=tuple(c for c in pv.children if c in keep),
+            )
+            changed = True
+        if changed:
+            self.clusters = clusters
 
     def handle_go_ahead(self, sender: NodeId, payload: Tuple) -> None:
         """The parent's Go-Ahead — ``(OP_REG_GO_AHEAD, key)``."""

@@ -441,7 +441,9 @@ class SynchronizerNode:
     # execution-forest child answers and flows
     # ------------------------------------------------------------------
     def _handle_child_answer(self, sender: NodeId, payload: Tuple) -> None:
-        vnode = self.vnodes[payload[1] - 1]
+        vnode = self._stale_vnode(payload[1] - 1)
+        if vnode is None:
+            return
         self._child_answer(vnode, sender, payload[2])
 
     def _child_answer(self, vnode: _VNode, who: Any, chosen: bool) -> None:
@@ -534,8 +536,51 @@ class SynchronizerNode:
                     for q in assemble_pulses(vnode.pulse, self.max_pulse):
                         self._try_assemble(vnode, q)
 
+    def readmit_neighbor(self, returned: NodeId) -> None:
+        """Re-admit a re-joined neighbor into the protocol stacks (§15).
+
+        Inverse of :meth:`prune_neighbor`, restricted to what is sound
+        going *forward*: the neighbor leaves the pruned set (its messages
+        reach the modules again), and the registration and aggregation
+        views are restored so stages and barrier instances created after
+        the readmission address it in its original deterministic position.
+        Nothing is rewound — vnodes that already re-closed their waits over
+        the survivors stay closed (the fresh incarnation never answers for
+        pulses it did not witness), and poisoned pooled slots stay
+        poisoned.  Idempotent per neighbor; a no-op for a neighbor that
+        was never pruned.
+        """
+        if not self.recovery:
+            raise RuntimeError(
+                "readmit_neighbor requires recovery mode (SynchronizerNode"
+                " was built with recovery=False)"
+            )
+        if returned not in self._pruned:
+            return
+        self._pruned.discard(returned)
+        self.reg.readmit_child(returned)
+        self.agg.readmit_child(returned)
+
+    def _stale_vnode(self, p: int) -> Optional[_VNode]:
+        """Vnode lookup tolerating re-join staleness (DESIGN.md §15).
+
+        In recovery mode a neighbor that won the rejoin-vs-detect race
+        never pruned this node and keeps addressing execution-forest
+        state the previous incarnation held; the fresh incarnation drops
+        such traffic (``None``) instead of crashing — it stays passive
+        for epochs it did not witness.  Outside recovery mode nodes are
+        never rebuilt, so a missing vnode is a protocol bug and raises
+        exactly as the plain indexing did.
+        """
+        vnode = self.vnodes.get(p)
+        if vnode is None and not self.recovery:
+            raise KeyError(p)
+        return vnode
+
     def _handle_vflow(self, sender: NodeId, payload: Tuple) -> None:
-        vnode = self.vnodes[payload[1]]
+        vnode = self._stale_vnode(payload[1])
+        if vnode is None:
+            return
         q = payload[2]
         flows = vnode.flows
         flow = flows.get(q)
@@ -687,7 +732,10 @@ class SynchronizerNode:
             self._release_down(self.vnodes[vnode.pulse + 1], q)
 
     def _handle_vga(self, sender: NodeId, payload: Tuple) -> None:
-        self._release_down(self.vnodes[payload[2]], payload[1])
+        vnode = self._stale_vnode(payload[2])
+        if vnode is None:
+            return
+        self._release_down(vnode, payload[1])
 
     def _handle_vrelease(self, sender: NodeId, payload: Tuple) -> None:
         self._evaluate(payload[1])

@@ -332,6 +332,24 @@ class Process:
         processes that override the hook (the transport elides detectors
         otherwise, so fault-free schedules stay byte-identical).  Default:
         no-op.
+
+        Not fired at all when the neighbor re-joins before the detector
+        would have gone off (``rejoin_time <= crash + detect_timeout``):
+        a flap faster than the timeout is indistinguishable from slowness
+        under the synchrony bound, so the detector stays silent.
+        """
+
+    def on_neighbor_alive(self, neighbor: NodeId) -> None:  # pragma: no cover
+        """Recovery-detector callback: ``neighbor`` re-joined the network.
+
+        The symmetric hook to :meth:`on_neighbor_dead` (DESIGN.md §15).
+        Fires ``detect_timeout`` after the neighbor's rejoin time, only
+        under a schedule with re-joins and only for processes that override
+        the hook.  The delay is the same sound bound as detection: by
+        ``rejoin + detect_timeout`` every pre-rejoin transport record on
+        the shared link has either fired or been voided, so readmitting the
+        neighbor cannot interleave the old incarnation's traffic with the
+        new one's.  Default: no-op.
         """
 
 
@@ -382,9 +400,14 @@ class ProcessContext:
         if crash_t is not None:
             t_crash = crash_t[self.node_id]
             if t_crash < inf:
+                rejoin_t = runtime._rejoin_t
+                t_rejoin = inf if rejoin_t is None else rejoin_t[self.node_id]
 
-                def guarded(_cb=callback, _rt=runtime, _t=t_crash) -> None:
-                    if _rt._now < _t:
+                def guarded(_cb=callback, _rt=runtime, _t=t_crash,
+                            _r=t_rejoin) -> None:
+                    # Dead window is [crash, rejoin): a re-joined node takes
+                    # environment steps again.
+                    if _rt._now < _t or _rt._now >= _r:
                         _cb()
 
                 runtime.schedule(delay, guarded)
@@ -399,6 +422,17 @@ class ProcessContext:
         ``to`` is dead calls this to clear the in-flight slot and discard
         everything queued toward the corpse.  Only meaningful under a fault
         schedule.
+
+        Interaction with re-joins (DESIGN.md §15): un-jamming here and the
+        transport's own un-jam at ``to``'s rejoin time compose cleanly —
+        both merely clear sender-side link state, and any record that was
+        in flight on the link when ``to`` crashed is *void* at the rejoin
+        regardless (the returned incarnation shares no link-layer state
+        with the old one).  So the first message the returned ``to``
+        observes on this link is whichever send follows the later of the
+        reset and the rejoin, in plain injection order: the rejoin-time
+        delivery order is exactly the post-rejoin send order, never a
+        resurrected pre-crash packet.
         """
         self._runtime._reset_link(self.links[to])
 
@@ -451,6 +485,8 @@ CTRL_ACK = "ack"
 CTRL_CALLBACK = "callback"
 CTRL_CRASH = "crash"
 CTRL_DETECT = "detect"
+CTRL_REJOIN = "rejoin"
+CTRL_ALIVE = "alive"
 
 
 class ControlledEvent:
@@ -486,6 +522,14 @@ class ControlledEvent:
             return self.src  # the sender's callback/outbox drain runs
         if kind == CTRL_DETECT:
             return self.dst  # the observer's on_neighbor_dead runs
+        if kind == CTRL_ALIVE:
+            return self.dst  # the observer's on_neighbor_alive runs
+        if kind == CTRL_REJOIN:
+            # A rejoin voids in-flight incident records and disarms armed
+            # detects at *other* observers — it enables/disables events
+            # whose acting processes are not the returning node, so for
+            # the partial-order reduction it races with everything.
+            return None
         return self.node  # callback (None when unattributed) / crash
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -523,6 +567,16 @@ class ScheduleController:
 
     #: Nodes the controller may crash (fail-stop) at a step of its choosing.
     crashable: Tuple[NodeId, ...] = ()
+
+    #: Nodes the controller may *re-join* after crashing them: every
+    #: crashed node listed here contributes a ``rejoin`` action to the
+    #: enabled set until it is chosen.  A chosen rejoin rebuilds the node
+    #: with fresh protocol state, un-jams its incident links, voids the
+    #: crash-stranded records still in the bag, and arms one ``alive``
+    #: action per live neighbor that overrides ``on_neighbor_alive`` —
+    #: racing the pending ``detect`` actions, which is exactly the
+    #: D1–D3-shaped interleaving space repro.check must cover.
+    rejoinable: Tuple[NodeId, ...] = ()
 
     def choose(self, events: List[ControlledEvent]) -> Optional[int]:
         """Pick the next step: an index into ``events``, or ``None`` to stop.
@@ -585,6 +639,7 @@ class AsyncRuntime(EventQueue):
         "output_time", "_time_to_output", "processes", "_active_seq",
         "faults", "detect_timeout", "_crash_t", "_down_fn", "_drop_fn",
         "dropped", "controller", "crashed",
+        "_rejoin_t", "_stale_seq", "_process_factory", "rejoined",
     )
 
     def __init__(
@@ -652,13 +707,20 @@ class AsyncRuntime(EventQueue):
         #: Nodes crashed by controller-chosen actions, with the logical
         #: time of the crash.  Populated only by ``_run_controlled``.
         self.crashed: Dict[NodeId, float] = {}
+        #: Nodes that re-joined during the run (schedule-keyed or
+        #: controller-chosen), with the time of the rejoin.
+        self.rejoined: Dict[NodeId, float] = {}
         self.faults = faults
         self.detect_timeout = detect_timeout
         self.dropped = 0
+        # Kept for rejoin rebuilds only (a returned node gets a *fresh*
+        # process from the same factory); never touched on fault-free runs.
+        self._process_factory = process_factory
         if faults is None:
             self._crash_t: Optional[List[float]] = None
             self._down_fn = None
             self._drop_fn = None
+            self._rejoin_t: Optional[List[float]] = None
         else:
             # Fault state resolved once per runtime: per-node crash times
             # (``inf`` = never) and per-directed-link down/drop checkers
@@ -671,6 +733,13 @@ class AsyncRuntime(EventQueue):
             self._drop_fn = [
                 faults.drop_checker(lu[i], lv[i]) for i in range(n_links)
             ]
+            self._rejoin_t = [faults.rejoin_time(v) for v in graph.nodes]
+        # Per-link stale-record watermark: a transport record whose seq is
+        # below the link's watermark was in flight when an incident endpoint
+        # re-joined and is *void* at fire time (DESIGN.md §15).  All zeros
+        # (every real seq is >= 0, and the watermark only moves at a rejoin)
+        # means the check is inert on schedules without rejoins.
+        self._stale_seq = [0] * n_links
         # Mutable per-replay link state: flat parallel lists (outboxes stay
         # None until a send actually queues — `if outbox[lid]` treats None
         # and empty alike).
@@ -1395,6 +1464,7 @@ class AsyncRuntime(EventQueue):
         the reference engine mirrors.
         """
         crash_t = self._crash_t
+        rejoin_t = self._rejoin_t
         base = Process.on_neighbor_dead
         processes = self.processes
         timeout = self.detect_timeout
@@ -1403,13 +1473,109 @@ class AsyncRuntime(EventQueue):
             if t_crash == inf:
                 continue
             t_fire = t_crash + timeout
+            if rejoin_t[c] <= t_fire:
+                # The corpse is back before the timeout would have gone
+                # off: a flap faster than detect_timeout is
+                # indistinguishable from slowness under the synchrony
+                # bound, so no observer ever accuses it (DESIGN.md §15).
+                continue
             for u in sorted(self.graph.neighbors(c)):
-                if crash_t[u] <= t_fire:
-                    continue
+                if crash_t[u] <= t_fire < rejoin_t[u]:
+                    continue  # observer dead at the fire time
                 proc = processes[u]
                 if type(proc).on_neighbor_dead is base:
                     continue
-                self.schedule_at(t_fire, partial(proc.on_neighbor_dead, c))
+                # Fire-time process lookup: if the observer re-joined
+                # between scheduling and firing, the *fresh* incarnation
+                # gets the callback (same object as ``proc`` on any
+                # schedule without rejoins).
+                self.schedule_at(t_fire, partial(self._fire_dead, u, c))
+
+    def _fire_dead(self, observer: NodeId, corpse: NodeId) -> None:
+        """Deliver ``on_neighbor_dead`` to whoever holds ``observer`` *now*."""
+        self.processes[observer].on_neighbor_dead(corpse)
+
+    def _fire_alive(self, observer: NodeId, returned: NodeId) -> None:
+        """Deliver ``on_neighbor_alive`` with the same fire-time lookup."""
+        self.processes[observer].on_neighbor_alive(returned)
+
+    def _rewire_node(self, v: NodeId) -> Process:
+        """Rebuild node ``v`` with fresh protocol state and re-arm its links.
+
+        The engine-agnostic half of a re-join (DESIGN.md §15): a fresh
+        process from the original factory replaces the corpse, every
+        incident directed link is re-wired to the new incarnation's
+        handlers (incoming: ``on_message``/dispatch table; outgoing:
+        ``on_delivered`` interest), and both directions are reset — the
+        jam a crashed receiver left behind clears, queued traffic toward
+        the corpse is discarded.  Timing-specific bookkeeping (stale-seq
+        watermarks / bag removal, ``on_start``, alive detectors) stays
+        with the caller.
+        """
+        proc = self._process_factory(ProcessContext(self, v))
+        self.processes[v] = proc
+        base_delivered = Process.on_delivered
+        deliver = self._deliver
+        table = self._table
+        delivered = self._delivered
+        ack_prefix = self._ack_prefix
+        out = self._out
+        overrides = type(proc).on_delivered is not base_delivered
+        for w in self.graph.neighbors(v):
+            lid_out = out[v][w]
+            lid_in = out[w][v]
+            deliver[lid_in] = proc.on_message
+            table[lid_in] = proc.on_message_table
+            if overrides:
+                delivered[lid_out] = proc.on_delivered
+                ack_prefix[lid_out] = type(proc).ACK_INTEREST_PREFIX
+            else:
+                delivered[lid_out] = None
+                ack_prefix[lid_out] = None
+            self._reset_link(lid_out)
+            self._reset_link(lid_in)
+        return proc
+
+    def _rejoin_node(self, v: NodeId) -> None:
+        """Timed-mode re-join callback: node ``v`` returns at ``self._now``.
+
+        Runs as an ordinary heap callback scheduled at setup, so at equal
+        timestamps it fires *before* any same-time transport record (its
+        sequence number is lower).  Every record still scheduled on an
+        incident link was injected before this moment and is therefore
+        void: the stale watermark is bumped to a freshly consumed sequence
+        number — strictly above every record currently in the heap — and
+        the dispatch loop discards marked records at fire time.  Then the
+        fresh incarnation starts (``on_start``) and recovery detectors
+        (``on_neighbor_alive``) are armed ``detect_timeout`` out for live
+        overriding neighbors, the same sound bound as crash detection: by
+        then all pre-rejoin incident traffic has fired or been voided.
+        """
+        now = self._now
+        mark = next(self._counter)
+        stale = self._stale_seq
+        out = self._out
+        for w in self.graph.neighbors(v):
+            stale[out[v][w]] = mark
+            stale[out[w][v]] = mark
+        proc = self._rewire_node(v)
+        self.rejoined[v] = now
+        # Blank state includes the output register: whatever the previous
+        # incarnation answered died with it (``time_to_output`` keeps its
+        # high-water mark — it is a scalar over the whole execution).
+        self.outputs.pop(v, None)
+        self.output_time.pop(v, None)
+        proc.on_start()
+        crash_t = self._crash_t
+        rejoin_t = self._rejoin_t
+        base_alive = Process.on_neighbor_alive
+        t_fire = now + self.detect_timeout
+        for u in sorted(self.graph.neighbors(v)):
+            if crash_t[u] <= t_fire < rejoin_t[u]:
+                continue  # observer dead at the fire time
+            if type(self.processes[u]).on_neighbor_alive is base_alive:
+                continue
+            self.schedule_at(t_fire, partial(self._fire_alive, u, v))
 
     def _run_faulty(
         self,
@@ -1441,12 +1607,20 @@ class AsyncRuntime(EventQueue):
         """
         processes = self.processes
         crash_t = self._crash_t
+        rejoin_t = self._rejoin_t
         for v in self.graph.nodes:  # ``nodes`` is an ascending range
             if crash_t[v] > 0.0:
                 self.schedule(0.0, processes[v].on_start)
         if self._blk_i is not None:
             self._blk_i[:] = self._skeleton.blk_lims
         self._schedule_detectors()
+        for v in self.graph.nodes:
+            t_rejoin = rejoin_t[v]
+            if t_rejoin < inf:
+                # Setup-scheduled, so the callback's sequence number is
+                # below every transport record's: at equal timestamps the
+                # rejoin fires first and same-time traffic is voided.
+                self.schedule_at(t_rejoin, partial(self._rejoin_node, v))
 
         heap = self._heap
         pop = heappop
@@ -1467,6 +1641,7 @@ class AsyncRuntime(EventQueue):
         injected_a = self._injected
         down_a = self._down_fn
         drop_a = self._drop_fn
+        stale_a = self._stale_seq
         acode_a = self._skeleton.ack_codes
         apcode_a = self._skeleton.ack_payload_codes
         fcode_a = self._skeleton.fat_codes
@@ -1500,6 +1675,14 @@ class AsyncRuntime(EventQueue):
                     ack = slot_ack_a[lid]
                 elif code >= CODE_ACK:
                     lid = code - CODE_ACK
+                    if record[1] < stale_a[lid]:
+                        # Void: in flight when an incident endpoint
+                        # re-joined (checked before down-deferral so a
+                        # deferred void record is never re-sequenced past
+                        # the watermark).  Only the pending count drains —
+                        # the link state belongs to the new incarnation.
+                        pending_a[lid] -= 1
+                        continue
                     down = down_a[lid]
                     if down is not None:
                         end = down(now)
@@ -1509,11 +1692,16 @@ class AsyncRuntime(EventQueue):
                     pending_a[lid] -= 1
                     busy_a[lid] = False
                     ob = outbox_a[lid]
-                    if ob and crash_t[lu[lid]] > now:
+                    sender = lu[lid]
+                    if ob and (crash_t[sender] > now
+                               or rejoin_t[sender] <= now):
                         inject(lid, heappop(ob)[2])
                     continue
                 elif code >= CODE_ACK_PAYLOAD:
                     lid = code - CODE_ACK_PAYLOAD
+                    if record[1] < stale_a[lid]:
+                        pending_a[lid] -= 1
+                        continue
                     down = down_a[lid]
                     if down is not None:
                         end = down(now)
@@ -1522,7 +1710,8 @@ class AsyncRuntime(EventQueue):
                             continue
                     pending_a[lid] -= 1
                     busy_a[lid] = False
-                    if crash_t[lu[lid]] <= now:
+                    sender = lu[lid]
+                    if crash_t[sender] <= now < rejoin_t[sender]:
                         # The sender is dead: no callback, no drain.
                         continue
                     delivered_a[lid](lv[lid], record[3])
@@ -1539,8 +1728,17 @@ class AsyncRuntime(EventQueue):
                     record[3]()
                     continue
                 # ---- delivery flow (packed or fat record) ----
+                if record[1] < stale_a[lid]:
+                    # Void: the record was in flight when an incident
+                    # endpoint re-joined.  The message vanishes without an
+                    # acknowledgment — but unlike the crash jam the link
+                    # was already reset at the rejoin, so nothing stays
+                    # stuck (DESIGN.md §15).
+                    dropped += 1
+                    pending_a[lid] -= 1
+                    continue
                 dst = lv[lid]
-                if crash_t[dst] <= now:
+                if crash_t[dst] <= now < rejoin_t[dst]:
                     # Receiver crashed: the message vanishes and the link
                     # jams (no acknowledgment; fail-stop nodes never answer).
                     dropped += 1
@@ -1648,10 +1846,18 @@ class AsyncRuntime(EventQueue):
             self._blk_i[:] = self._skeleton.blk_lims
 
         crashable = tuple(controller.crashable)
+        rejoinable = tuple(getattr(controller, "rejoinable", ()))
         crashed = self.crashed
+        rejoined = self.rejoined
         base_detect = Process.on_neighbor_dead
+        base_alive = Process.on_neighbor_alive
         #: Armed failure-detector steps: (observer, dead), arming order.
         detect_ready: List[Tuple[NodeId, NodeId]] = []
+        #: Armed recovery-detector steps: (observer, returned), arming
+        #: order.  Never withheld: a chosen rejoin voids every pre-rejoin
+        #: incident record immediately, so there is nothing the §11 bound
+        #: would still be waiting on.
+        alive_ready: List[Tuple[NodeId, NodeId]] = []
         #: Per-corpse seqs of live-sender deliveries in flight at the
         #: crash; the corpse's detects are withheld until all have fired
         #: (the §11 synchrony bound: such messages resolve before the
@@ -1710,15 +1916,26 @@ class AsyncRuntime(EventQueue):
                             cb_node.get(record[1]), record))
                 events.sort(key=lambda e: e.seq)
                 for v in crashable:
-                    if v not in crashed:
+                    if v not in crashed and v not in rejoined:
+                        # One crash per node: a re-joined node is not
+                        # offered again, which bounds the schedule space
+                        # (no infinite crash/rejoin flapping).
                         events.append(ControlledEvent(
                             CTRL_CRASH, None, None, None, None, v, None))
+                for v in rejoinable:
+                    if v in crashed:
+                        events.append(ControlledEvent(
+                            CTRL_REJOIN, None, None, None, None, v, None))
                 for u, c in detect_ready:
                     if detect_blockers.get(c):
                         continue
                     # detect: src = the dead node, dst/node = the observer.
                     events.append(ControlledEvent(
                         CTRL_DETECT, None, None, c, u, u, None))
+                for u, c in alive_ready:
+                    # alive: src = the returned node, dst/node = observer.
+                    events.append(ControlledEvent(
+                        CTRL_ALIVE, None, None, c, u, u, None))
                 if not events:
                     break
                 if budget == 0:
@@ -1754,6 +1971,9 @@ class AsyncRuntime(EventQueue):
                         detect_ready[:] = [
                             pair for pair in detect_ready if pair[0] != v
                         ]
+                        alive_ready[:] = [
+                            pair for pair in alive_ready if pair[0] != v
+                        ]
                         for u in sorted(self.graph.neighbors(v)):
                             if u in crashed:
                                 continue
@@ -1761,6 +1981,77 @@ class AsyncRuntime(EventQueue):
                                     is base_detect:
                                 continue
                             detect_ready.append((u, v))
+                    elif ev.kind == CTRL_REJOIN:
+                        v = ev.node
+                        del crashed[v]
+                        rejoined[v] = self._now
+                        # Un-fired detects observing v raced the rejoin and
+                        # lost: the timeout saw the node answer again.  The
+                        # controller covers the other order by firing the
+                        # detect *before* choosing the rejoin — exactly the
+                        # D1–D3 interleaving pair.
+                        detect_ready[:] = [
+                            pair for pair in detect_ready if pair[1] != v
+                        ]
+                        detect_blockers.pop(v, None)
+                        # Void every in-flight incident record (and the
+                        # corpse's stale attributed callbacks): the new
+                        # incarnation shares no link-layer state with the
+                        # old one.
+                        out = self._out
+                        incident = set()
+                        for w in self.graph.neighbors(v):
+                            incident.add(out[v][w])
+                            incident.add(out[w][v])
+                        voided = []
+                        for rec in heap:
+                            rcode = rec[2]
+                            if rcode >= CODE_DELIVER:
+                                rlid = rcode - CODE_DELIVER
+                                is_delivery = True
+                            elif rcode >= CODE_ACK:
+                                rlid = rcode - CODE_ACK
+                                is_delivery = False
+                            elif rcode >= CODE_ACK_PAYLOAD:
+                                rlid = rcode - CODE_ACK_PAYLOAD
+                                is_delivery = False
+                            elif rcode >= CODE_DELIVER_PAYLOAD:
+                                rlid = rcode - CODE_DELIVER_PAYLOAD
+                                is_delivery = True
+                            else:
+                                if cb_node.get(rec[1]) == v:
+                                    voided.append((rec, None, False))
+                                continue
+                            if rlid in incident:
+                                voided.append((rec, rlid, is_delivery))
+                        for rec, rlid, is_delivery in voided:
+                            heap.remove(rec)
+                            if rlid is not None:
+                                pending_a[rlid] -= 1
+                                if is_delivery:
+                                    dropped += 1
+                            if detect_blockers:
+                                for blk in detect_blockers.values():
+                                    blk.discard(rec[1])
+                        proc = self._rewire_node(v)
+                        # Blank state includes the output register: the
+                        # previous incarnation's answer died with it.
+                        self.outputs.pop(v, None)
+                        self.output_time.pop(v, None)
+                        seq = next(counter)
+                        push(heap, (self._now, seq, EV_CALLBACK,
+                                    proc.on_start))
+                        cb_node[seq] = v
+                        for u in sorted(self.graph.neighbors(v)):
+                            if u in crashed:
+                                continue
+                            if type(processes[u]).on_neighbor_alive \
+                                    is base_alive:
+                                continue
+                            alive_ready.append((u, v))
+                    elif ev.kind == CTRL_ALIVE:
+                        alive_ready.remove((ev.dst, ev.src))
+                        processes[ev.dst].on_neighbor_alive(ev.src)
                     else:  # CTRL_DETECT
                         detect_ready.remove((ev.dst, ev.src))
                         processes[ev.dst].on_neighbor_dead(ev.src)

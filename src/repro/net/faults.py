@@ -17,6 +17,22 @@ kinds compose, each a deterministic pure function of the schedule's seed:
   returns (the transport frees the link), but the payload never reaches the
   process and ``on_delivered`` never fires.
 
+Two *dynamic-network* extensions (DESIGN.md §15) compose with the three
+kinds above:
+
+* **node re-joins** — a crashed node may return at a derived time
+  ``rejoin_time(v) > crash_time(v)`` with *fresh* protocol state; its
+  incident links un-jam and any transport record that was in flight on an
+  incident link when the node left is **void** (both engines discard it at
+  fire time — the returned node shares no link-layer state with its former
+  incarnation);
+* **recurrent links** — with ``recurrent=True`` the seeded down-interval
+  train of each churned edge repeats with a per-link seeded period, so a
+  link can flap for the whole run instead of only inside ``[0, horizon)``.
+  Only the ``down_checker`` view is periodic; ``down_intervals`` still
+  returns the base train so interval validation and the sync engine's
+  round arithmetic stay unchanged.
+
 Determinism contract: every query is a pure function of
 ``(label, seed, endpoints, seq)`` using the same 64-bit mixing helpers as
 the delay models, so both engines — the packed-record
@@ -102,9 +118,10 @@ class FaultSchedule:
     __slots__ = (
         "seed", "label", "crash_rate", "crash_window", "down_rate",
         "down_lengths", "up_lengths", "horizon", "drop_rate", "protect",
-        "_crashes", "_downs", "_drops",
-        "_ms_crash", "_ms_down", "_ms_drop",
-        "_crash_cache", "_down_cache", "_drop_cache",
+        "rejoin_rate", "rejoin_delays", "recurrent",
+        "_crashes", "_downs", "_drops", "_rejoins",
+        "_ms_crash", "_ms_down", "_ms_drop", "_ms_rejoin", "_ms_recur",
+        "_crash_cache", "_down_cache", "_drop_cache", "_rejoin_cache",
     )
 
     def __init__(
@@ -121,6 +138,10 @@ class FaultSchedule:
         up_lengths: Tuple[float, float] = (1.0, 7.0),
         horizon: float = 32.0,
         drop_rate: float = 0.0,
+        rejoins: Optional[Dict[NodeId, float]] = None,
+        rejoin_rate: float = 0.0,
+        rejoin_delays: Tuple[float, float] = (4.0, 12.0),
+        recurrent: bool = False,
         protect: Iterable[NodeId] = (),
         label: str = "faults",
     ) -> None:
@@ -140,6 +161,22 @@ class FaultSchedule:
             raise FaultScheduleError(f"horizon must be finite and >= 0, got {horizon!r}")
         self.horizon = horizon
         self.drop_rate = _check_rate("drop_rate", drop_rate)
+        self.rejoin_rate = _check_rate("rejoin_rate", rejoin_rate)
+        self.rejoin_delays = _check_span("rejoin_delays", rejoin_delays)
+        if self.rejoin_delays[0] <= 0.0 and self.rejoin_rate > 0.0:
+            raise FaultScheduleError("rejoin_delays must have a positive minimum")
+        self.recurrent = bool(recurrent)
+        if self.recurrent and self.down_rate <= 0.0 and not (downs or {}):
+            raise FaultScheduleError(
+                "recurrent=True requires down intervals (down_rate or downs)"
+            )
+        if self.recurrent and self.up_lengths[0] <= 0.0:
+            # The seeded period is span + up-draw; a positive up minimum
+            # guarantees every period ends with an up phase, so deferral
+            # always terminates even when intervals tile the base train.
+            raise FaultScheduleError(
+                "recurrent=True requires up_lengths with a positive minimum"
+            )
         self.protect = frozenset(protect)
 
         explicit_crashes: Dict[NodeId, float] = {}
@@ -180,9 +217,35 @@ class FaultSchedule:
         self._ms_crash = _model_seed(label + ":crash", seed)
         self._ms_down = _model_seed(label + ":down", seed)
         self._ms_drop = _model_seed(label + ":drop", seed)
+        self._ms_rejoin = _model_seed(label + ":rejoin", seed)
+        self._ms_recur = _model_seed(label + ":recur", seed)
         self._crash_cache: Dict[NodeId, float] = {}
         self._down_cache: Dict[Edge, Optional[_DownFn]] = {}
         self._drop_cache: Dict[Tuple[NodeId, NodeId], Optional[_DropFn]] = {}
+        self._rejoin_cache: Dict[NodeId, float] = {}
+
+        # Explicit re-joins validate against the *computed* crash time so a
+        # rejoin for a node that never crashes (or one that precedes its own
+        # crash) fails at construction, not at draw time.
+        explicit_rejoins: Dict[NodeId, float] = {}
+        for v, t in (rejoins or {}).items():
+            t = float(t)
+            if not (isfinite(t) and t >= 0.0):
+                raise FaultScheduleError(
+                    f"rejoin time for node {v} must be finite and >= 0, got {t!r}"
+                )
+            crash_t = self.crash_time(v)
+            if crash_t == inf:
+                raise FaultScheduleError(
+                    f"node {v} has a rejoin time but never crashes"
+                )
+            if t <= crash_t:
+                raise FaultScheduleError(
+                    f"rejoin time {t!r} for node {v} must exceed its crash "
+                    f"time {crash_t!r}"
+                )
+            explicit_rejoins[v] = t
+        self._rejoins = explicit_rejoins
 
     def __getstate__(self):
         # The checker caches memoize pure functions of the domain-separated
@@ -202,6 +265,7 @@ class FaultSchedule:
         self._crash_cache = {}
         self._down_cache = {}
         self._drop_cache = {}
+        self._rejoin_cache = {}
 
     # -- queries ---------------------------------------------------------
 
@@ -237,6 +301,44 @@ class FaultSchedule:
     def crashed_nodes(self, nodes: Iterable[NodeId]) -> List[NodeId]:
         """Nodes among ``nodes`` that ever crash, in ascending order."""
         return sorted(v for v in nodes if self.crash_time(v) < inf)
+
+    def rejoin_time(self, v: NodeId) -> float:
+        """When node ``v`` re-joins after its crash (``inf`` = never).
+
+        Pure and cached, like :meth:`crash_time`.  A node that never crashes
+        never re-joins; a node that does crash re-joins either at its
+        explicit time (validated ``> crash_time(v)`` at construction) or,
+        under ``rejoin_rate``, at ``crash + delay`` with the delay drawn
+        from ``rejoin_delays`` on the ``:rejoin`` sub-stream — independent
+        of the crash draw, so toggling rejoins never perturbs crash times.
+        """
+        cached = self._rejoin_cache.get(v)
+        if cached is not None:
+            return cached
+        t_crash = self.crash_time(v)
+        if t_crash == inf:
+            t = inf
+        elif v in self._rejoins:
+            t = self._rejoins[v]
+        elif self.rejoin_rate > 0.0:
+            base = _link_base(self._ms_rejoin, v, v)
+            if _unit(base, 0) <= self.rejoin_rate:
+                r_lo, r_hi = self.rejoin_delays
+                t = t_crash + r_lo + _unit(base, 1) * (r_hi - r_lo)
+            else:
+                t = inf
+        else:
+            t = inf
+        self._rejoin_cache[v] = t
+        return t
+
+    def rejoining_nodes(self, nodes: Iterable[NodeId]) -> List[NodeId]:
+        """Nodes among ``nodes`` that crash and later re-join, ascending."""
+        return sorted(v for v in nodes if self.rejoin_time(v) < inf)
+
+    def has_rejoins(self, nodes: Iterable[NodeId]) -> bool:
+        """True when any node in ``nodes`` ever re-joins."""
+        return any(self.rejoin_time(v) < inf for v in nodes)
 
     def down_intervals(self, u: NodeId, v: NodeId) -> Tuple[Tuple[float, float], ...]:
         """Sorted disjoint half-open down intervals for the edge {u, v}."""
@@ -278,6 +380,36 @@ class FaultSchedule:
         if not intervals:
             self._down_cache[key] = None
             return None
+
+        if self.recurrent:
+            # Recurrent mode: the base train repeats with a per-link seeded
+            # period strictly greater than its span (span + a draw from
+            # up_lengths on the ``:recur`` sub-stream), so the link flaps
+            # for the whole run.  Fold ``t`` into ``[0, period)`` and map
+            # the deferral target back out — half-open semantics survive
+            # the fold, so a deferred event re-fired at ``e + k*period``
+            # still makes progress.
+            base = _link_base(self._ms_recur, key[0], key[1])
+            u_lo, u_hi = self.up_lengths
+            span = intervals[-1][1]
+            period = span + u_lo + _unit(base, 0) * (u_hi - u_lo)
+
+            def checker_recurrent(
+                t: float,
+                _iv: Tuple[Tuple[float, float], ...] = intervals,
+                _p: float = period,
+            ) -> float:
+                k = int(t // _p)
+                t0 = t - k * _p
+                for s, e in _iv:
+                    if t0 < s:
+                        return 0.0
+                    if t0 < e:
+                        return e + k * _p
+                return 0.0
+
+            self._down_cache[key] = checker_recurrent
+            return checker_recurrent
 
         def checker(t: float, _iv: Tuple[Tuple[float, float], ...] = intervals) -> float:
             for s, e in _iv:
@@ -328,6 +460,7 @@ class FaultSchedule:
         return (
             f"FaultSchedule(seed={self.seed}, label={self.label!r}, "
             f"crash_rate={self.crash_rate}, down_rate={self.down_rate}, "
-            f"drop_rate={self.drop_rate}, explicit={len(self._crashes)}c/"
-            f"{len(self._downs)}d/{len(self._drops)}x)"
+            f"drop_rate={self.drop_rate}, rejoin_rate={self.rejoin_rate}, "
+            f"recurrent={self.recurrent}, explicit={len(self._crashes)}c/"
+            f"{len(self._downs)}d/{len(self._drops)}x/{len(self._rejoins)}r)"
         )

@@ -23,6 +23,7 @@ the same diagnostic on both engines instead of an engine-specific error.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import inf
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from .faults import FaultSchedule
@@ -146,19 +147,33 @@ class SyncRuntime:
     def _run_faulty(self, max_rounds: int) -> SyncResult:
         """The fault-mode round loop (round-granular reading of DESIGN.md §11).
 
-        A node is dead at round ``r`` iff ``crash_time(v) <= r`` (dead
-        nodes are never activated; their queued sends die with them — sends
-        from earlier rounds were already in flight and still arrive).  A
-        send at pulse ``p`` nominally arrives at ``p + 1``; if the edge is
-        down over that round it is *deferred* to the first round at or
-        after the interval's end (link-layer retention, mirroring the
-        asynchronous engine), and a message whose receiver is dead at its
-        arrival round — or whose per-link sequence number the schedule
-        drops — is lost (counted in ``dropped``; it still counts as sent).
+        A node is dead at round ``r`` iff ``crash_time(v) <= r <
+        rejoin_time(v)`` (dead nodes are never activated; their queued
+        sends die with them — sends from earlier rounds were already in
+        flight and still arrive).  A send at pulse ``p`` nominally arrives
+        at ``p + 1``; if the edge is down over that round it is *deferred*
+        to the first round at or after the interval's end (link-layer
+        retention, mirroring the asynchronous engine), and a message whose
+        receiver is dead at its arrival round — or whose per-link sequence
+        number the schedule drops — is lost (counted in ``dropped``; it
+        still counts as sent).
+
+        Re-joins are round-granular too (DESIGN.md §15): at the first
+        round at or after ``rejoin_time(v)`` the node is rebuilt with
+        fresh protocol state, and if it is an initiator it re-runs
+        ``on_start`` that round.  Because rounds are the finest unit here,
+        the asynchronous engine's sub-round void rule ("in flight at the
+        rejoin instant") is not representable: a message is void exactly
+        when its *arrival round* falls inside the receiver's dead window,
+        so a send that crosses the rejoin boundary is delivered to the
+        fresh incarnation rather than voided.  Deterministic on both
+        readings; they are documented as different clocks over the same
+        schedule.
         """
         graph = self.graph
         faults = self.faults
         crash = faults.crash_time
+        rejoin = faults.rejoin_time
         down_of = faults.down_checker
         drop_of = faults.drop_checker
         outputs: Dict[NodeId, Any] = {}
@@ -198,7 +213,7 @@ class SyncRuntime:
                         if nxt < end:
                             nxt += 1
                         arrive = nxt if nxt > arrive else arrive + 1
-                if crash(to) <= arrive:
+                if crash(to) <= arrive < rejoin(to):
                     dropped += 1
                     continue
                 future.setdefault(arrive, {}).setdefault(to, []).append(
@@ -207,8 +222,21 @@ class SyncRuntime:
                 if self.record_messages:
                     message_log.append((pulse, v, to, payload))
 
+        initiators = set(self.spec.initiators(graph))
+        # Rebirth rounds: the first integer round at or after each rejoin
+        # time (ascending node order within a round, like every other
+        # per-round iteration here).
+        rebirth: Dict[int, List[NodeId]] = {}
+        for v in graph.nodes:
+            t_rejoin = rejoin(v)
+            if t_rejoin < inf:
+                r = int(t_rejoin)
+                if r < t_rejoin:
+                    r += 1
+                rebirth.setdefault(r, []).append(v)
+
         sent_last: Set[NodeId] = set()
-        for v in sorted(self.spec.initiators(graph)):
+        for v in sorted(initiators):
             if crash(v) <= 0.0:
                 continue
             api = PulseApi(self._infos[v])
@@ -222,7 +250,7 @@ class SyncRuntime:
             dispatch(0, v, sends)
 
         pulse = 0
-        while future or sent_last:
+        while future or sent_last or rebirth:
             pulse += 1
             if pulse > max_rounds:
                 raise RuntimeError(
@@ -232,8 +260,29 @@ class SyncRuntime:
             arrivals = future.pop(pulse, {})
             triggered = set(arrivals) | sent_last
             sent_last = set()
+            for v in sorted(rebirth.pop(pulse, [])):
+                # The returned node gets fresh protocol state; an
+                # initiator re-runs on_start at its rebirth round (then
+                # receives any same-round arrivals below, like a pulse-0
+                # start compressed into its first live round).
+                self.programs[v] = self.spec.node_factory(self._infos[v])
+                # Blank state includes the output register: the previous
+                # incarnation's answer died with it.
+                outputs.pop(v, None)
+                output_round.pop(v, None)
+                if v not in initiators:
+                    continue
+                api = PulseApi(self._infos[v])
+                self.programs[v].on_start(api)
+                sends, has_output, value = api.collect()
+                if has_output:
+                    outputs[v] = value
+                    output_round[v] = pulse
+                if sends:
+                    sent_last.add(v)
+                dispatch(pulse, v, sends)
             for v in sorted(triggered):
-                if crash(v) <= pulse:
+                if crash(v) <= pulse < rejoin(v):
                     # Dead at this round: never activated, and anything it
                     # would have sent dies with it.  Arrivals addressed to
                     # it were already dropped at send time.

@@ -44,6 +44,26 @@ class TestExploration:
         assert report.executions == 60
         assert not report.exhausted  # budget cut, honestly reported
 
+    def test_rejoin_cell_clean_under_budget(self):
+        """The crash+rejoin cell stays clean over a bounded prefix of its
+        schedule space — the default first execution already walks crash
+        → detect batch → rejoin → alive batch, and backtracking reverses
+        the rejoin across the detects (the D1–D3 race of DESIGN.md §15)."""
+        report = explore(build_workload("rejoin:cycle:4:crash:1"), budget=80)
+        assert report.violation is None
+        assert report.executions == 80
+        # Rejoin steps genuinely appear in the explored prefix: races on
+        # the rejoin action were found and scheduled.
+        assert report.races > 0
+
+    def test_rejoin_cell_deterministic(self):
+        a = explore(build_workload("rejoin:cycle:4:crash:2"), budget=40)
+        b = explore(build_workload("rejoin:cycle:4:crash:2"), budget=40)
+        assert (a.executions, a.states, a.races, a.steps_total,
+                a.max_depth, a.violation) == (
+            b.executions, b.states, b.races, b.steps_total,
+            b.max_depth, b.violation)
+
     def test_budget_zero_like_minimal(self):
         report = explore(build_workload("reg:star:3"), budget=1)
         assert report.executions == 1
@@ -85,11 +105,27 @@ class TestWorkloadSpecs:
         with pytest.raises(ValueError):
             build_workload("sync-bfs:torus:4")
 
+    def test_rejoin_root_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("rejoin:cycle:5:crash:0")
+
+    def test_rejoin_cell_wires_controller(self):
+        cell = build_workload("rejoin:cycle:5:crash:2")
+        assert cell.crashable == (2,)
+        assert cell.rejoinable == (2,)
+        churn = build_workload("churn:cycle:5:crash:2")
+        assert churn.rejoinable == ()
+
     def test_matrix_expansion(self):
         cells = expand_workloads("churn:cycle:5")
         assert [c.name for c in cells] == [
             f"churn:cycle:5:crash:{v}" for v in (1, 2, 3, 4)
         ]
+        rejoin = expand_workloads("rejoin:cycle:5")
+        assert [c.name for c in rejoin] == [
+            f"rejoin:cycle:5:crash:{v}" for v in (1, 2, 3, 4)
+        ]
+        assert all(c.rejoinable == c.crashable for c in rejoin)
         reg = expand_workloads("reg:star:4:crash")
         assert [c.name for c in reg] == [
             f"reg:star:4:crash:{v}" for v in (1, 2, 3)

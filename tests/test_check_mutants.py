@@ -11,7 +11,10 @@ deferred across the down interval lands in a force-closed wave and trips
 the Lemma 5.1 oracle inside the core.  Mutant 2 skips crash poisoning in
 the registration pool: ``prune_child`` no longer marks crash-touched
 stages, so a torn slot recycles into the free list and the pool-hygiene
-probe catches the reuse.
+probe catches the reuse.  Mutant 3 drops the readmission on
+``on_neighbor_alive``: a re-joined neighbor stays pruned forever, and the
+rejoin-consistency probe catches the stale prune on every interleaving
+where a detect fired before the rejoin (DESIGN.md §15).
 
 The mutants are loaded by source-patching the module text and exec-ing it
 under a private module name — the installed package is never modified, and
@@ -46,6 +49,11 @@ SKIP_POISONING = (
     "repro/core/registration.py",
     "stage.poisoned = True",
     "stage.poisoned = False",
+)
+READMIT_DROPPED = (
+    "repro/core/recovery.py",
+    "self.node.readmit_neighbor(neighbor)",
+    "pass  # mutant: readmission dropped",
 )
 
 
@@ -92,6 +100,13 @@ def poisoning_mutant():
     sys.modules.pop("repro.core._mut_registration", None)
 
 
+@pytest.fixture(scope="module")
+def readmit_mutant():
+    mod = _load_mutated(READMIT_DROPPED, "repro.core._mut_readmit")
+    yield mod
+    sys.modules.pop("repro.core._mut_readmit", None)
+
+
 def _straggler_workload(mod):
     return SyncWorkload(
         "churn:cycle:5:crash:2", cycle_graph(5), crashable=(2,),
@@ -103,6 +118,13 @@ def _poisoning_workload(mod):
     return RegWorkload(
         "reg:star:4:crash:1", star_graph(4), crashable=(1,),
         module_cls=mod.RegistrationModule,
+    )
+
+
+def _readmit_workload(mod):
+    return SyncWorkload(
+        "rejoin:cycle:5:crash:2", cycle_graph(5), crashable=(2,),
+        rejoinable=(2,), base_cls=mod.RecoverySynchronizerProcess,
     )
 
 
@@ -138,6 +160,58 @@ def test_checker_finds_poisoning_mutant(poisoning_mutant):
     assert probe == "pool-hygiene"
     assert "free pool" in message
     assert report.violation_choices
+
+
+def test_checker_finds_readmit_mutant(readmit_mutant):
+    from repro.core.recovery import RecoverySynchronizerProcess
+
+    assert readmit_mutant.RecoverySynchronizerProcess is not (
+        RecoverySynchronizerProcess
+    )
+    report = explore(_readmit_workload(readmit_mutant), budget=500)
+    assert report.violation is not None, (
+        f"readmit-dropped mutant survived {report.executions} executions"
+    )
+    probe, message = report.violation
+    assert probe == "rejoin-consistency"
+    assert "still prunes" in message
+    assert report.violation_choices
+
+
+def test_readmit_counterexample_shrinks_and_replays(readmit_mutant):
+    """Full counterexample lifecycle for the rejoin path: find, shrink,
+    serialize, strict-replay, and byte-identical re-derivation from a
+    second independent run (the ISSUE's replayable-shrunk-trace bar)."""
+    traces = []
+    for _ in range(2):
+        workload = _readmit_workload(readmit_mutant)
+        report = explore(workload, budget=500)
+        assert report.violation is not None
+        choices = shrink(
+            workload, report.violation_choices, report.violation
+        )
+        assert len(choices) <= len(report.violation_choices)
+        trace = make_trace(workload.name, choices, report.violation)
+        outcome = replay(trace, _readmit_workload(readmit_mutant))
+        assert outcome.violation is not None
+        assert outcome.violation.signature() == trace_signature(trace)
+        traces.append(canonical_bytes(trace))
+    assert traces[0] == traces[1]
+
+
+def test_real_tree_clean_on_rejoin_cell():
+    """The rejoin cell stays clean on the pristine tree within the same
+    budget the mutant falls in — the finding is the bug's, not the
+    cell's.  (Rejoin cells are too deep to exhaust; bounded cleanliness
+    is what CI asserts too.)"""
+    report = explore(
+        SyncWorkload(
+            "rejoin:cycle:5:crash:2", cycle_graph(5), crashable=(2,),
+            rejoinable=(2,),
+        ),
+        budget=500,
+    )
+    assert report.violation is None
 
 
 def test_real_tree_clean_on_mutant_cells():

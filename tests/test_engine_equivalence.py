@@ -66,13 +66,14 @@ class _RefContext:
         if runtime._faults is not None:
             # Same crash guard as the packed engine: the event stays on the
             # heap (schedules are immutable) but fires as a no-op once the
-            # owner is dead.
+            # owner is dead.  Dead window is [crash, rejoin).
             t_crash = runtime._crash_t[self.node_id]
             if t_crash != inf:
+                t_rejoin = runtime._rejoin_t[self.node_id]
                 inner = callback
 
-                def callback(_cb=inner, _rt=runtime, _t=t_crash):
-                    if _rt._now < _t:
+                def callback(_cb=inner, _rt=runtime, _t=t_crash, _r=t_rejoin):
+                    if _rt._now < _t or _rt._now >= _r:
                         _cb()
 
         runtime._schedule(delay, callback)
@@ -92,6 +93,7 @@ class ReferenceRuntime:
         self.graph = graph
         self.delay_model = delay_model
         self.trace = trace
+        self._factory = process_factory
         self._heap = []
         self._seq = 0
         self._now = 0.0
@@ -103,18 +105,27 @@ class ReferenceRuntime:
         self.messages = 0
         self.acks = 0
         self.dropped = 0
+        self.rejoined = {}
         if faults is not None and faults.is_empty():
             faults = None
         self._faults = faults
         self.detect_timeout = detect_timeout
+        # Per-node incarnation counters: a transport closure captures the
+        # epochs of both endpoints when it is scheduled and is *void* at
+        # fire time if either changed — the reference reading of the
+        # packed engine's stale-seq watermarks (DESIGN.md §15).
+        self._epoch = {v: 0 for v in graph.nodes}
         if faults is not None:
             self._crash_t = {v: faults.crash_time(v) for v in graph.nodes}
+            self._rejoin_t = {v: faults.rejoin_time(v) for v in graph.nodes}
             self._down = {
                 pair: faults.down_checker(*pair) for pair in self._links
             }
             self._drop = {
                 pair: faults.drop_checker(*pair) for pair in self._links
             }
+        else:
+            self._rejoin_t = {v: inf for v in graph.nodes}
         self.outputs = {}
         self.output_time = {}
         self._time_to_output = 0.0
@@ -144,18 +155,32 @@ class ReferenceRuntime:
         if not link.busy:
             self._inject(u, v, link)
 
+    def _void(self, u, v, eu, ev):
+        """True when a transport closure scheduled at epochs ``(eu, ev)``
+        fires after either endpoint re-joined — it was in flight at the
+        rejoin instant and the new incarnation owns the link now."""
+        epoch = self._epoch
+        return epoch[u] != eu or epoch[v] != ev
+
     def _inject(self, u, v, link):
         _, _, payload = heapq.heappop(link.outbox)
         link.busy = True
         link.injected += 1
         self.messages += 1
         delay = self.delay_model(u, v, link.injected, self._now)
-        self._schedule(delay, lambda: self._deliver(u, v, payload))
+        eu, ev = self._epoch[u], self._epoch[v]
+        self._schedule(delay, lambda: self._deliver(u, v, payload, eu, ev))
 
-    def _deliver(self, u, v, payload):
+    def _deliver(self, u, v, payload, eu, ev):
         link = self._links[(u, v)]
         if self._faults is not None:
-            if self._crash_t[v] <= self._now:
+            if self._void(u, v, eu, ev):
+                # Void across a rejoin: the message vanishes without an
+                # acknowledgment, but the link was already reset at the
+                # rejoin so nothing stays jammed.
+                self.dropped += 1
+                return
+            if self._crash_t[v] <= self._now < self._rejoin_t[v]:
                 # Receiver is dead: the message is lost and the link jams —
                 # no acknowledgment ever frees it (fail-stop semantics).
                 self.dropped += 1
@@ -164,9 +189,11 @@ class ReferenceRuntime:
             if down is not None:
                 end = down(self._now)
                 if end > 0.0:
-                    # Down interval: deferral, not loss — retry at its end.
+                    # Down interval: deferral, not loss — retry at its end
+                    # (injection-time epochs ride along the retries).
                     self._schedule(
-                        end - self._now, lambda: self._deliver(u, v, payload)
+                        end - self._now,
+                        lambda: self._deliver(u, v, payload, eu, ev)
                     )
                     return
             drop = self._drop[(u, v)]
@@ -176,28 +203,38 @@ class ReferenceRuntime:
                 self.dropped += 1
                 self.acks += 1
                 ack_delay = self.delay_model(v, u, -link.injected, self._now)
-                self._schedule(ack_delay, lambda: self._ack_only(u, v))
+                aeu, aev = self._epoch[u], self._epoch[v]
+                self._schedule(
+                    ack_delay, lambda: self._ack_only(u, v, aeu, aev)
+                )
                 return
         if self.trace is not None:
             self.trace(self._now, u, v, payload)
         self.acks += 1
         ack_delay = self.delay_model(v, u, -link.injected, self._now)
-        self._schedule(ack_delay, lambda: self._ack(u, v, payload))
+        aeu, aev = self._epoch[u], self._epoch[v]
+        self._schedule(
+            ack_delay, lambda: self._ack(u, v, payload, aeu, aev)
+        )
         self.processes[v].on_message(u, payload)
 
-    def _ack(self, u, v, payload):
+    def _ack(self, u, v, payload, eu, ev):
         link = self._links[(u, v)]
         if self._faults is not None:
+            if self._void(u, v, eu, ev):
+                # Void ack: the new incarnation owns the link state.
+                return
             down = self._down[(u, v)]
             if down is not None:
                 end = down(self._now)
                 if end > 0.0:
                     self._schedule(
-                        end - self._now, lambda: self._ack(u, v, payload)
+                        end - self._now,
+                        lambda: self._ack(u, v, payload, eu, ev)
                     )
                     return
             link.busy = False
-            if self._crash_t[u] <= self._now:
+            if self._crash_t[u] <= self._now < self._rejoin_t[u]:
                 # Dead sender: no callback, and its outbox dies with it.
                 return
             self.processes[u].on_delivered(v, payload)
@@ -209,18 +246,22 @@ class ReferenceRuntime:
         if link.outbox:
             self._inject(u, v, link)
 
-    def _ack_only(self, u, v):
+    def _ack_only(self, u, v, eu, ev):
         """Link-layer ack of a dropped payload: frees and drains, but the
         sender gets no ``on_delivered`` (the message was lost)."""
+        if self._void(u, v, eu, ev):
+            return
         link = self._links[(u, v)]
         down = self._down[(u, v)]
         if down is not None:
             end = down(self._now)
             if end > 0.0:
-                self._schedule(end - self._now, lambda: self._ack_only(u, v))
+                self._schedule(
+                    end - self._now, lambda: self._ack_only(u, v, eu, ev)
+                )
                 return
         link.busy = False
-        if self._crash_t[u] <= self._now:
+        if self._crash_t[u] <= self._now < self._rejoin_t[u]:
             return
         if link.outbox:
             self._inject(u, v, link)
@@ -250,11 +291,46 @@ class ReferenceRuntime:
             stop_reason=stop_reason,
         )
 
+    def _rejoin(self, v):
+        """Node ``v`` returns with fresh state: bump its epoch (voiding
+        every in-flight incident closure), reset both directions of every
+        incident link, rebuild the process, start it, and arm the
+        ``on_neighbor_alive`` recovery detectors — mirroring the packed
+        engine's ``_rejoin_node`` step for step."""
+        self._epoch[v] += 1
+        for w in self.graph.neighbors(v):
+            for pair in ((v, w), (w, v)):
+                link = self._links[pair]
+                link.busy = False
+                link.outbox.clear()
+        self.processes[v] = self._factory(_RefContext(self, v))
+        self.rejoined[v] = self._now
+        # Blank state includes the output register (time_to_output keeps
+        # its high-water mark, matching the packed engine).
+        self.outputs.pop(v, None)
+        self.output_time.pop(v, None)
+        self.processes[v].on_start()
+        crash_t = self._crash_t
+        rejoin_t = self._rejoin_t
+        base_alive = Process.on_neighbor_alive
+        t_fire = self._now + self.detect_timeout
+        for u in sorted(self.graph.neighbors(v)):
+            if crash_t[u] <= t_fire < rejoin_t[u]:
+                continue  # observer dead at the fire time
+            if type(self.processes[u]).on_neighbor_alive is base_alive:
+                continue
+            self._schedule(
+                t_fire - self._now,
+                lambda uu=u, vv=v: self.processes[uu].on_neighbor_alive(vv),
+            )
+
     def _run_faulty(self, max_time=None):
         # Mirrors the packed engine's fault loop: on_start runs directly
         # (ascending node order, crashed-at-zero nodes skipped), then the
-        # failure detectors are scheduled, then the heap drains.
+        # failure detectors are scheduled, then the rejoin closures, then
+        # the heap drains.
         crash_t = self._crash_t
+        rejoin_t = self._rejoin_t
         for v in sorted(self.graph.nodes):
             if crash_t[v] <= 0.0:
                 continue
@@ -265,15 +341,24 @@ class ReferenceRuntime:
             if t_crash == inf:
                 continue
             t_fire = t_crash + self.detect_timeout
+            if rejoin_t[c] <= t_fire:
+                continue  # back before the timeout: no accusation
             for u in sorted(self.graph.neighbors(c)):
-                if crash_t[u] <= t_fire:
+                if crash_t[u] <= t_fire < rejoin_t[u]:
                     continue
                 proc = self.processes[u]
                 if type(proc).on_neighbor_dead is base_dead:
                     continue
+                # Fire-time lookup, like the packed engine: a re-joined
+                # observer's fresh incarnation gets the callback.
                 self._schedule(
-                    t_fire, lambda p=proc, cc=c: p.on_neighbor_dead(cc)
+                    t_fire,
+                    lambda uu=u, cc=c: self.processes[uu].on_neighbor_dead(cc),
                 )
+        for v in sorted(self.graph.nodes):
+            t_rejoin = rejoin_t[v]
+            if t_rejoin < inf:
+                self._schedule(t_rejoin, lambda vv=v: self._rejoin(vv))
         stop_reason = "quiescent"
         while self._heap:
             if max_time is not None and self._heap[0][0] > max_time:
@@ -500,14 +585,28 @@ def _assert_equivalent(ref_trace, ref_result, new_trace, new_result):
 
 
 class FaultObservantGossip(Gossip):
-    """Gossip plus a failure-detector recorder: the detection times and the
-    order the detectors fire in are part of the pinned schedule."""
+    """Gossip plus failure/recovery-detector recorders: the detection times
+    and the order the detectors fire in are part of the pinned schedule —
+    including the ``on_neighbor_alive`` firings a rejoin arms."""
+
+    def _publish(self):
+        self.ctx.set_output((
+            "best", self.best,
+            "dead", tuple(getattr(self, "dead_log", ())),
+            "alive", tuple(getattr(self, "alive_log", ())),
+        ))
 
     def on_neighbor_dead(self, neighbor):
         log = getattr(self, "dead_log", [])
         log.append((self.ctx.now, neighbor))
         self.dead_log = log
-        self.ctx.set_output(("best", self.best, "dead", tuple(log)))
+        self._publish()
+
+    def on_neighbor_alive(self, neighbor):
+        log = getattr(self, "alive_log", [])
+        log.append((self.ctx.now, neighbor))
+        self.alive_log = log
+        self._publish()
 
 
 @settings(max_examples=40, deadline=None)
@@ -519,18 +618,25 @@ class FaultObservantGossip(Gossip):
     crash_rate=st.floats(min_value=0.0, max_value=0.4, allow_nan=False),
     down_rate=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
     drop_rate=st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+    rejoin_rate=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    recurrent=st.booleans(),
 )
 def test_fault_schedule_equivalence(
-    seed, fault_seed, model_idx, topo, crash_rate, down_rate, drop_rate
+    seed, fault_seed, model_idx, topo, crash_rate, down_rate, drop_rate,
+    rejoin_rate, recurrent,
 ):
-    """Property: for an arbitrary seeded ``FaultSchedule`` crossed with
-    every delay model in the adversary family, the packed engine's faulty
-    run is byte-identical to the reference engine's — same delivery trace,
-    same drop count, same detector firings, same metrics."""
+    """Property: for an arbitrary seeded ``FaultSchedule`` — now including
+    rejoins and recurrent (flapping) links — crossed with every delay model
+    in the adversary family, the packed engine's faulty run is
+    byte-identical to the reference engine's — same delivery trace, same
+    drop count, same detector firings (dead *and* alive), same metrics."""
     graph = TOPOLOGIES[topo]()
     faults = FaultSchedule(
         seed=fault_seed, crash_rate=crash_rate,
         down_rate=down_rate, drop_rate=drop_rate,
+        rejoin_rate=rejoin_rate,
+        # recurrent=True requires down intervals to repeat.
+        recurrent=recurrent and down_rate > 0.0,
     )
     ref_model = standard_adversaries(seed)[model_idx]
     new_model = standard_adversaries(seed)[model_idx]
@@ -554,6 +660,30 @@ def test_gossip_faulty_equivalence_across_adversaries(topo, seed):
     graph = TOPOLOGIES[topo]()
     faults = FaultSchedule(
         seed=seed + 17, crash_rate=0.2, down_rate=0.3, drop_rate=0.1
+    )
+    for model in standard_adversaries(seed):
+        ref_trace, new_trace = [], []
+        ref_result = ReferenceRuntime(
+            graph, FaultObservantGossip, model, faults=faults,
+            trace=lambda t, u, v, p: ref_trace.append((t, u, v, p)),
+        ).run()
+        new_result = AsyncRuntime(
+            graph, FaultObservantGossip, model, faults=faults,
+            trace=lambda t, u, v, p: new_trace.append((t, u, v, p)),
+        ).run()
+        _assert_equivalent(ref_trace, ref_result, new_trace, new_result)
+
+
+@pytest.mark.parametrize("topo", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_gossip_dynamic_equivalence_across_adversaries(topo, seed):
+    """Dynamic-network cousin: every crash re-joins and the down intervals
+    recur (flapping links) — the full §15 semantics, pinned against the
+    reference engine for all eight adversaries."""
+    graph = TOPOLOGIES[topo]()
+    faults = FaultSchedule(
+        seed=seed + 29, crash_rate=0.3, down_rate=0.25, drop_rate=0.1,
+        rejoin_rate=1.0, recurrent=True,
     )
     for model in standard_adversaries(seed):
         ref_trace, new_trace = [], []

@@ -70,6 +70,29 @@ class TestScheduleValidation:
         with pytest.raises(FaultScheduleError, match="horizon"):
             FaultSchedule(down_rate=0.5, horizon=inf)
 
+    def test_bad_rejoin_rate_rejected(self):
+        with pytest.raises(FaultScheduleError, match="rejoin_rate"):
+            FaultSchedule(rejoin_rate=1.5)
+
+    def test_rejoin_delays_need_positive_minimum(self):
+        with pytest.raises(FaultScheduleError, match="rejoin_delays"):
+            FaultSchedule(crash_rate=0.5, rejoin_rate=0.5,
+                          rejoin_delays=(0.0, 1.0))
+
+    def test_explicit_rejoin_needs_a_crash(self):
+        with pytest.raises(FaultScheduleError, match="never crashes"):
+            FaultSchedule(rejoins={1: 2.0})
+
+    def test_explicit_rejoin_must_follow_crash(self):
+        with pytest.raises(FaultScheduleError, match="exceed its crash"):
+            FaultSchedule(crashes={1: 3.0}, rejoins={1: 2.0})
+        with pytest.raises(FaultScheduleError, match="finite"):
+            FaultSchedule(crashes={1: 1.0}, rejoins={1: inf})
+
+    def test_recurrent_needs_down_churn(self):
+        with pytest.raises(FaultScheduleError, match="recurrent"):
+            FaultSchedule(recurrent=True)
+
 
 class TestScheduleDeterminism:
     def test_same_seed_same_decisions(self):
@@ -102,6 +125,41 @@ class TestScheduleDeterminism:
         assert down(1.0) == 2.0   # down at the start...
         assert down(1.999) == 2.0
         assert down(2.0) == 0.0   # ...up at the end: deferred events progress
+
+    def test_rejoin_stream_independent_of_crash_draw(self):
+        base = FaultSchedule(seed=17, crash_rate=0.4)
+        flappy = FaultSchedule(seed=17, crash_rate=0.4, rejoin_rate=1.0)
+        lo, hi = flappy.rejoin_delays
+        for v in range(32):
+            # Toggling re-joins never perturbs the crash draw (the rejoin
+            # sub-stream is domain-separated).
+            assert base.crash_time(v) == flappy.crash_time(v)
+            t_crash = flappy.crash_time(v)
+            t_rejoin = flappy.rejoin_time(v)
+            if t_crash == inf:
+                assert t_rejoin == inf  # never crashed, never returns
+            else:
+                assert t_crash + lo <= t_rejoin <= t_crash + hi
+        assert base.rejoining_nodes(range(32)) == []
+        assert flappy.has_rejoins(range(32))
+        assert flappy.rejoining_nodes(range(32)) == (
+            flappy.crashed_nodes(range(32))  # rejoin_rate=1.0: all return
+        )
+
+    def test_recurrent_flaps_past_horizon(self):
+        once = FaultSchedule(seed=4, down_rate=1.0)
+        recur = FaultSchedule(seed=4, down_rate=1.0, recurrent=True)
+        iv = recur.down_intervals(2, 5)
+        # Same base train inside the first period...
+        assert iv == once.down_intervals(2, 5)
+        span = iv[-1][1]
+        assert once.down_checker(2, 5)(span + 100.0) == 0.0
+        # ...but the recurrent link is still flapping far past the horizon
+        # where the one-shot schedule has healed for good.  (Every down
+        # interval is >= 0.25 long, so a 0.125-step scan cannot miss one.)
+        down = recur.down_checker(2, 5)
+        far = 50.0 * recur.horizon
+        assert any(down(far + 0.125 * i) > 0.0 for i in range(800))
 
 
 # ----------------------------------------------------------------------
@@ -219,6 +277,120 @@ def test_drop_gets_link_layer_ack():
     assert result.messages == 2
     assert result.acks == 2
     assert result.dropped == 1
+
+
+# ----------------------------------------------------------------------
+# re-join transport semantics, per fault-kind combination (DESIGN.md §15)
+# ----------------------------------------------------------------------
+class RejoinAware(TwoBurst):
+    """Node 0's view of a flapping neighbor: reset the jammed link on
+    death, greet the returned incarnation with a fresh two-burst."""
+
+    def on_neighbor_dead(self, neighbor):
+        self.ctx.reset_link(neighbor)
+        self.events = getattr(self, "events", [])
+        self.events.append(("dead", neighbor, self.ctx.now))
+
+    def on_neighbor_alive(self, neighbor):
+        self.events = getattr(self, "events", [])
+        self.events.append(("alive", neighbor, self.ctx.now))
+        self.ctx.send(neighbor, ("post", 0))
+        self.ctx.send(neighbor, ("post", 1))
+
+
+def test_rejoin_after_jam_delivers_in_post_send_order():
+    graph = topology.path_graph(2)
+    faults = FaultSchedule(crashes={1: 0.25}, rejoins={1: 3.0})
+    rt = AsyncRuntime(graph, RejoinAware, ConstantDelay(0.5), faults=faults)
+    result = rt.run()
+    # m0 dies against the crash (jamming the link), the detector resets
+    # the jam at crash + timeout, and the greeting pair sent at the alive
+    # detect reaches the fresh incarnation in plain injection order — the
+    # rejoin-time delivery order is exactly the post-rejoin send order,
+    # never a resurrected pre-crash packet.
+    assert rt.processes[0].events == [
+        ("dead", 1, 0.25 + DETECT_TIMEOUT),
+        ("alive", 1, 3.0 + DETECT_TIMEOUT),
+    ]
+    assert result.outputs[1] == (
+        (3.0 + DETECT_TIMEOUT + 0.5, ("post", 0)),
+        (3.0 + DETECT_TIMEOUT + 1.5, ("post", 1)),
+    )
+    assert result.messages == 3  # m0 + the greeting pair; m1 never injects
+    assert result.dropped == 1
+    assert result.stop_reason == "quiescent"
+
+
+def test_rejoin_voids_pre_crash_output_and_discards_queue():
+    graph = topology.path_graph(2)
+    faults = FaultSchedule(crashes={1: 0.75}, rejoins={1: 3.5})
+    result = AsyncRuntime(
+        graph, TwoBurst, ConstantDelay(0.5), faults=faults
+    ).run()
+    # m0 answered at 0.5; the crash at 0.75 loses m1 and jams the link;
+    # the rejoin wipes the incarnation wholesale — output register
+    # included — and TwoBurst has no detectors, so nobody re-sends: the
+    # returned node ends blank even though its predecessor had answered.
+    assert result.outputs.get(1) is None
+    assert result.messages == 2
+    assert result.dropped == 1
+    assert result.time_to_output == 0.5  # scalar high-water mark survives
+
+
+def test_fast_flap_never_accused_but_voids_in_flight():
+    graph = topology.path_graph(2)
+    faults = FaultSchedule(crashes={1: 0.25}, rejoins={1: 1.0})
+    rt = AsyncRuntime(graph, RejoinAware, ConstantDelay(0.5), faults=faults)
+    result = rt.run()
+    # The rejoin (1.0) beats crash + DETECT_TIMEOUT (2.5): a flap faster
+    # than the timeout is indistinguishable from slowness, so no observer
+    # is ever told of the death — but the crash still voided m0, and the
+    # rejoin-time link reset discarded the queued m1 instead of
+    # resurrecting it at the fresh incarnation.
+    assert rt.processes[0].events == [("alive", 1, 1.0 + DETECT_TIMEOUT)]
+    assert result.outputs[1] == (
+        (1.0 + DETECT_TIMEOUT + 0.5, ("post", 0)),
+        (1.0 + DETECT_TIMEOUT + 1.5, ("post", 1)),
+    )
+    assert result.messages == 3
+    assert result.dropped == 1
+
+
+def test_post_rejoin_delivery_defers_through_down_interval():
+    graph = topology.path_graph(2)
+    faults = FaultSchedule(
+        crashes={1: 0.25}, rejoins={1: 3.0},
+        downs={(0, 1): [(5.5, 7.0)]},
+    )
+    result = AsyncRuntime(
+        graph, RejoinAware, ConstantDelay(0.5), faults=faults
+    ).run()
+    # The greeting injects at the alive detect (5.25); its delivery would
+    # fire at 5.75, inside [5.5, 7.0): deferred to the interval's end.
+    # Down intervals and re-joins compose — deferral still never becomes
+    # loss on the fresh incarnation's link.
+    assert result.outputs[1] == (
+        (7.0, ("post", 0)),
+        (8.0, ("post", 1)),
+    )
+    assert result.dropped == 1  # only the original crash loss
+
+
+def test_drop_stream_counts_across_incarnations():
+    graph = topology.path_graph(2)
+    faults = FaultSchedule(
+        crashes={1: 0.25}, rejoins={1: 3.0}, drops=[(0, 1, 2)],
+    )
+    result = AsyncRuntime(
+        graph, RejoinAware, ConstantDelay(0.5), faults=faults
+    ).run()
+    # The drop schedule keys the link's *injection* count, which a rejoin
+    # does not reset: m0 was injection 1 (lost to the crash), so the first
+    # greeting is injection 2 and the schedule drops it — receiver-side,
+    # with the link-layer ack keeping the sender's pipeline moving.
+    assert result.outputs[1] == ((3.0 + DETECT_TIMEOUT + 1.5, ("post", 1)),)
+    assert result.dropped == 2
+    assert result.messages == 3
 
 
 def test_empty_schedule_is_byte_identical_to_no_schedule():
@@ -429,6 +601,31 @@ class TestStagePoisoning:
         assert new_stage is not None
         assert new_stage is not stage
 
+    def test_poisoned_slot_stays_unpooled_after_readmit(self):
+        """Re-join hygiene (DESIGN.md §15): readmission restores the
+        pristine cluster view but is not absolution — a crash-touched
+        slot never reaches the free list, and the next stage allocates
+        fresh while addressing the returned child again."""
+        events = []
+        module = self._module((1,), events)
+        module.register(0, TAG)
+        stage = next(iter(module._stages.values()))
+        module.prune_child(1)
+        assert stage.poisoned
+        module.readmit_child(1)
+        assert stage.poisoned                         # stays poisoned
+        assert module.clusters[0].children == (1,)    # pristine view back
+        module.deregister(0, TAG)
+        assert module._free == []                     # never pooled
+        module.register(0, TAG + 1)
+        new_stage = module._stages.get((0 << 32) | (TAG + 1))
+        assert new_stage is not None and new_stage is not stage
+        assert not new_stage.poisoned
+        # Stages created after the readmission wait on the returned child
+        # again (the live, re-closed stage kept its survivor view).
+        assert new_stage.view.children == (1,)
+        assert stage.view.children == ()
+
     def test_orphaned_stage_poisoned_on_parent_crash(self):
         events = []
         views = {
@@ -502,6 +699,17 @@ class TestSyncFaults:
         empty = run_synchronous(graph, spec, faults=FaultSchedule(seed=3))
         assert empty == plain
 
+    def test_rejoined_node_reborn_blank(self):
+        graph = topology.path_graph(3)
+        # Node 1 relays in round 1, answers, then crashes; its rebirth at
+        # round 4 voids the answer and nobody re-floods (plain BFS sends
+        # only on improvement), so the returned node ends blank while the
+        # downstream answer it enabled survives.
+        faults = FaultSchedule(crashes={1: 2.0}, rejoins={1: 4.0})
+        result = run_synchronous(graph, bfs_spec(0), faults=faults)
+        assert result.outputs == {0: (0, None), 2: (2, 1)}
+        assert 1 not in result.output_round
+
 
 # ----------------------------------------------------------------------
 # churn recovery end to end
@@ -557,6 +765,40 @@ class TestRunChurn:
             for v, (d, _parent) in out.outputs.items():
                 assert d <= dist[v]
 
+    def test_reanchor_answers_every_survivor_within_sandwich(self):
+        graph = topology.cycle_graph(24)
+        model = standard_adversaries(7)[2]
+        faults = FaultSchedule(seed=11, crash_rate=0.15, protect=(0,))
+        out = run_churn(graph, bfs_spec, model, faults, mode="reanchor")
+        degraded = run_churn(graph, bfs_spec, model, faults, mode="degrade")
+        assert out.stop_reason == "quiescent"
+        # Completeness: the patch wave reaches every orphaned survivor.
+        assert out.answered == out.survivor_count >= degraded.answered
+        dist_h = self._distances(graph, out.survivors, 0)
+        dist_g = self._distances(graph, graph.nodes, 0)
+        for v in out.survivors:
+            assert dist_g[v] <= out.outputs[v][0] <= dist_h[v]
+        # Cost ladder: the wave is cheaper than a full clean rebuild pass.
+        rebuilt = run_churn(graph, bfs_spec, model, faults, mode="rebuild")
+        assert 0 < out.reanchor_messages < rebuilt.rebuild_messages
+        assert out.rebuild_messages == 0
+
+    def test_rejoined_nodes_readmitted_and_reanswered(self):
+        graph = topology.cycle_graph(24)
+        model = standard_adversaries(7)[2]
+        faults = FaultSchedule(seed=11, crash_rate=0.15, rejoin_rate=1.0,
+                               protect=(0,))
+        out = run_churn(graph, bfs_spec, model, faults, mode="degrade")
+        assert out.stop_reason == "quiescent"
+        # Every crashed node returned, H's final snapshot is the whole
+        # graph, and the answers equal the fault-free run's exactly.
+        assert out.rejoined == out.crashed
+        assert len(out.survivors) == graph.num_nodes
+        from repro.core.synchronizer import run_synchronized
+
+        clean = run_synchronized(graph, bfs_spec(0), model)
+        assert out.outputs == clean.outputs
+
     def test_churn_deterministic_across_runs(self):
         graph = topology.cycle_graph(24)
         model = standard_adversaries(7)[4]
@@ -564,6 +806,11 @@ class TestRunChurn:
         a = run_churn(graph, bfs_spec, model, faults, mode="degrade")
         b = run_churn(graph, bfs_spec, model, faults, mode="degrade")
         assert a == b
+        faults = FaultSchedule(seed=13, crash_rate=0.15, rejoin_rate=0.7,
+                               protect=(0,))
+        c = run_churn(graph, bfs_spec, model, faults, mode="reanchor")
+        d = run_churn(graph, bfs_spec, model, faults, mode="reanchor")
+        assert c == d
 
     def test_link_churn_only_matches_fault_free_outputs(self):
         """Down intervals defer but never lose: a crash-free churn run must
